@@ -1,0 +1,120 @@
+#pragma once
+
+// Shared setup for the experiment harnesses (bench/table1_*, fig9_*, ...).
+//
+// Every harness accepts the same base flags:
+//   --size=N     cubic grid extent (default per experiment; --full selects
+//                the paper's 512)
+//   --steps=N    timestep count (default: scaled-down; --full selects the
+//                paper's CFL-derived counts: 228/436/587)
+//   --reps=N     best-of-N timing repetitions (default 1..3)
+//   --csv        emit CSV instead of the ASCII table
+//   --full       paper-scale run (512^3 grids, full time ranges)
+//
+// The harnesses print the *rows of the paper's table or the series of the
+// paper's figure*; EXPERIMENTS.md records how the shapes compare.
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "tempest/config.hpp"
+#include "tempest/core/wavefront.hpp"
+#include "tempest/physics/acoustic.hpp"
+#include "tempest/physics/elastic.hpp"
+#include "tempest/physics/model.hpp"
+#include "tempest/physics/tti.hpp"
+#include "tempest/sparse/survey.hpp"
+#include "tempest/sparse/wavelet.hpp"
+#include "tempest/util/cli.hpp"
+#include "tempest/util/table.hpp"
+
+namespace bench {
+
+using namespace tempest;
+
+// NOTE on default sizes: wave-front temporal blocking only pays off once
+// the live working set exceeds the last-level cache. The defaults below
+// assume an LLC of up to a few hundred MB (large cloud VMs); shrink --size
+// only for smoke tests, not for performance claims.
+struct BaseConfig {
+  int size = 256;
+  int reps = 1;
+  bool csv = false;
+  bool full = false;
+  int nbl = 10;
+
+  static BaseConfig parse(const util::Cli& cli, int default_size) {
+    BaseConfig c;
+    c.full = cli.get_flag("full");
+    c.size = static_cast<int>(
+        cli.get_int("size", c.full ? 512 : default_size));
+    c.reps = static_cast<int>(cli.get_int("reps", 1));
+    c.csv = cli.get_flag("csv");
+    return c;
+  }
+
+  [[nodiscard]] grid::Extents3 extents() const { return {size, size, size}; }
+};
+
+/// Paper Section IV.B timestep counts at 512 ms propagation, scaled down in
+/// proportion when the quick default shortens the run.
+inline int steps_for_kernel(const std::string& kernel, bool full,
+                            long requested) {
+  if (requested > 0) return static_cast<int>(requested);
+  if (kernel == "acoustic") return full ? 228 : 24;
+  if (kernel == "elastic") return full ? 436 : 16;
+  return full ? 587 : 12;  // tti
+}
+
+/// Tuned tile/block defaults per (kernel, space order) — this machine's
+/// analogue of the paper's Table I: narrow tiles where temporal reuse is
+/// rich (low-order, low-byte kernels), wider tiles as halos grow. Run
+/// table1_autotune to re-derive these for a new machine; fig9 accepts
+/// --tiles to override.
+inline core::TileSpec default_tiles(const std::string& kernel, int so) {
+  if (so <= 4 && (kernel == "acoustic" || kernel == "elastic")) {
+    return core::TileSpec{8, 32, 32, 8, 8};
+  }
+  if (kernel == "acoustic" && so == 8) {
+    return core::TileSpec{16, 64, 64, 8, 8};
+  }
+  return core::TileSpec{8, 64, 64, 8, 8};
+}
+
+/// Single Ricker-driven source at the paper's standard position.
+inline sparse::SparseTimeSeries make_source(const grid::Extents3& e, int nt,
+                                            double dt, double f0 = 0.010) {
+  sparse::SparseTimeSeries src(sparse::single_center_source(e), nt);
+  src.broadcast_signature(sparse::ricker(nt, dt, f0));
+  return src;
+}
+
+/// The standard receiver line used across experiments.
+inline sparse::SparseTimeSeries make_receivers(const grid::Extents3& e,
+                                               int nt, int n = 128) {
+  return sparse::SparseTimeSeries(sparse::receiver_line(e, n), nt);
+}
+
+/// Best-of-N wall time for one schedule of any propagator type.
+template <typename Propagator>
+physics::RunStats best_of(Propagator& prop, physics::Schedule sched,
+                          const sparse::SparseTimeSeries& src,
+                          sparse::SparseTimeSeries* rec, int reps) {
+  physics::RunStats best{};
+  for (int i = 0; i < std::max(1, reps); ++i) {
+    const physics::RunStats s = prop.run(sched, src, rec);
+    if (best.seconds == 0.0 || s.seconds < best.seconds) best = s;
+  }
+  return best;
+}
+
+inline void emit(const util::Table& table, bool csv) {
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print_ascii(std::cout);
+  }
+}
+
+}  // namespace bench

@@ -1,0 +1,115 @@
+// Figure 9 reproduction: throughput speed-up of wave-front temporal blocking
+// over the spatially-blocked vectorized baseline, for isotropic acoustic,
+// isotropic elastic and TTI at space orders 4, 8, 12.
+//
+// The paper reports two Azure VM architectures (Broadwell / Skylake); this
+// harness measures one column on the host machine (substitution documented
+// in DESIGN.md). The reproduced *shape*: clear gains at SO 4 (paper: up to
+// ~1.6x acoustic), moderate at SO 8 (~1.13x+), near-parity at SO 12.
+//
+// Usage: fig9_speedup [--size=160] [--steps=N] [--so=4,8,12] [--reps=2]
+//                     [--kernels=acoustic,elastic,tti] [--tiles=tt,tx,ty]
+//                     [--csv] [--full]
+
+#include <sstream>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace bench;
+
+struct Row {
+  std::string kernel;
+  int so;
+  double base_gpts;
+  double wave_gpts;
+  double precompute_s;
+};
+
+core::TileSpec tiles_for(const util::Cli& cli, const std::string& kernel,
+                         int so) {
+  if (!cli.has("tiles")) return default_tiles(kernel, so);
+  const auto t = cli.get_int_list("tiles", {8, 64, 64});
+  core::TileSpec spec;
+  spec.tile_t = static_cast<int>(t.size() > 0 ? t[0] : 8);
+  spec.tile_x = static_cast<int>(t.size() > 1 ? t[1] : 64);
+  spec.tile_y = static_cast<int>(t.size() > 2 ? t[2] : spec.tile_x);
+  spec.block_x = 8;
+  spec.block_y = 8;
+  return spec;
+}
+
+template <typename Model, typename Propagator>
+Row run_kernel(const std::string& name, const Model& model, int so, int nt,
+               const core::TileSpec& tiles, int reps) {
+  physics::PropagatorOptions opts;
+  opts.tiles = tiles;
+  Propagator prop(model, opts);
+
+  sparse::SparseTimeSeries src =
+      make_source(model.geom.extents, nt, prop.dt());
+  sparse::SparseTimeSeries rec = make_receivers(model.geom.extents, nt);
+
+  const physics::RunStats base =
+      best_of(prop, physics::Schedule::SpaceBlocked, src, &rec, reps);
+  const physics::RunStats wave =
+      best_of(prop, physics::Schedule::Wavefront, src, &rec, reps);
+  std::cerr << "  " << name << " O(" << (name == "elastic" ? 1 : 2) << ','
+            << so << "): base " << base.gpoints_per_s() << " GPts/s, wtb "
+            << wave.gpoints_per_s() << " GPts/s\n";
+  return Row{name, so, base.gpoints_per_s(), wave.gpoints_per_s(),
+             wave.precompute_seconds};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const BaseConfig cfg = BaseConfig::parse(cli, /*default_size=*/256);
+  const auto so_list = cli.get_int_list("so", {4, 8, 12});
+  std::stringstream kernels_ss(
+      cli.get("kernels", "acoustic,elastic,tti"));
+
+  util::Table table({"kernel", "space_order", "baseline_gpts", "wtb_gpts",
+                     "speedup", "precompute_s"});
+
+  std::string kernel;
+  while (std::getline(kernels_ss, kernel, ',')) {
+    for (long so : so_list) {
+      const int nt = steps_for_kernel(kernel, cfg.full,
+                                      cli.get_int("steps", 0));
+      physics::Geometry geom{cfg.extents(), kernel == "tti" ? 20.0 : 10.0,
+                             static_cast<int>(so), cfg.nbl};
+      Row row{};
+      const core::TileSpec tiles =
+          tiles_for(cli, kernel, static_cast<int>(so));
+      if (kernel == "acoustic") {
+        const auto model = physics::make_acoustic_layered(geom);
+        row = run_kernel<physics::AcousticModel, physics::AcousticPropagator>(
+            kernel, model, static_cast<int>(so), nt, tiles, cfg.reps);
+      } else if (kernel == "elastic") {
+        const auto model = physics::make_elastic_layered(geom);
+        row = run_kernel<physics::ElasticModel, physics::ElasticPropagator>(
+            kernel, model, static_cast<int>(so), nt, tiles, cfg.reps);
+      } else if (kernel == "tti") {
+        const auto model = physics::make_tti_layered(geom);
+        row = run_kernel<physics::TTIModel, physics::TTIPropagator>(
+            kernel, model, static_cast<int>(so), nt, tiles, cfg.reps);
+      } else {
+        std::cerr << "unknown kernel: " << kernel << "\n";
+        return 1;
+      }
+      table.add_row({row.kernel, std::to_string(row.so),
+                     util::Table::num(row.base_gpts, 4),
+                     util::Table::num(row.wave_gpts, 4),
+                     util::Table::num(row.wave_gpts / row.base_gpts, 3),
+                     util::Table::num(row.precompute_s, 3)});
+    }
+  }
+
+  std::cout << "# Figure 9: WTB speed-up vs spatially-blocked baseline ("
+            << cfg.size << "^3 grid)\n";
+  emit(table, cfg.csv);
+  return 0;
+}

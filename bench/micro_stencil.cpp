@@ -1,0 +1,66 @@
+// Micro-benchmark µ1: raw stencil-kernel throughput per space order for the
+// three wave propagators (single-schedule sweeps, no sparse operators).
+// Supporting data for Fig. 9/11: shows the baseline cost ordering
+// (TTI >> elastic > acoustic) and the cost growth with space order.
+
+#include <benchmark/benchmark.h>
+
+#include "tempest/physics/acoustic.hpp"
+#include "tempest/physics/elastic.hpp"
+#include "tempest/physics/tti.hpp"
+#include "tempest/sparse/survey.hpp"
+#include "tempest/sparse/wavelet.hpp"
+
+namespace {
+
+using namespace tempest;
+
+constexpr int kSize = 96;
+constexpr int kSteps = 4;
+
+template <typename Model, typename Propagator>
+void run_case(benchmark::State& state, Model (*make)(const physics::Geometry&,
+                                                     double, double, int),
+              double spacing) {
+  const int so = static_cast<int>(state.range(0));
+  physics::Geometry geom{{kSize, kSize, kSize}, spacing, so, 8};
+  const Model model = make(geom, 1.5, 3.5, 5);
+  physics::PropagatorOptions opts;
+  Propagator prop(model, opts);
+  sparse::SparseTimeSeries src(sparse::single_center_source(geom.extents),
+                               kSteps);
+  src.broadcast_signature(sparse::ricker(kSteps, prop.dt(), 0.010));
+
+  long long updates = 0;
+  for (auto _ : state) {
+    const physics::RunStats s =
+        prop.run(physics::Schedule::SpaceBlocked, src, nullptr);
+    updates += s.point_updates;
+    benchmark::DoNotOptimize(updates);
+  }
+  state.counters["GPts/s"] = benchmark::Counter(
+      static_cast<double>(updates) / 1e9, benchmark::Counter::kIsRate);
+}
+
+void BM_AcousticSweep(benchmark::State& state) {
+  run_case<physics::AcousticModel, physics::AcousticPropagator>(
+      state, physics::make_acoustic_layered, 10.0);
+}
+
+void BM_ElasticSweep(benchmark::State& state) {
+  run_case<physics::ElasticModel, physics::ElasticPropagator>(
+      state, physics::make_elastic_layered, 10.0);
+}
+
+void BM_TTISweep(benchmark::State& state) {
+  run_case<physics::TTIModel, physics::TTIPropagator>(
+      state, physics::make_tti_layered, 20.0);
+}
+
+}  // namespace
+
+BENCHMARK(BM_AcousticSweep)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_ElasticSweep)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_TTISweep)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+BENCHMARK_MAIN();

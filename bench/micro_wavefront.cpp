@@ -1,0 +1,104 @@
+// Micro-benchmark µ4: wave-front tile-shape sensitivity (the ablation behind
+// Table I). Sweeps the temporal tile height and the spatial tile edge for
+// the acoustic SO4 kernel at a fixed grid, reporting propagation throughput.
+// tile_t = 1 degenerates to spatial blocking (plus skew overhead), so the
+// curve shows exactly how much of the win is *temporal* reuse.
+
+#include <benchmark/benchmark.h>
+
+#include "tempest/physics/acoustic.hpp"
+#include "tempest/sparse/survey.hpp"
+#include "tempest/sparse/wavelet.hpp"
+
+namespace {
+
+using namespace tempest;
+
+constexpr int kSize = 256;
+constexpr int kSteps = 16;
+
+void BM_WavefrontTiles(benchmark::State& state) {
+  const int tile_t = static_cast<int>(state.range(0));
+  const int tile_xy = static_cast<int>(state.range(1));
+  physics::Geometry geom{{kSize, kSize, kSize}, 10.0, 4, 8};
+  const auto model = physics::make_acoustic_layered(geom);
+  physics::PropagatorOptions opts;
+  opts.tiles = core::TileSpec{tile_t, tile_xy, tile_xy, 8, 8};
+  physics::AcousticPropagator prop(model, opts);
+  sparse::SparseTimeSeries src(sparse::single_center_source(geom.extents),
+                               kSteps);
+  src.broadcast_signature(sparse::ricker(kSteps, prop.dt(), 0.010));
+
+  long long updates = 0;
+  for (auto _ : state) {
+    const physics::RunStats s =
+        prop.run(physics::Schedule::Wavefront, src, nullptr);
+    updates += s.point_updates;
+  }
+  state.counters["GPts/s"] = benchmark::Counter(
+      static_cast<double>(updates) / 1e9, benchmark::Counter::kIsRate);
+}
+
+void BM_DiamondTiles(benchmark::State& state) {
+  // The alternative temporal-blocking family on the same kernel: diamond
+  // bands of the given height with an auto-sized x period.
+  const int height = static_cast<int>(state.range(0));
+  physics::Geometry geom{{kSize, kSize, kSize}, 10.0, 4, 8};
+  const auto model = physics::make_acoustic_layered(geom);
+  physics::PropagatorOptions opts;
+  opts.tiles = core::TileSpec{height, 64, 64, 8, 8};
+  physics::AcousticPropagator prop(model, opts);
+  sparse::SparseTimeSeries src(sparse::single_center_source(geom.extents),
+                               kSteps);
+  src.broadcast_signature(sparse::ricker(kSteps, prop.dt(), 0.010));
+
+  long long updates = 0;
+  for (auto _ : state) {
+    const physics::RunStats s =
+        prop.run(physics::Schedule::Diamond, src, nullptr);
+    updates += s.point_updates;
+  }
+  state.counters["GPts/s"] = benchmark::Counter(
+      static_cast<double>(updates) / 1e9, benchmark::Counter::kIsRate);
+}
+
+void BM_SpaceBlockedReference(benchmark::State& state) {
+  physics::Geometry geom{{kSize, kSize, kSize}, 10.0, 4, 8};
+  const auto model = physics::make_acoustic_layered(geom);
+  physics::PropagatorOptions opts;
+  physics::AcousticPropagator prop(model, opts);
+  sparse::SparseTimeSeries src(sparse::single_center_source(geom.extents),
+                               kSteps);
+  src.broadcast_signature(sparse::ricker(kSteps, prop.dt(), 0.010));
+
+  long long updates = 0;
+  for (auto _ : state) {
+    const physics::RunStats s =
+        prop.run(physics::Schedule::SpaceBlocked, src, nullptr);
+    updates += s.point_updates;
+  }
+  state.counters["GPts/s"] = benchmark::Counter(
+      static_cast<double>(updates) / 1e9, benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_WavefrontTiles)
+    ->Args({1, 64})
+    ->Args({2, 64})
+    ->Args({4, 64})
+    ->Args({8, 64})
+    ->Args({16, 64})
+    ->Args({8, 32})
+    ->Args({8, 128})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+BENCHMARK(BM_DiamondTiles)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+BENCHMARK(BM_SpaceBlockedReference)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Elastic demo: Virieux velocity–stress propagation with an explosive
+// source, showing the two-phase (velocity/stress) wave-front treatment of
+// staggered multi-grid stencils (paper Fig. 8b) and the physics it carries:
+// a receiver string straight below the source separates the P arrival
+// (speed vp) from the later S-converted energy (speed vs = vp/sqrt(3)).
+//
+// Build & run:  ./build/examples/elastic_demo [--size=144] [--steps=300]
+
+#include <cmath>
+#include <iostream>
+
+#include "tempest/physics/elastic.hpp"
+#include "tempest/sparse/survey.hpp"
+#include "tempest/sparse/wavelet.hpp"
+#include "tempest/util/cli.hpp"
+#include "tempest/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tempest;
+  const util::Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("size", 144));
+  const int nt = static_cast<int>(cli.get_int("steps", 300));
+
+  physics::Geometry geom{{n, n, n}, 10.0, 4, 10};
+  const physics::ElasticModel model =
+      physics::make_elastic_layered(geom, 2.0, 2.0, 1);  // homogeneous
+  const double dt = model.critical_dt();
+  const double vp = 2.0, vs = vp / std::sqrt(3.0);
+  std::cout << "elastic medium: vp = " << vp << " m/ms, vs = " << vs
+            << " m/ms, dt = " << dt << " ms, " << nt << " steps\n";
+
+  const double sx = 0.5 * (n - 1), sy = 0.5 * (n - 1), sz = 0.25 * (n - 1);
+  sparse::SparseTimeSeries src({{sx + 0.37, sy + 0.61, sz + 0.43}}, nt);
+  src.broadcast_signature(sparse::ricker(nt, dt, 0.015));
+
+  // String of receivers straight below the source.
+  sparse::CoordList rec_coords;
+  for (int k = 1; k <= 4; ++k) {
+    rec_coords.push_back({sx + 0.37, sy + 0.61, sz + 0.43 + 12.0 * k});
+  }
+  sparse::SparseTimeSeries rec(rec_coords, nt);
+
+  physics::PropagatorOptions opts;
+  opts.tiles = core::TileSpec{8, 64, 64, 8, 8};
+  physics::ElasticPropagator prop(model, opts);
+
+  const physics::RunStats base =
+      prop.run(physics::Schedule::SpaceBlocked, src, &rec);
+  std::cout << "baseline:  " << base.seconds << " s ("
+            << base.gpoints_per_s() << " GPts/s)\n";
+  const physics::RunStats wave =
+      prop.run(physics::Schedule::Wavefront, src, &rec);
+  std::cout << "wave-front:" << wave.seconds << " s ("
+            << wave.gpoints_per_s() << " GPts/s), speed-up "
+            << base.seconds / wave.seconds << "x\n\n";
+
+  util::Table table({"receiver", "offset_m", "picked_ms", "P_predicted_ms"});
+  for (int r = 0; r < rec.npoints(); ++r) {
+    int t_peak = 0;
+    double best = 0.0;
+    for (int t = 0; t < nt; ++t) {
+      const double v = std::fabs(static_cast<double>(rec.at(t, r)));
+      if (v > best) {
+        best = v;
+        t_peak = t;
+      }
+    }
+    const double offset = 12.0 * (r + 1) * geom.spacing;
+    const double predicted = 1.5 / 0.015 + offset / (vp * 1000.0) * 1000.0;
+    table.add_row({std::to_string(r), util::Table::num(offset, 0),
+                   util::Table::num(t_peak * dt, 1),
+                   util::Table::num(predicted, 1)});
+  }
+  std::cout << "P-wave arrival picks on vz (peak of |trace|):\n";
+  table.print_ascii(std::cout);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Quickstart: the paper's workflow end to end in ~60 lines of user code.
+//
+// 1. State the acoustic wave equation symbolically (the DSL mirror of the
+//    paper's Devito listing).
+// 2. Build an Operator with the wave-front temporal-blocking schedule: the
+//    lowering runs the paper's passes (precompute sparse sources, fuse,
+//    compress, time-tile) and the printed schedule shows the Listing 6 nest.
+// 3. Apply it to a layered velocity model with one off-the-grid source and
+//    a line of off-the-grid receivers.
+//
+// Build & run:  ./build/examples/quickstart [--size=128] [--steps=120]
+
+#include <iostream>
+
+#include "tempest/dsl/operator.hpp"
+#include "tempest/sparse/survey.hpp"
+#include "tempest/sparse/wavelet.hpp"
+#include "tempest/util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tempest;
+  const util::Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("size", 128));
+  const int nt = static_cast<int>(cli.get_int("steps", 120));
+
+  // --- the physical setup: 10 m grid, velocity increasing with depth ---
+  physics::Geometry geom{{n, n, n}, 10.0, /*space_order=*/4, /*nbl=*/10};
+  const physics::AcousticModel model =
+      physics::make_acoustic_layered(geom, 1.5, 3.5, 5);
+  const double dt = model.critical_dt();
+  std::cout << "grid " << n << "^3, dt = " << dt << " ms, " << nt
+            << " timesteps (" << nt * dt << " ms of wave propagation)\n";
+
+  // --- the symbolic problem definition (paper Listing 1 of Section III) ---
+  dsl::Grid grid{geom.extents, geom.spacing};
+  dsl::TimeFunction u("u", grid, geom.space_order, 2);
+  const dsl::Expr pde =
+      dsl::param("m") * u.dt2() + dsl::param("damp") * u.dt() - u.laplace();
+  const dsl::Eq update = dsl::solve(pde, u.forward());
+  std::cout << "\nsymbolic update: " << update.str() << "\n";
+
+  // --- off-the-grid sources and receivers ---
+  sparse::SparseTimeSeries src(sparse::single_center_source(geom.extents),
+                               nt);
+  src.broadcast_signature(sparse::ricker(nt, dt, /*f0=*/0.010));
+  sparse::SparseTimeSeries rec(sparse::receiver_line(geom.extents, 64), nt);
+
+  dsl::SparseTimeFunction s("src", src.coords(), nt);
+  dsl::SparseTimeFunction d("rec", rec.coords(), nt);
+
+  // --- the Operator with the paper's temporally blocked schedule ---
+  dsl::OperatorOptions opts;
+  opts.schedule = physics::Schedule::Wavefront;
+  opts.tiles = core::TileSpec{8, 64, 64, 8, 8};
+  dsl::Operator op({update}, {s.inject(u, dsl::param("dt2_over_m"))},
+                   {d.interpolate(u)}, opts);
+
+  std::cout << "\nlowered schedule (" << dsl::to_string(op.kernel_class())
+            << ", wave-front temporal blocking):\n"
+            << op.ccode() << "\n";
+
+  const physics::RunStats stats = op.apply(model, src, &rec);
+  std::cout << "propagation: " << stats.seconds << " s  ("
+            << stats.gpoints_per_s() << " GPts/s), sparse precompute "
+            << stats.precompute_seconds << " s\n";
+
+  // --- a glance at the recorded shot gather ---
+  double peak = 0.0;
+  int peak_t = 0, peak_r = 0;
+  for (int t = 0; t < nt; ++t) {
+    for (int r = 0; r < rec.npoints(); ++r) {
+      const double v = std::abs(static_cast<double>(rec.at(t, r)));
+      if (v > peak) {
+        peak = v;
+        peak_t = t;
+        peak_r = r;
+      }
+    }
+  }
+  std::cout << "strongest receiver sample: |u| = " << peak << " at t = "
+            << peak_t * dt << " ms on receiver " << peak_r << "\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "tempest/autotune/autotune.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "tempest/util/error.hpp"
+
+namespace tempest::autotune {
+
+std::vector<core::TileSpec> candidates(const grid::Extents3& extents,
+                                       const CandidateSpace& space) {
+  TEMPEST_REQUIRE(!space.tile_sizes.empty() && !space.block_sizes.empty() &&
+                  !space.tile_t.empty());
+  std::vector<core::TileSpec> out;
+  auto admit = [&](const core::TileSpec& s) {
+    if (!s.valid()) return;
+    if (s.block_x > s.tile_x || s.block_y > s.tile_y) return;
+    // A tile larger than twice the domain behaves identically to one
+    // exactly twice the domain: skip all but the first oversize shape.
+    if (s.tile_x > 2 * extents.nx || s.tile_y > 2 * extents.ny) return;
+    if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+  };
+
+  for (int tt : space.tile_t) {
+    for (int tx : space.tile_sizes) {
+      for (int ty : space.tile_sizes) {
+        if (space.symmetric && ty != tx) continue;
+        for (int bx : space.block_sizes) {
+          for (int by : space.block_sizes) {
+            if (space.symmetric && by != bx) continue;
+            admit(core::TileSpec{tt, tx, ty, bx, by});
+          }
+        }
+      }
+    }
+  }
+  TEMPEST_REQUIRE_MSG(!out.empty(), "candidate space is empty");
+  return out;
+}
+
+SweepResult sweep(const std::vector<core::TileSpec>& specs,
+                  const std::function<double(const core::TileSpec&)>& measure,
+                  int repeats) {
+  TEMPEST_REQUIRE(!specs.empty() && repeats >= 1);
+  SweepResult result;
+  result.best.seconds = std::numeric_limits<double>::infinity();
+  for (const core::TileSpec& spec : specs) {
+    double best_time = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < repeats; ++rep) {
+      best_time = std::min(best_time, measure(spec));
+    }
+    const Candidate cand{spec, best_time};
+    result.evaluated.push_back(cand);
+    if (cand.seconds < result.best.seconds) result.best = cand;
+  }
+  return result;
+}
+
+}  // namespace tempest::autotune

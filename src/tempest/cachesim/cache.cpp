@@ -1,0 +1,123 @@
+#include "tempest/cachesim/cache.hpp"
+
+#include "tempest/util/error.hpp"
+
+namespace tempest::cachesim {
+
+namespace {
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+CacheLevel::CacheLevel(CacheConfig cfg) : cfg_(cfg) {
+  TEMPEST_REQUIRE(cfg.ways > 0 && cfg.line_bytes > 0);
+  TEMPEST_REQUIRE(cfg.size_bytes % (static_cast<std::uint64_t>(cfg.ways) *
+                                    cfg.line_bytes) ==
+                  0);
+  n_sets_ = cfg.size_bytes /
+            (static_cast<std::uint64_t>(cfg.ways) * cfg.line_bytes);
+  TEMPEST_REQUIRE_MSG(is_pow2(n_sets_), "set count must be a power of two");
+  lines_.resize(n_sets_ * static_cast<std::uint64_t>(cfg.ways));
+}
+
+CacheLevel::Result CacheLevel::access(std::uint64_t addr, bool write) {
+  const std::uint64_t line_addr = addr / cfg_.line_bytes;
+  const std::uint64_t set = line_addr & (n_sets_ - 1);
+  // Store the full line address as the tag: a few redundant bits per line
+  // buys exact, reconstruction-free write-back addresses.
+  const std::uint64_t tag = line_addr;
+  Line* set_lines = &lines_[set * static_cast<std::uint64_t>(cfg_.ways)];
+  ++clock_;
+
+  Result r;
+  Line* victim = &set_lines[0];
+  for (int w = 0; w < cfg_.ways; ++w) {
+    Line& line = set_lines[w];
+    if (line.valid && line.tag == tag) {
+      line.stamp = clock_;
+      line.dirty = line.dirty || write;
+      ++hits_;
+      r.hit = true;
+      return r;
+    }
+    if (!line.valid) {
+      victim = &line;  // prefer an empty way
+    } else if (victim->valid && line.stamp < victim->stamp) {
+      victim = &line;
+    }
+  }
+
+  ++misses_;
+  if (victim->valid && victim->dirty) {
+    ++writebacks_;
+    r.writeback = true;
+    r.writeback_addr = victim->tag * cfg_.line_bytes;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->stamp = clock_;
+  victim->dirty = write;
+  return r;
+}
+
+void CacheLevel::reset_counters() {
+  hits_ = 0;
+  misses_ = 0;
+  writebacks_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(CacheConfig l1, CacheConfig l2, CacheConfig l3)
+    : l1_(l1), l2_(l2), l3_(l3) {
+  TEMPEST_REQUIRE(l1.line_bytes == l2.line_bytes &&
+                  l2.line_bytes == l3.line_bytes);
+}
+
+void CacheHierarchy::access(std::uint64_t addr, unsigned bytes, bool write) {
+  traffic_.l1_bytes += bytes;
+  const int line = l1_.config().line_bytes;
+  const std::uint64_t first = addr / line;
+  const std::uint64_t last = (addr + (bytes ? bytes - 1 : 0)) / line;
+  for (std::uint64_t la = first; la <= last; ++la) {
+    line_access(la * line, write);
+  }
+}
+
+void CacheHierarchy::line_access(std::uint64_t line_addr, bool write) {
+  const int line = l1_.config().line_bytes;
+  const CacheLevel::Result r1 = l1_.access(line_addr, write);
+  if (r1.writeback) {
+    traffic_.l2_bytes += line;
+    const CacheLevel::Result wb2 = l2_.access(r1.writeback_addr, true);
+    if (wb2.writeback) {
+      traffic_.l3_bytes += line;
+      const CacheLevel::Result wb3 = l3_.access(wb2.writeback_addr, true);
+      if (wb3.writeback) traffic_.dram_bytes += line;
+      if (!wb3.hit) traffic_.dram_bytes += line;  // allocate-on-writeback
+    }
+    if (!wb2.hit) traffic_.l3_bytes += line;
+  }
+  if (r1.hit) return;
+
+  traffic_.l2_bytes += line;  // fill from L2
+  const CacheLevel::Result r2 = l2_.access(line_addr, false);
+  if (r2.writeback) {
+    traffic_.l3_bytes += line;
+    const CacheLevel::Result wb3 = l3_.access(r2.writeback_addr, true);
+    if (wb3.writeback) traffic_.dram_bytes += line;
+    if (!wb3.hit) traffic_.dram_bytes += line;
+  }
+  if (r2.hit) return;
+
+  traffic_.l3_bytes += line;  // fill from L3
+  const CacheLevel::Result r3 = l3_.access(line_addr, false);
+  if (r3.writeback) traffic_.dram_bytes += line;
+  if (!r3.hit) traffic_.dram_bytes += line;  // fill from DRAM
+}
+
+void CacheHierarchy::reset() {
+  l1_.reset_counters();
+  l2_.reset_counters();
+  l3_.reset_counters();
+  traffic_ = Traffic{};
+}
+
+}  // namespace tempest::cachesim

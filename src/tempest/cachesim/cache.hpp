@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tempest::cachesim {
+
+/// Geometry of one cache level.
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 * 1024;
+  int ways = 8;
+  int line_bytes = 64;
+};
+
+/// One set-associative, write-back/write-allocate cache level with true LRU
+/// replacement. Tracks dirty state so evictions can be propagated as
+/// write-backs to the next level.
+class CacheLevel {
+ public:
+  explicit CacheLevel(CacheConfig cfg);
+
+  struct Result {
+    bool hit = false;
+    bool writeback = false;          ///< a dirty line was evicted
+    std::uint64_t writeback_addr = 0;  ///< line address of the victim
+  };
+
+  /// Access the line containing `addr`. On a miss the line is filled
+  /// (write-allocate) and the LRU victim, if dirty, is reported.
+  Result access(std::uint64_t addr, bool write);
+
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t writebacks() const { return writebacks_; }
+
+  void reset_counters();
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t stamp = 0;  ///< LRU timestamp
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig cfg_;
+  std::uint64_t n_sets_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+  std::vector<Line> lines_;  ///< n_sets * ways
+};
+
+/// Cumulative byte traffic observed at each boundary of the hierarchy, the
+/// quantity the cache-aware roofline model divides flops by.
+struct Traffic {
+  double l1_bytes = 0.0;    ///< core <-> L1 (actual access bytes)
+  double l2_bytes = 0.0;    ///< L1 <-> L2 (line fills + write-backs)
+  double l3_bytes = 0.0;    ///< L2 <-> L3
+  double dram_bytes = 0.0;  ///< L3 <-> memory
+};
+
+/// Three-level hierarchy: L1 misses access L2, L2 misses access L3, dirty
+/// evictions propagate downward as writes.
+class CacheHierarchy {
+ public:
+  CacheHierarchy(CacheConfig l1, CacheConfig l2, CacheConfig l3);
+
+  /// Access `bytes` bytes starting at `addr` (split into lines).
+  void access(std::uint64_t addr, unsigned bytes, bool write);
+
+  /// Convenience for 4-byte single-precision loads/stores.
+  void load(std::uint64_t addr) { access(addr, 4, false); }
+  void store(std::uint64_t addr) { access(addr, 4, true); }
+
+  [[nodiscard]] const Traffic& traffic() const { return traffic_; }
+  [[nodiscard]] const CacheLevel& l1() const { return l1_; }
+  [[nodiscard]] const CacheLevel& l2() const { return l2_; }
+  [[nodiscard]] const CacheLevel& l3() const { return l3_; }
+
+  void reset();
+
+ private:
+  void line_access(std::uint64_t line_addr, bool write);
+
+  CacheLevel l1_;
+  CacheLevel l2_;
+  CacheLevel l3_;
+  Traffic traffic_;
+};
+
+}  // namespace tempest::cachesim

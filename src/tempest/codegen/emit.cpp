@@ -1,0 +1,187 @@
+#include "tempest/codegen/emit.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "tempest/stencil/coefficients.hpp"
+#include "tempest/util/error.hpp"
+
+namespace tempest::codegen {
+
+namespace {
+
+std::string flit(double v) {
+  std::ostringstream os;
+  os << std::setprecision(9) << std::scientific << v << 'f';
+  return os.str();
+}
+
+/// The per-block stencil body with the FD weights baked in as literals
+/// (what Devito's generated C looks like).
+void emit_update_block(std::ostringstream& os, int space_order) {
+  const stencil::Coeffs c = stencil::central(2, space_order);
+  const int r = stencil::radius_for_order(space_order);
+  os << R"(
+static void update_block(float* restrict un, const float* restrict uc,
+                         const float* restrict up, const float* restrict m,
+                         const float* restrict damp, long sx, long sy,
+                         int x0, int x1, int y0, int y1, int z0, int z1,
+                         float inv_h2, float idt2, float i2dt) {
+  for (int x = x0; x < x1; ++x) {
+    for (int y = y0; y < y1; ++y) {
+      const long row = (long)x * sx + (long)y * sy;
+#pragma omp simd
+      for (int z = z0; z < z1; ++z) {
+        const long i = row + z;
+)";
+  const double w0 = c.weights[static_cast<std::size_t>(r)];
+  os << "        float acc = " << flit(3.0 * w0) << " * uc[i];\n";
+  for (int k = 1; k <= r; ++k) {
+    const double wk = c.weights[static_cast<std::size_t>(r + k)];
+    os << "        acc += " << flit(wk) << " * (uc[i - " << k
+       << "] + uc[i + " << k << "] + uc[i - " << k << "*sy] + uc[i + " << k
+       << "*sy] + uc[i - " << k << "*sx] + uc[i + " << k << "*sx]);\n";
+  }
+  os << R"(        const float lap = acc * inv_h2;
+        const float num = lap + m[i] * idt2 * (2.0f * uc[i] - up[i]) +
+                          damp[i] * i2dt * up[i];
+        un[i] = num / (m[i] * idt2 + damp[i] * i2dt);
+      }
+    }
+  }
+}
+)";
+}
+
+/// The fused, compressed source injection of Listing 5: CSR walk over the
+/// columns of an (x,y) rectangle; cs_zid interleaves (z, id) pairs.
+void emit_inject_block(std::ostringstream& os) {
+  os << R"(
+static void inject_block(float* restrict un, const float* restrict m,
+                         long sx, long sy, int ny, int x0, int x1, int y0,
+                         int y1, int t, const int* restrict cs_offsets,
+                         const int* restrict cs_zid,
+                         const float* restrict dcmp, int npts, float dt2) {
+  for (int x = x0; x < x1; ++x) {
+    for (int y = y0; y < y1; ++y) {
+      const long col = (long)x * ny + y;
+      for (int k = cs_offsets[col]; k < cs_offsets[col + 1]; ++k) {
+        const long i = (long)x * sx + (long)y * sy + cs_zid[2 * k];
+        un[i] += dcmp[(long)t * npts + cs_zid[2 * k + 1]] * (dt2 / m[i]);
+      }
+    }
+  }
+}
+)";
+}
+
+void emit_spaceblocked_schedule(std::ostringstream& os,
+                                const core::TileSpec& t) {
+  os << R"(
+  for (int tstep = t_begin; tstep < t_end; ++tstep) {
+    float* un = slots[(tstep + 1) % 3];
+    const float* uc = slots[tstep % 3];
+    const float* up = slots[(tstep + 2) % 3];
+)"
+     << "    for (int xb = 0; xb < nx; xb += " << t.block_x
+     << ") {\n"
+        "      const int xe = MIN(xb + "
+     << t.block_x
+     << ", nx);\n"
+        "      for (int yb = 0; yb < ny; yb += "
+     << t.block_y
+     << ") {\n"
+        "        const int ye = MIN(yb + "
+     << t.block_y << R"(, ny);
+        update_block(un, uc, up, m, damp, sx, sy, xb, xe, yb, ye, 0, nz,
+                     inv_h2, idt2, i2dt);
+      }
+    }
+    if (npts > 0) {
+      inject_block(un, m, sx, sy, ny, 0, nx, 0, ny, tstep, cs_offsets,
+                   cs_zid, dcmp, npts, dt2);
+    }
+  }
+)";
+}
+
+void emit_wavefront_schedule(std::ostringstream& os, const core::TileSpec& t,
+                             int slope) {
+  os << "  const int slope = " << slope << ";\n"
+     << "  const int tile_t = " << t.tile_t << ", tile_x = " << t.tile_x
+     << ", tile_y = " << t.tile_y << ";\n"
+     << "  const int block_x = " << t.block_x << ", block_y = " << t.block_y
+     << ";\n"
+     << R"(
+  for (int tt = t_begin; tt < t_end; tt += tile_t) {
+    const int te = MIN(tt + tile_t, t_end);
+    const int xs_begin = (slope * tt) / tile_x * tile_x;
+    const int xs_end = nx + slope * (te - 1);
+    const int ys_begin = (slope * tt) / tile_y * tile_y;
+    const int ys_end = ny + slope * (te - 1);
+    for (int xs = xs_begin; xs < xs_end; xs += tile_x) {
+      for (int ys = ys_begin; ys < ys_end; ys += tile_y) {
+        for (int tstep = tt; tstep < te; ++tstep) {
+          const int xlo = MAX(xs - slope * tstep, 0);
+          const int xhi = MIN(xs + tile_x - slope * tstep, nx);
+          const int ylo = MAX(ys - slope * tstep, 0);
+          const int yhi = MIN(ys + tile_y - slope * tstep, ny);
+          if (xlo >= xhi || ylo >= yhi) continue;
+          float* un = slots[(tstep + 1) % 3];
+          const float* uc = slots[tstep % 3];
+          const float* up = slots[(tstep + 2) % 3];
+          for (int xb = xlo; xb < xhi; xb += block_x) {
+            const int xe = MIN(xb + block_x, xhi);
+            for (int yb = ylo; yb < yhi; yb += block_y) {
+              const int ye = MIN(yb + block_y, yhi);
+              update_block(un, uc, up, m, damp, sx, sy, xb, xe, yb, ye, 0,
+                           nz, inv_h2, idt2, i2dt);
+            }
+          }
+          if (npts > 0) {
+            inject_block(un, m, sx, sy, ny, xlo, xhi, ylo, yhi, tstep,
+                         cs_offsets, cs_zid, dcmp, npts, dt2);
+          }
+        }
+      }
+    }
+  }
+)";
+}
+
+}  // namespace
+
+std::string emit_acoustic_c(const KernelSpec& spec) {
+  TEMPEST_REQUIRE(spec.space_order >= 2 && spec.space_order % 2 == 0);
+  TEMPEST_REQUIRE(spec.tiles.valid());
+  std::ostringstream os;
+  os << "/* Generated by tempest::codegen — isotropic acoustic O(2,"
+     << spec.space_order << "), "
+     << (spec.wavefront ? "wave-front temporally blocked (Listing 6)"
+                        : "space-blocked baseline")
+     << " schedule, fused compressed source injection (Listing 5). */\n"
+     << "#define MIN(a, b) ((a) < (b) ? (a) : (b))\n"
+     << "#define MAX(a, b) ((a) > (b) ? (a) : (b))\n";
+
+  emit_update_block(os, spec.space_order);
+  emit_inject_block(os);
+
+  os << "\nvoid " << spec.symbol()
+     << R"((float* u0, float* u1, float* u2, const float* m,
+            const float* damp, int nx, int ny, int nz, long sx, long sy,
+            int t_begin, int t_end, float inv_h2, float idt2, float i2dt,
+            float dt2, const int* cs_offsets, const int* cs_zid,
+            const float* dcmp, int npts) {
+  float* slots[3] = {u0, u1, u2};
+)";
+  if (spec.wavefront) {
+    emit_wavefront_schedule(os, spec.tiles,
+                            stencil::radius_for_order(spec.space_order));
+  } else {
+    emit_spaceblocked_schedule(os, spec.tiles);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace tempest::codegen

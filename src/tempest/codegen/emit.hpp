@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+
+#include "tempest/core/wavefront.hpp"
+
+namespace tempest::codegen {
+
+/// C code generation for the acoustic update — the Devito-style path: where
+/// the physics/ kernels are ahead-of-time compiled C++, this module *emits*
+/// a freestanding C translation unit from the problem parameters (space
+/// order, schedule, tile shape), exactly like Devito's generated operators:
+/// FD weights appear as literals, the sparse injection is the fused
+/// compressed loop of Listing 5, and the wave-front schedule is the tiled
+/// nest of Listing 6. jit.hpp compiles and loads the result at run time.
+struct KernelSpec {
+  int space_order = 4;
+  bool wavefront = false;  ///< false = space-blocked baseline schedule
+  core::TileSpec tiles{};
+
+  /// Emitted entry point name.
+  [[nodiscard]] std::string symbol() const {
+    return std::string("tempest_acoustic_") +
+           (wavefront ? "wavefront" : "spaceblocked") + "_so" +
+           std::to_string(space_order);
+  }
+};
+
+/// The C signature every generated kernel implements. u0/u1/u2 are the
+/// interior origins of the three circular time slots (slot k holds
+/// timestep t with t % 3 == k); cs_* are the CompressedSparse CSR arrays
+/// (may be null when npts == 0).
+inline constexpr const char* kSignatureDoc = R"(
+void SYMBOL(float* u0, float* u1, float* u2,
+            const float* m, const float* damp,
+            int nx, int ny, int nz,
+            long sx, long sy,
+            int t_begin, int t_end,
+            float inv_h2, float idt2, float i2dt, float dt2,
+            const int* cs_offsets, const int* cs_z, const int* cs_id,
+            const float* dcmp, int npts);
+)";
+
+/// Emit the full C translation unit for `spec`.
+[[nodiscard]] std::string emit_acoustic_c(const KernelSpec& spec);
+
+}  // namespace tempest::codegen

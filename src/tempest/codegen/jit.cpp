@@ -1,0 +1,122 @@
+#include "tempest/codegen/jit.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "tempest/util/error.hpp"
+
+namespace tempest::codegen {
+
+namespace {
+
+static_assert(sizeof(core::CompressedSparse::Entry) == 2 * sizeof(int),
+              "Entry must be two interleaved ints for the generated C ABI");
+
+/// Run a shell command, capturing combined stdout+stderr.
+std::pair<int, std::string> run_command(const std::string& cmd) {
+  std::string output;
+  FILE* pipe = ::popen((cmd + " 2>&1").c_str(), "r");
+  TEMPEST_REQUIRE_MSG(pipe != nullptr, "failed to spawn compiler");
+  std::array<char, 512> buf{};
+  while (::fgets(buf.data(), static_cast<int>(buf.size()), pipe) != nullptr) {
+    output += buf.data();
+  }
+  const int status = ::pclose(pipe);
+  return {status, output};
+}
+
+}  // namespace
+
+JitModule::JitModule(const std::string& c_source,
+                     const std::string& symbol_name,
+                     const std::string& extra_flags) {
+  char c_path[] = "/tmp/tempest_jit_XXXXXX.c";
+  const int fd = ::mkstemps(c_path, 2);
+  TEMPEST_REQUIRE_MSG(fd >= 0, "cannot create temporary source file");
+  {
+    std::ofstream out(c_path);
+    out << c_source;
+  }
+  ::close(fd);
+
+  so_path_ = std::string(c_path, std::strlen(c_path) - 2) + ".so";
+  const std::string cmd = "cc " + extra_flags + " -fPIC -shared -o " +
+                          so_path_ + " " + c_path;
+  const auto [status, output] = run_command(cmd);
+  ::unlink(c_path);
+  TEMPEST_REQUIRE_MSG(status == 0,
+                      "generated code failed to compile:\n" + output);
+
+  handle_ = ::dlopen(so_path_.c_str(), RTLD_NOW | RTLD_LOCAL);
+  TEMPEST_REQUIRE_MSG(handle_ != nullptr,
+                      std::string("dlopen failed: ") + ::dlerror());
+  sym_ = ::dlsym(handle_, symbol_name.c_str());
+  TEMPEST_REQUIRE_MSG(sym_ != nullptr,
+                      "symbol not found in generated module: " + symbol_name);
+}
+
+JitModule::JitModule(JitModule&& other) noexcept
+    : handle_(other.handle_),
+      sym_(other.sym_),
+      so_path_(std::move(other.so_path_)) {
+  other.handle_ = nullptr;
+  other.sym_ = nullptr;
+  other.so_path_.clear();
+}
+
+JitModule& JitModule::operator=(JitModule&& other) noexcept {
+  if (this != &other) {
+    this->~JitModule();
+    new (this) JitModule(std::move(other));
+  }
+  return *this;
+}
+
+JitModule::~JitModule() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+  if (!so_path_.empty()) ::unlink(so_path_.c_str());
+}
+
+JitAcoustic::JitAcoustic(const physics::AcousticModel& model, KernelSpec spec)
+    : model_(model),
+      spec_(spec),
+      dt_(model.critical_dt()),
+      source_(emit_acoustic_c(spec)),
+      module_(source_, spec.symbol()),
+      u_(3, model.geom.extents, model.geom.radius()) {
+  TEMPEST_REQUIRE_MSG(model.geom.space_order == spec.space_order,
+                      "model space order must match the generated kernel");
+}
+
+void JitAcoustic::run(const sparse::SparseTimeSeries& src) {
+  const int nt = src.nt();
+  TEMPEST_REQUIRE(nt >= 2);
+  u_.fill(real_t{0});
+
+  const auto& e = model_.geom.extents;
+  const core::SourceMasks masks =
+      core::build_source_masks(e, src, sparse::InterpKind::Trilinear);
+  const core::DecomposedSource dcmp =
+      core::decompose_sources(masks, src, sparse::InterpKind::Trilinear);
+  const core::CompressedSparse cs(masks.sm, masks.sid);
+
+  auto* fn = module_.as<AcousticKernelC>();
+  const float inv_h2 = static_cast<float>(
+      1.0 / (model_.geom.spacing * model_.geom.spacing));
+  const float idt2 = static_cast<float>(1.0 / (dt_ * dt_));
+  const float i2dt = static_cast<float>(1.0 / (2.0 * dt_));
+  const float dt2 = static_cast<float>(dt_ * dt_);
+
+  fn(u_.slot(0).origin(), u_.slot(1).origin(), u_.slot(2).origin(),
+     model_.m.origin(), model_.damp.origin(), e.nx, e.ny, e.nz,
+     u_.slot(0).stride_x(), u_.slot(0).stride_y(), 1, nt, inv_h2, idt2, i2dt,
+     dt2, cs.raw_offsets(), reinterpret_cast<const int*>(cs.raw_entries()),
+     dcmp.data(), dcmp.npts());
+}
+
+}  // namespace tempest::codegen

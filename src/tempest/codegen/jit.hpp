@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+
+#include "tempest/codegen/emit.hpp"
+#include "tempest/core/compress.hpp"
+#include "tempest/core/precompute.hpp"
+#include "tempest/grid/time_buffer.hpp"
+#include "tempest/physics/model.hpp"
+
+namespace tempest::codegen {
+
+/// JIT host: compiles a C translation unit with the system C compiler into
+/// a shared object and loads one symbol — the run-time half of the
+/// Devito-style code generation workflow. The temporary artifacts live
+/// under /tmp and are removed on destruction.
+class JitModule {
+ public:
+  /// Compile `c_source` and resolve `symbol_name`. Throws PreconditionError
+  /// with the compiler diagnostics on failure. `extra_flags` is appended to
+  /// the compile line (default: optimise + vectorise).
+  JitModule(const std::string& c_source, const std::string& symbol_name,
+            const std::string& extra_flags = "-O2 -fopenmp-simd");
+
+  JitModule(JitModule&& other) noexcept;
+  JitModule& operator=(JitModule&& other) noexcept;
+  JitModule(const JitModule&) = delete;
+  JitModule& operator=(const JitModule&) = delete;
+  ~JitModule();
+
+  [[nodiscard]] void* symbol() const { return sym_; }
+
+  template <typename Fn>
+  [[nodiscard]] Fn* as() const {
+    return reinterpret_cast<Fn*>(sym_);
+  }
+
+ private:
+  void* handle_ = nullptr;
+  void* sym_ = nullptr;
+  std::string so_path_;
+};
+
+/// The C ABI every generated acoustic kernel implements (see
+/// emit.hpp::kSignatureDoc).
+using AcousticKernelC = void(float* u0, float* u1, float* u2, const float* m,
+                             const float* damp, int nx, int ny, int nz,
+                             long sx, long sy, int t_begin, int t_end,
+                             float inv_h2, float idt2, float i2dt, float dt2,
+                             const int* cs_offsets, const int* cs_zid,
+                             const float* dcmp, int npts);
+
+/// Emit + compile + wrap an acoustic kernel, and drive it against the same
+/// field/model/precompute structures the AOT propagator uses. Used by the
+/// jit tests and the codegen example; produces the same wavefield as
+/// physics::AcousticPropagator under the matching schedule.
+class JitAcoustic {
+ public:
+  JitAcoustic(const physics::AcousticModel& model, KernelSpec spec);
+
+  /// Propagate: zeroes the buffer, runs ops t in [1, nt) with fused
+  /// injection from the decomposed sources.
+  void run(const sparse::SparseTimeSeries& src);
+
+  [[nodiscard]] const grid::Grid3<real_t>& wavefield(int t) const {
+    return u_.at(t);
+  }
+  [[nodiscard]] double dt() const { return dt_; }
+  [[nodiscard]] const std::string& source_code() const { return source_; }
+
+ private:
+  const physics::AcousticModel& model_;
+  KernelSpec spec_;
+  double dt_;
+  std::string source_;
+  JitModule module_;
+  grid::TimeBuffer<real_t> u_;
+};
+
+}  // namespace tempest::codegen

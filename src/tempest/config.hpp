@@ -1,0 +1,9 @@
+#pragma once
+
+namespace tempest {
+
+/// Field scalar type. The paper models wave propagation in single precision;
+/// coefficient generation and verification run in double.
+using real_t = float;
+
+}  // namespace tempest

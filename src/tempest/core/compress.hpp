@@ -1,0 +1,74 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tempest/grid/grid3.hpp"
+
+namespace tempest::core {
+
+/// Step 5 of the paper (Listing 5, Fig. 6): the dense SM/SID volumes are
+/// massively sparse, so the fused z2 loop would mostly multiply by zero.
+/// We aggregate non-zeros along z into a per-(x,y)-column structure:
+///   nnz(x,y)            — the paper's nnz_mask
+///   entries of a column — packed (z index, id) pairs, the paper's Sp_SID
+/// stored CSR so each column's work is a contiguous, cache-friendly walk.
+class CompressedSparse {
+ public:
+  struct Entry {
+    int z = 0;
+    int id = 0;
+  };
+
+  CompressedSparse() = default;
+
+  /// Build from a binary mask and an id volume (sid < 0 where mask == 0).
+  CompressedSparse(const grid::Grid3<unsigned char>& mask,
+                   const grid::Grid3<int>& ids);
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+
+  /// The paper's nnz_mask[x][y].
+  [[nodiscard]] int nnz(int x, int y) const {
+    return offsets_[column(x, y) + 1] - offsets_[column(x, y)];
+  }
+
+  /// Packed entries of column (x,y).
+  [[nodiscard]] std::span<const Entry> entries(int x, int y) const {
+    const std::size_t c = column(x, y);
+    return {data_.data() + offsets_[c],
+            static_cast<std::size_t>(offsets_[c + 1] - offsets_[c])};
+  }
+
+  /// Total packed entries (== npts when every affected point is unique).
+  [[nodiscard]] int total_entries() const {
+    return static_cast<int>(data_.size());
+  }
+
+  /// Largest per-column count; the paper reports the z iteration-space
+  /// reduction from nz to this bound.
+  [[nodiscard]] int max_nnz() const { return max_nnz_; }
+
+  /// True if no column has any entry (e.g. zero sources).
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Raw CSR views for generated-code consumers (codegen/): offsets has
+  /// nx*ny + 1 ints; entries are (z, id) int pairs, interleaved.
+  [[nodiscard]] const int* raw_offsets() const { return offsets_.data(); }
+  [[nodiscard]] const Entry* raw_entries() const { return data_.data(); }
+
+ private:
+  [[nodiscard]] std::size_t column(int x, int y) const {
+    return static_cast<std::size_t>(x) * static_cast<std::size_t>(ny_) +
+           static_cast<std::size_t>(y);
+  }
+
+  int nx_ = 0;
+  int ny_ = 0;
+  int max_nnz_ = 0;
+  std::vector<int> offsets_;  ///< nx*ny + 1 CSR offsets
+  std::vector<Entry> data_;
+};
+
+}  // namespace tempest::core

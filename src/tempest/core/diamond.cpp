@@ -1,0 +1,16 @@
+#include "tempest/core/diamond.hpp"
+
+namespace tempest::core {
+
+std::vector<ScheduleOp> diamond_schedule(const grid::Extents3& e, int t_begin,
+                                         int t_end, int slope,
+                                         const DiamondSpec& spec) {
+  std::vector<ScheduleOp> ops;
+  run_diamond(
+      e, t_begin, t_end, slope, spec,
+      [&](int t, const grid::Box3& box) { ops.push_back({t, box}); },
+      /*parallel=*/false);
+  return ops;
+}
+
+}  // namespace tempest::core

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <vector>
+
+#include "tempest/core/wavefront.hpp"
+#include "tempest/grid/blocks.hpp"
+#include "tempest/util/error.hpp"
+
+namespace tempest::core {
+
+/// Diamond/split temporal blocking along x — the alternative
+/// temporal-blocking family the paper cites (Bertolacci et al., Malas et
+/// al.) and that the precomputation scheme equally legalises. Each time band
+/// of height T is executed in two phases over x-periods of width W:
+///
+///   phase 1 ("peaks"):   contracting triangles
+///       x in [c - W/2 + s*dt, c + W/2 - s*dt),  dt = t - band_start
+///   phase 2 ("valleys"): expanding triangles filling the complement
+///       x in [c + W/2 - s*dt, c + W/2 + s*dt)
+///
+/// with slope s >= the stencil radius and W >= 2 s T. Within a phase, all
+/// triangles are mutually independent — the scheduling freedom that makes
+/// diamond tiling attractive on many cores, in contrast to the wave-front
+/// scheme's sequential tile order. y stays unskewed (full extent, cut into
+/// blocks); z is the vectorized dimension as everywhere else.
+struct DiamondSpec {
+  int height = 8;   ///< timesteps per band (T)
+  int width = 64;   ///< x period (W); must satisfy width >= 2*slope*height
+  int block_x = 8;  ///< space-block edge within a triangle slice
+  int block_y = 8;
+
+  [[nodiscard]] bool valid_for(int slope) const {
+    return height > 0 && block_x > 0 && block_y > 0 &&
+           width >= 2 * slope * height && width > 0;
+  }
+};
+
+/// Execute fn(t, Box3) under the diamond schedule. Blocks within one
+/// triangle slice run under OpenMP; phases and bands are barriers.
+template <typename BlockFn>
+void run_diamond(const grid::Extents3& e, int t_begin, int t_end, int slope,
+                 const DiamondSpec& spec, BlockFn&& fn, bool parallel = true) {
+  TEMPEST_REQUIRE(slope >= 0);
+  TEMPEST_REQUIRE_MSG(spec.valid_for(slope),
+                      "diamond width must be >= 2*slope*height");
+  const int W = spec.width;
+
+  auto emit_range = [&](int t, int xlo, int xhi) {
+    const grid::Range xr = grid::intersect(grid::Range{xlo, xhi},
+                                           grid::Range{0, e.nx});
+    if (xr.empty()) return;
+    const grid::Box3 rect{xr, {0, e.ny}, {0, e.nz}};
+    const auto blocks = grid::decompose_xy(rect, spec.block_x, spec.block_y);
+#pragma omp parallel for schedule(dynamic) if (parallel)
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      fn(t, blocks[b]);
+    }
+  };
+
+  for (int t0 = t_begin; t0 < t_end; t0 += spec.height) {
+    const int te = std::min(t0 + spec.height, t_end);
+    // Phase 1: contracting "peak" triangles centred at c = k*W + W/2.
+    for (int t = t0; t < te; ++t) {
+      const int shrink = slope * (t - t0);
+      for (int base = -W; base < e.nx + W; base += W) {
+        emit_range(t, base + shrink, base + W - shrink);
+      }
+    }
+    // Phase 2: expanding "valley" triangles centred at the period edges.
+    for (int t = t0; t < te; ++t) {
+      const int grow = slope * (t - t0);
+      if (grow == 0) continue;  // zero-width at the band start
+      for (int base = -W; base < e.nx + W; base += W) {
+        emit_range(t, base + W - grow, base + W + grow);
+      }
+    }
+  }
+}
+
+/// Materialized op sequence (deterministic) for validation and inspection.
+[[nodiscard]] std::vector<ScheduleOp> diamond_schedule(const grid::Extents3& e,
+                                                       int t_begin, int t_end,
+                                                       int slope,
+                                                       const DiamondSpec& spec);
+
+}  // namespace tempest::core

@@ -1,0 +1,86 @@
+#pragma once
+
+#include "tempest/config.hpp"
+#include "tempest/core/compress.hpp"
+#include "tempest/core/precompute.hpp"
+#include "tempest/grid/extents.hpp"
+#include "tempest/grid/grid3.hpp"
+
+namespace tempest::core {
+
+/// Step 4 of the paper (Listing 4/5): the sparse operators fused into the
+/// stencil sweep. These run per (x,y) column *inside* a space block right
+/// after the block's stencil update for timestep t, so every data dependency
+/// they carry is aligned with the grid traversal — which is exactly what
+/// legalises temporal blocking.
+
+/// Fused, compressed source injection over the block's columns:
+///   u(x,y,z_k) += src_dcmp[t][id_k] * scale(x,y,z_k)
+/// `scale` is the same grid-point-local factor as sparse::inject's, keeping
+/// the fused path exactly equivalent to the naive scatter.
+template <typename ScaleFn>
+inline void fused_inject(grid::Grid3<real_t>& u, const CompressedSparse& cs,
+                         const DecomposedSource& dcmp, int t,
+                         grid::Range xr, grid::Range yr, ScaleFn&& scale) {
+  if (cs.empty()) return;
+  for (int x = xr.lo; x < xr.hi; ++x) {
+    for (int y = yr.lo; y < yr.hi; ++y) {
+      for (const CompressedSparse::Entry& e : cs.entries(x, y)) {
+        u(x, y, e.z) += dcmp.at(t, e.id) *
+                        static_cast<real_t>(scale(x, y, e.z));
+      }
+    }
+  }
+}
+
+/// The *uncompressed* fused injection of Listing 4: the z2 loop runs over
+/// the full z extent, guarded point-wise by the binary mask SM and
+/// indirected through SID. Kept as the ablation of the compression step
+/// (Listing 5 / Fig. 6): micro_injection measures how much the massively
+/// sparse dense-scan costs relative to the packed nnz_mask/Sp_SID walk.
+template <typename ScaleFn>
+inline void fused_inject_dense(grid::Grid3<real_t>& u,
+                               const SourceMasks& masks,
+                               const DecomposedSource& dcmp, int t,
+                               grid::Range xr, grid::Range yr,
+                               ScaleFn&& scale) {
+  const int nz = masks.extents().nz;
+  for (int x = xr.lo; x < xr.hi; ++x) {
+    for (int y = yr.lo; y < yr.hi; ++y) {
+      for (int z = 0; z < nz; ++z) {
+        if (masks.sm(x, y, z)) {
+          u(x, y, z) += dcmp.at(t, masks.sid(x, y, z)) *
+                        static_cast<real_t>(scale(x, y, z));
+        }
+      }
+    }
+  }
+}
+
+/// Fused, compressed receiver gather over the block's columns. Receiver
+/// samples accumulate contributions from every support column; columns may
+/// be processed by different threads, hence the atomic update.
+inline void fused_gather(const grid::Grid3<real_t>& u,
+                         const CompressedSparse& cs,
+                         const DecomposedReceivers& dr, real_t* rec_step,
+                         grid::Range xr, grid::Range yr) {
+  if (cs.empty()) return;
+  for (int x = xr.lo; x < xr.hi; ++x) {
+    for (int y = yr.lo; y < yr.hi; ++y) {
+      for (const CompressedSparse::Entry& e : cs.entries(x, y)) {
+        const real_t value = u(x, y, e.z);
+        const int begin = dr.offsets[static_cast<std::size_t>(e.id)];
+        const int end = dr.offsets[static_cast<std::size_t>(e.id) + 1];
+        for (int k = begin; k < end; ++k) {
+          const DecomposedReceivers::Pair& pr =
+              dr.pairs[static_cast<std::size_t>(k)];
+          const real_t contribution = pr.weight * value;
+#pragma omp atomic
+          rec_step[pr.receiver] += contribution;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tempest::core

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <vector>
+
+#include "tempest/config.hpp"
+#include "tempest/grid/grid3.hpp"
+#include "tempest/sparse/interp.hpp"
+#include "tempest/sparse/series.hpp"
+#include "tempest/util/align.hpp"
+
+namespace tempest::core {
+
+/// Steps 1–2 of the paper's precomputation (Listing 2, Fig. 5b/5c): probe
+/// the sources' interpolation supports by injecting onto an empty grid, then
+/// record a dense binary *source mask* SM and a *source id* volume SID
+/// assigning each affected grid point a unique ascending id.
+struct SourceMasks {
+  grid::Grid3<unsigned char> sm;  ///< 1 where some source touches the point
+  grid::Grid3<int> sid;           ///< unique ascending id, or -1
+  int npts = 0;                   ///< number of affected points
+
+  [[nodiscard]] const grid::Extents3& extents() const { return sm.extents(); }
+};
+
+/// Probe injection. Faithful to Listing 2: each source scatters a unit
+/// amplitude through its interpolation weights for one timestep over an
+/// empty grid; grid points left non-zero are "affected". Ids ascend in
+/// x-major interior order (the paper's Fig. 5c numbering).
+[[nodiscard]] SourceMasks build_source_masks(const grid::Extents3& extents,
+                                             const sparse::SparseTimeSeries& src,
+                                             sparse::InterpKind kind);
+
+/// Step 3 (Listing 3, Fig. 5d): the decomposed, grid-aligned source
+/// wavefields. src_dcmp[t][id] accumulates w_{s,p} * src[t][s] over every
+/// source s whose support contains affected point p. After decomposition the
+/// off-the-grid sources are equivalent to `npts` point sources sitting
+/// exactly on grid points.
+class DecomposedSource {
+ public:
+  DecomposedSource() = default;
+  DecomposedSource(int nt, int npts)
+      : nt_(nt),
+        npts_(npts),
+        data_(static_cast<std::size_t>(nt) * static_cast<std::size_t>(npts),
+              real_t{0}) {}
+
+  [[nodiscard]] int nt() const { return nt_; }
+  [[nodiscard]] int npts() const { return npts_; }
+
+  [[nodiscard]] real_t& at(int t, int id) {
+    return data_[static_cast<std::size_t>(t) *
+                     static_cast<std::size_t>(npts_) +
+                 static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] real_t at(int t, int id) const {
+    return data_[static_cast<std::size_t>(t) *
+                     static_cast<std::size_t>(npts_) +
+                 static_cast<std::size_t>(id)];
+  }
+
+  /// Raw time-major view (nt x npts) for generated-code consumers; null
+  /// when there are no affected points.
+  [[nodiscard]] const real_t* data() const {
+    return data_.empty() ? nullptr : data_.data();
+  }
+
+ private:
+  int nt_ = 0;
+  int npts_ = 0;
+  util::aligned_vector<real_t> data_;
+};
+
+[[nodiscard]] DecomposedSource decompose_sources(
+    const SourceMasks& masks, const sparse::SparseTimeSeries& src,
+    sparse::InterpKind kind);
+
+/// Receiver-side analog of the decomposition: measurement interpolation is a
+/// *gather*, so instead of per-point wavefields we precompute, per affected
+/// grid point, the list of (receiver, weight) pairs it contributes to. The
+/// fused kernel then accumulates rec[t][r] += w * u(t, point) as the
+/// wave-front sweeps the point's column.
+struct DecomposedReceivers {
+  grid::Grid3<unsigned char> rm;  ///< binary receiver mask
+  grid::Grid3<int> rid;           ///< unique ascending id, or -1
+  int npts = 0;
+
+  struct Pair {
+    int receiver = 0;
+    real_t weight = 0;
+  };
+  std::vector<int> offsets;  ///< CSR over ids: pairs[offsets[id]..offsets[id+1])
+  std::vector<Pair> pairs;
+
+  [[nodiscard]] const grid::Extents3& extents() const { return rm.extents(); }
+};
+
+[[nodiscard]] DecomposedReceivers decompose_receivers(
+    const grid::Extents3& extents, const sparse::SparseTimeSeries& rec,
+    sparse::InterpKind kind);
+
+}  // namespace tempest::core

@@ -1,0 +1,200 @@
+#include "tempest/dsl/expr.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "tempest/util/error.hpp"
+
+namespace tempest::dsl {
+
+const char* to_string(DerivKind k) {
+  switch (k) {
+    case DerivKind::Dt: return "dt";
+    case DerivKind::Dt2: return "dt2";
+    case DerivKind::Laplace: return "laplace";
+    case DerivKind::RotLapHz: return "Hz";
+    case DerivKind::RotLapHp: return "Hp";
+    case DerivKind::Div: return "div";
+    case DerivKind::GradSym: return "grad_sym";
+    case DerivKind::Trace: return "tr";
+  }
+  return "?";
+}
+
+namespace {
+const char* op_str(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return " + ";
+    case BinOp::Sub: return " - ";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+  }
+  return "?";
+}
+
+int precedence(BinOp op) {
+  return (op == BinOp::Add || op == BinOp::Sub) ? 1 : 2;
+}
+
+void render(const ExprNode& n, std::ostream& os, int parent_prec) {
+  switch (n.kind) {
+    case ExprNode::Kind::Constant: os << n.value; return;
+    case ExprNode::Kind::Param: os << n.name; return;
+    case ExprNode::Kind::Field:
+      os << n.name;
+      if (n.time_offset == 1) os << ".forward";
+      if (n.time_offset == -1) os << ".backward";
+      return;
+    case ExprNode::Kind::Deriv:
+      os << to_string(n.deriv) << '(';
+      render(n.children[0].node(), os, 0);
+      os << ')';
+      return;
+    case ExprNode::Kind::Binary: {
+      const int prec = precedence(n.op);
+      const bool parens = prec < parent_prec;
+      if (parens) os << '(';
+      render(n.children[0].node(), os, prec);
+      os << op_str(n.op);
+      render(n.children[1].node(), os, prec + 1);
+      if (parens) os << ')';
+      return;
+    }
+  }
+}
+}  // namespace
+
+std::string Expr::str() const {
+  std::ostringstream os;
+  render(node(), os, 0);
+  return os.str();
+}
+
+Expr constant(double v) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprNode::Kind::Constant;
+  n->value = v;
+  return Expr(std::move(n));
+}
+
+Expr field(std::string name, int time_offset) {
+  TEMPEST_REQUIRE(time_offset >= -1 && time_offset <= 1);
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprNode::Kind::Field;
+  n->name = std::move(name);
+  n->time_offset = time_offset;
+  return Expr(std::move(n));
+}
+
+Expr param(std::string name) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprNode::Kind::Param;
+  n->name = std::move(name);
+  return Expr(std::move(n));
+}
+
+Expr deriv(DerivKind k, Expr arg) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprNode::Kind::Deriv;
+  n->deriv = k;
+  n->children.push_back(std::move(arg));
+  return Expr(std::move(n));
+}
+
+Expr binary(BinOp op, Expr l, Expr r) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprNode::Kind::Binary;
+  n->op = op;
+  n->children.push_back(std::move(l));
+  n->children.push_back(std::move(r));
+  return Expr(std::move(n));
+}
+
+Expr operator+(Expr a, Expr b) { return binary(BinOp::Add, std::move(a), std::move(b)); }
+Expr operator-(Expr a, Expr b) { return binary(BinOp::Sub, std::move(a), std::move(b)); }
+Expr operator*(Expr a, Expr b) { return binary(BinOp::Mul, std::move(a), std::move(b)); }
+Expr operator/(Expr a, Expr b) { return binary(BinOp::Div, std::move(a), std::move(b)); }
+
+TimeFunction::TimeFunction(std::string name, Grid grid, int space_order,
+                           int time_order)
+    : name_(std::move(name)),
+      grid_(grid),
+      space_order_(space_order),
+      time_order_(time_order) {
+  TEMPEST_REQUIRE(space_order >= 2 && space_order % 2 == 0);
+  TEMPEST_REQUIRE(time_order == 1 || time_order == 2);
+  TEMPEST_REQUIRE(!name_.empty());
+}
+
+SparseTimeFunction::SparseTimeFunction(std::string name,
+                                       sparse::CoordList coords, int nt)
+    : name_(std::move(name)), coords_(std::move(coords)), nt_(nt) {
+  TEMPEST_REQUIRE(nt > 0);
+  TEMPEST_REQUIRE(!name_.empty());
+}
+
+namespace {
+void walk(const ExprNode& n, const std::function<void(const ExprNode&)>& fn) {
+  fn(n);
+  for (const Expr& c : n.children) walk(c.node(), fn);
+}
+}  // namespace
+
+bool contains_deriv(const Expr& e, DerivKind k,
+                    const std::string& field_name) {
+  bool found = false;
+  walk(e.node(), [&](const ExprNode& n) {
+    if (n.kind == ExprNode::Kind::Deriv && n.deriv == k) {
+      const ExprNode& arg = n.children[0].node();
+      if (field_name.empty() ||
+          (arg.kind == ExprNode::Kind::Field && arg.name == field_name)) {
+        found = true;
+      }
+    }
+  });
+  return found;
+}
+
+std::vector<std::string> referenced_fields(const Expr& e) {
+  std::vector<std::string> out;
+  walk(e.node(), [&](const ExprNode& n) {
+    if (n.kind == ExprNode::Kind::Field &&
+        std::find(out.begin(), out.end(), n.name) == out.end()) {
+      out.push_back(n.name);
+    }
+  });
+  return out;
+}
+
+std::vector<std::string> referenced_params(const Expr& e) {
+  std::vector<std::string> out;
+  walk(e.node(), [&](const ExprNode& n) {
+    if (n.kind == ExprNode::Kind::Param &&
+        std::find(out.begin(), out.end(), n.name) == out.end()) {
+      out.push_back(n.name);
+    }
+  });
+  return out;
+}
+
+Eq solve(const Expr& equation, const Expr& target) {
+  // The explicit wave updates are linear in the target with the target's
+  // coefficient supplied by the Dt/Dt2 discretisation. We validate the
+  // shape: the target must be a forward field reference, and the equation
+  // must involve a time derivative of that field (otherwise there is
+  // nothing to step).
+  const ExprNode& t = target.node();
+  TEMPEST_REQUIRE_MSG(
+      t.kind == ExprNode::Kind::Field && t.time_offset == 1,
+      "solve() target must be a field's forward reference");
+  const bool has_time_deriv = contains_deriv(equation, DerivKind::Dt, t.name) ||
+                              contains_deriv(equation, DerivKind::Dt2, t.name);
+  TEMPEST_REQUIRE_MSG(has_time_deriv,
+                      "equation has no time derivative of the target field");
+  // Record the solved form symbolically: target = solved(equation). The
+  // Operator lowers the recognised equation class to its discretised update.
+  return Eq{target, equation};
+}
+
+}  // namespace tempest::dsl

@@ -1,0 +1,181 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tempest/grid/extents.hpp"
+#include "tempest/sparse/points.hpp"
+
+namespace tempest::dsl {
+
+/// The symbolic layer of the mini-Devito DSL: enough expression structure to
+/// state the paper's three wave equations the way Listing "Wave-equation
+/// symbolic definition" does, have the Operator recognise them, and have the
+/// interpreter evaluate scalar ones on tiny grids.
+
+/// Discretisation grid handle (symbolic: no storage).
+struct Grid {
+  grid::Extents3 shape{64, 64, 64};
+  double spacing = 10.0;
+};
+
+enum class DerivKind {
+  Dt,        ///< first time derivative
+  Dt2,       ///< second time derivative
+  Laplace,   ///< isotropic spatial Laplacian
+  RotLapHz,  ///< rotated second derivative along the TTI symmetry axis
+  RotLapHp,  ///< rotated horizontal Laplacian (Δ − Hz)
+  Div,       ///< divergence of a vector/tensor field
+  GradSym,   ///< symmetrised gradient (elastic strain-rate)
+  Trace,     ///< trace of a tensor expression
+};
+
+[[nodiscard]] const char* to_string(DerivKind k);
+
+enum class BinOp { Add, Sub, Mul, Div };
+
+class Expr;
+
+/// Expression node (immutable tree; Exprs share subtrees).
+struct ExprNode {
+  enum class Kind {
+    Constant,  ///< numeric literal
+    Field,     ///< time-varying field reference with a time offset
+    Param,     ///< time-invariant parameter field (m, damp, lam, ...)
+    Deriv,     ///< derivative operator applied to a child
+    Binary,    ///< arithmetic
+  };
+
+  Kind kind = Kind::Constant;
+  double value = 0.0;          // Constant
+  std::string name;            // Field/Param
+  int time_offset = 0;         // Field: 0 = t, +1 = forward, -1 = backward
+  DerivKind deriv{};           // Deriv
+  BinOp op{};                  // Binary
+  std::vector<Expr> children;  // Deriv: 1, Binary: 2
+};
+
+/// Value-semantics handle over a shared immutable node.
+class Expr {
+ public:
+  Expr() : node_(std::make_shared<ExprNode>()) {}
+  explicit Expr(std::shared_ptr<const ExprNode> n) : node_(std::move(n)) {}
+
+  [[nodiscard]] const ExprNode& node() const { return *node_; }
+
+  /// Render as human-readable text (used by Operator::ccode()).
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::shared_ptr<const ExprNode> node_;
+};
+
+[[nodiscard]] Expr constant(double v);
+[[nodiscard]] Expr field(std::string name, int time_offset = 0);
+[[nodiscard]] Expr param(std::string name);
+[[nodiscard]] Expr deriv(DerivKind k, Expr arg);
+[[nodiscard]] Expr binary(BinOp op, Expr l, Expr r);
+
+[[nodiscard]] Expr operator+(Expr a, Expr b);
+[[nodiscard]] Expr operator-(Expr a, Expr b);
+[[nodiscard]] Expr operator*(Expr a, Expr b);
+[[nodiscard]] Expr operator/(Expr a, Expr b);
+[[nodiscard]] inline Expr operator*(double a, Expr b) {
+  return constant(a) * std::move(b);
+}
+[[nodiscard]] inline Expr operator+(double a, Expr b) {
+  return constant(a) + std::move(b);
+}
+
+/// Time-varying field symbol bound to a grid, mirroring Devito's
+/// TimeFunction. Methods build derivative expressions.
+class TimeFunction {
+ public:
+  TimeFunction(std::string name, Grid grid, int space_order, int time_order);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Grid& grid() const { return grid_; }
+  [[nodiscard]] int space_order() const { return space_order_; }
+  [[nodiscard]] int time_order() const { return time_order_; }
+
+  [[nodiscard]] Expr now() const { return field(name_, 0); }
+  [[nodiscard]] Expr forward() const { return field(name_, +1); }
+  [[nodiscard]] Expr backward() const { return field(name_, -1); }
+  [[nodiscard]] Expr dt() const { return deriv(DerivKind::Dt, now()); }
+  [[nodiscard]] Expr dt2() const { return deriv(DerivKind::Dt2, now()); }
+  [[nodiscard]] Expr laplace() const {
+    return deriv(DerivKind::Laplace, now());
+  }
+  /// TTI rotated operators.
+  [[nodiscard]] Expr hz() const { return deriv(DerivKind::RotLapHz, now()); }
+  [[nodiscard]] Expr hp() const { return deriv(DerivKind::RotLapHp, now()); }
+
+ private:
+  std::string name_;
+  Grid grid_;
+  int space_order_;
+  int time_order_;
+};
+
+/// An equation lhs = rhs. For updates the lhs is some field's forward
+/// reference (possibly produced by solve()).
+struct Eq {
+  Expr lhs;
+  Expr rhs;
+
+  [[nodiscard]] std::string str() const {
+    return lhs.str() + " = " + rhs.str();
+  }
+};
+
+/// Symbolic solve of `equation == 0` for `target` (a forward field
+/// reference). Handles the explicit-update form the wave kernels take:
+/// the equation must be linear in `target` with the Dt/Dt2 discretisations
+/// providing the target's coefficient. Returns the update Eq. Mirrors
+/// devito.solve; the Operator re-derives the actual stencil from the
+/// recognised equation class, so this records intent and validates shape.
+[[nodiscard]] Eq solve(const Expr& equation, const Expr& target);
+
+/// Sparse symbol: an off-the-grid point set with a time series, mirroring
+/// Devito's SparseTimeFunction. inject()/interpolate() produce the sparse
+/// equations of Listing 1.
+class SparseTimeFunction {
+ public:
+  SparseTimeFunction(std::string name, sparse::CoordList coords, int nt);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const sparse::CoordList& coords() const { return coords_; }
+  [[nodiscard]] int nt() const { return nt_; }
+
+  struct Injection {
+    std::string sparse_name;
+    std::string field_name;  ///< field injected into
+    Expr expr;               ///< per-point scaling expression
+  };
+  struct Interpolation {
+    std::string sparse_name;
+    std::string field_name;  ///< field measured
+  };
+
+  [[nodiscard]] Injection inject(const TimeFunction& target,
+                                 Expr expr) const {
+    return {name_, target.name(), std::move(expr)};
+  }
+  [[nodiscard]] Interpolation interpolate(const TimeFunction& src) const {
+    return {name_, src.name()};
+  }
+
+ private:
+  std::string name_;
+  sparse::CoordList coords_;
+  int nt_;
+};
+
+/// Structural queries used by the Operator's pattern matcher.
+[[nodiscard]] bool contains_deriv(const Expr& e, DerivKind k,
+                                  const std::string& field_name);
+[[nodiscard]] std::vector<std::string> referenced_fields(const Expr& e);
+[[nodiscard]] std::vector<std::string> referenced_params(const Expr& e);
+
+}  // namespace tempest::dsl

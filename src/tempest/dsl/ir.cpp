@@ -1,0 +1,102 @@
+#include "tempest/dsl/ir.hpp"
+
+#include <sstream>
+
+namespace tempest::dsl::ir {
+
+Node loop(std::string dim, std::string lo, std::string hi,
+          std::vector<Node> body) {
+  Node n;
+  n.kind = Node::Kind::Loop;
+  n.dim = std::move(dim);
+  n.lo = std::move(lo);
+  n.hi = std::move(hi);
+  n.body = std::move(body);
+  return n;
+}
+
+Node stmt(std::string text, std::string tag) {
+  Node n;
+  n.kind = Node::Kind::Stmt;
+  n.text = std::move(text);
+  n.tag = std::move(tag);
+  return n;
+}
+
+namespace {
+void render(const Node& n, std::ostringstream& os, int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  if (n.kind == Node::Kind::Stmt) {
+    os << pad << n.text << ";\n";
+    return;
+  }
+  if (n.lo.empty() && n.hi.empty()) {
+    // Sequence node (e.g. the precompute prologue): render children flat.
+    for (const Node& c : n.body) render(c, os, depth);
+    return;
+  }
+  os << pad << "for " << n.dim << " = " << n.lo << " to " << n.hi << " do\n";
+  for (const Node& c : n.body) render(c, os, depth + 1);
+}
+}  // namespace
+
+std::string print(const Node& root) {
+  std::ostringstream os;
+  render(root, os, 0);
+  return os.str();
+}
+
+Node* find_loop(Node& root, const std::string& dim) {
+  if (root.kind == Node::Kind::Loop && root.dim == dim) return &root;
+  for (Node& c : root.body) {
+    if (Node* f = find_loop(c, dim)) return f;
+  }
+  return nullptr;
+}
+
+const Node* find_loop(const Node& root, const std::string& dim) {
+  return find_loop(const_cast<Node&>(root), dim);
+}
+
+namespace {
+void collect_loops(const Node& n, std::vector<std::string>& out) {
+  if (n.kind == Node::Kind::Loop && !(n.lo.empty() && n.hi.empty()))
+    out.push_back(n.dim);
+  for (const Node& c : n.body) collect_loops(c, out);
+}
+}  // namespace
+
+std::vector<std::string> loop_order(const Node& root) {
+  std::vector<std::string> out;
+  collect_loops(root, out);
+  return out;
+}
+
+int remove_loops(Node& root, const std::string& dim) {
+  int removed = 0;
+  for (auto it = root.body.begin(); it != root.body.end();) {
+    if (it->kind == Node::Kind::Loop && it->dim == dim) {
+      it = root.body.erase(it);
+      ++removed;
+    } else {
+      removed += remove_loops(*it, dim);
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<std::string> stmt_tags(const Node& root) {
+  std::vector<std::string> out;
+  if (root.kind == Node::Kind::Stmt) {
+    out.push_back(root.tag);
+    return out;
+  }
+  for (const Node& c : root.body) {
+    const auto child = stmt_tags(c);
+    out.insert(out.end(), child.begin(), child.end());
+  }
+  return out;
+}
+
+}  // namespace tempest::dsl::ir

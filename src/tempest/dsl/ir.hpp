@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tempest::dsl::ir {
+
+/// Loop-nest IR the Operator lowers equations into. Deliberately close to
+/// the pseudocode listings of the paper: the transformation passes
+/// (precompute-and-fuse, iteration-space compression, time tiling) are tree
+/// rewrites whose printed form is asserted against Listings 1/4/5/6 shapes
+/// in tests.
+struct Node {
+  enum class Kind { Loop, Stmt };
+
+  Kind kind = Kind::Stmt;
+
+  // Loop fields.
+  std::string dim;   ///< iteration variable ("t", "x", "s", "z2", "tt", ...)
+  std::string lo;    ///< symbolic lower bound
+  std::string hi;    ///< symbolic upper bound (inclusive-style, as listings)
+  std::vector<Node> body;
+
+  // Stmt fields.
+  std::string text;  ///< the statement as pseudocode
+  std::string tag;   ///< semantic label: "stencil", "inject", "interp",
+                     ///< "inject-fused", "interp-fused", "precompute", ...
+};
+
+[[nodiscard]] Node loop(std::string dim, std::string lo, std::string hi,
+                        std::vector<Node> body);
+[[nodiscard]] Node stmt(std::string text, std::string tag);
+
+/// Render the tree as indented pseudocode (the Operator's ccode()).
+[[nodiscard]] std::string print(const Node& root);
+
+/// Depth-first search for the first loop with the given dim name; nullptr if
+/// absent.
+[[nodiscard]] Node* find_loop(Node& root, const std::string& dim);
+[[nodiscard]] const Node* find_loop(const Node& root, const std::string& dim);
+
+/// Collect the dim names of all loops in depth-first order (test helper: the
+/// listings are characterized by their loop order).
+[[nodiscard]] std::vector<std::string> loop_order(const Node& root);
+
+/// Remove every direct or nested loop over `dim` from the tree; returns the
+/// number removed.
+int remove_loops(Node& root, const std::string& dim);
+
+/// Collect all statement tags in execution order.
+[[nodiscard]] std::vector<std::string> stmt_tags(const Node& root);
+
+}  // namespace tempest::dsl::ir

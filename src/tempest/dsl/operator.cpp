@@ -1,0 +1,142 @@
+#include "tempest/dsl/operator.hpp"
+
+#include "tempest/dsl/passes.hpp"
+#include "tempest/util/error.hpp"
+
+namespace tempest::dsl {
+
+const char* to_string(KernelClass k) {
+  switch (k) {
+    case KernelClass::IsoAcoustic: return "isotropic-acoustic";
+    case KernelClass::TTI: return "anisotropic-acoustic-tti";
+    case KernelClass::Elastic: return "isotropic-elastic";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Structural classification of the update equations, the "pattern match"
+/// of the lowering. Rules:
+///  * any equation using Div/GradSym derivatives  -> Elastic
+///  * any equation using the rotated operators    -> TTI (two fields)
+///  * otherwise a Dt2 + Laplace scalar equation   -> IsoAcoustic
+KernelClass classify(const std::vector<Eq>& updates) {
+  TEMPEST_REQUIRE_MSG(!updates.empty(), "Operator needs update equations");
+  bool any_rot = false, any_vec = false, any_lap = false, any_dt2 = false;
+  std::vector<std::string> fields;
+  for (const Eq& eq : updates) {
+    if (contains_deriv(eq.rhs, DerivKind::Div, "") ||
+        contains_deriv(eq.rhs, DerivKind::GradSym, "")) {
+      any_vec = true;
+    }
+    if (contains_deriv(eq.rhs, DerivKind::RotLapHz, "") ||
+        contains_deriv(eq.rhs, DerivKind::RotLapHp, "")) {
+      any_rot = true;
+    }
+    if (contains_deriv(eq.rhs, DerivKind::Laplace, "")) any_lap = true;
+    if (contains_deriv(eq.rhs, DerivKind::Dt2, "")) any_dt2 = true;
+    for (const std::string& f : referenced_fields(eq.rhs)) {
+      if (std::find(fields.begin(), fields.end(), f) == fields.end()) {
+        fields.push_back(f);
+      }
+    }
+  }
+  if (any_vec) {
+    TEMPEST_REQUIRE_MSG(!any_rot && !any_lap,
+                        "cannot mix elastic and acoustic operators");
+    return KernelClass::Elastic;
+  }
+  if (any_rot) {
+    TEMPEST_REQUIRE_MSG(fields.size() == 2,
+                        "TTI needs exactly two coupled wavefields");
+    TEMPEST_REQUIRE_MSG(any_dt2, "TTI equations are second order in time");
+    return KernelClass::TTI;
+  }
+  TEMPEST_REQUIRE_MSG(any_lap && any_dt2,
+                      "unrecognised equation class: expected dt2 + laplace");
+  TEMPEST_REQUIRE_MSG(fields.size() == 1,
+                      "isotropic acoustic is a single-field equation");
+  return KernelClass::IsoAcoustic;
+}
+
+}  // namespace
+
+Operator::Operator(std::vector<Eq> updates,
+                   std::vector<SparseTimeFunction::Injection> injections,
+                   std::vector<SparseTimeFunction::Interpolation> interps,
+                   OperatorOptions options)
+    : updates_(std::move(updates)),
+      injections_(std::move(injections)),
+      interpolations_(std::move(interps)),
+      options_(options),
+      class_(classify(updates_)) {
+  TEMPEST_REQUIRE(options_.tiles.valid());
+  // The wave-front slope is the per-(half-)step dependency radius; the
+  // concrete radius is bound at apply() time from the model's space order —
+  // here we record the class-level slope semantics for ccode().
+  slope_ = 1;
+}
+
+ir::Node Operator::lower(int stage) const {
+  TEMPEST_REQUIRE(stage >= 0 && stage <= 3);
+  const std::string kernel_text =
+      std::string("A_") + to_string(class_) + "(t, x, y, z)";
+  ir::Node root = passes::build_timestepping(
+      kernel_text, !injections_.empty(), !interpolations_.empty());
+  if (stage >= 1) passes::precompute_and_fuse(root);
+  if (stage >= 2) passes::compress_iteration_space(root);
+  if (stage >= 3) passes::time_tile(root, slope_);
+  return root;
+}
+
+std::string Operator::ccode_stage(int stage) const {
+  return ir::print(lower(stage));
+}
+
+std::string Operator::ccode() const {
+  const int stage =
+      options_.schedule == physics::Schedule::Wavefront ? 3 : 0;
+  return ccode_stage(stage);
+}
+
+physics::RunStats Operator::apply(const physics::AcousticModel& model,
+                                  const sparse::SparseTimeSeries& src,
+                                  sparse::SparseTimeSeries* rec) const {
+  TEMPEST_REQUIRE_MSG(class_ == KernelClass::IsoAcoustic,
+                      "equations are not isotropic acoustic");
+  physics::PropagatorOptions popts;
+  popts.tiles = options_.tiles;
+  popts.interp = options_.interp;
+  popts.dt = options_.dt;
+  physics::AcousticPropagator prop(model, popts);
+  return prop.run(options_.schedule, src, rec);
+}
+
+physics::RunStats Operator::apply(const physics::TTIModel& model,
+                                  const sparse::SparseTimeSeries& src,
+                                  sparse::SparseTimeSeries* rec) const {
+  TEMPEST_REQUIRE_MSG(class_ == KernelClass::TTI,
+                      "equations are not the TTI coupled system");
+  physics::PropagatorOptions popts;
+  popts.tiles = options_.tiles;
+  popts.interp = options_.interp;
+  popts.dt = options_.dt;
+  physics::TTIPropagator prop(model, popts);
+  return prop.run(options_.schedule, src, rec);
+}
+
+physics::RunStats Operator::apply(const physics::ElasticModel& model,
+                                  const sparse::SparseTimeSeries& src,
+                                  sparse::SparseTimeSeries* rec) const {
+  TEMPEST_REQUIRE_MSG(class_ == KernelClass::Elastic,
+                      "equations are not the elastic velocity-stress system");
+  physics::PropagatorOptions popts;
+  popts.tiles = options_.tiles;
+  popts.interp = options_.interp;
+  popts.dt = options_.dt;
+  physics::ElasticPropagator prop(model, popts);
+  return prop.run(options_.schedule, src, rec);
+}
+
+}  // namespace tempest::dsl

@@ -1,0 +1,140 @@
+#include "tempest/dsl/passes.hpp"
+
+#include <utility>
+
+#include "tempest/util/error.hpp"
+
+namespace tempest::dsl::passes {
+
+using ir::loop;
+using ir::Node;
+using ir::stmt;
+
+ir::Node build_timestepping(const std::string& kernel_stmt, bool has_sources,
+                            bool has_receivers) {
+  // Listing 1: the grid sweep, then the non-affine sparse indirection loops.
+  std::vector<Node> time_body;
+  time_body.push_back(loop(
+      "x", "1", "nx",
+      {loop("y", "1", "ny", {loop("z", "1", "nz", {stmt(kernel_stmt, "stencil")})})}));
+  if (has_sources) {
+    time_body.push_back(loop(
+        "s", "1", "len(sources)",
+        {loop("i", "1", "np",
+              {stmt("xs, ys, zs = map(s, i)", "inject"),
+               stmt("u[t+1, xs, ys, zs] += f(src(t, s))", "inject")})}));
+  }
+  if (has_receivers) {
+    time_body.push_back(loop(
+        "r", "1", "len(receivers)",
+        {loop("i", "1", "np",
+              {stmt("xr, yr, zr = map(r, i)", "interp"),
+               stmt("rec[t, r] += w(r, i) * u[t+1, xr, yr, zr]", "interp")})}));
+  }
+  return loop("t", "1", "nt", std::move(time_body));
+}
+
+void precompute_and_fuse(ir::Node& root) {
+  Node* tloop = ir::find_loop(root, "t");
+  TEMPEST_REQUIRE_MSG(tloop != nullptr, "no time loop to transform");
+
+  const bool had_sources = ir::remove_loops(*tloop, "s") > 0;
+  const bool had_receivers = ir::remove_loops(*tloop, "r") > 0;
+
+  Node* yloop = ir::find_loop(*tloop, "y");
+  TEMPEST_REQUIRE_MSG(yloop != nullptr, "no y loop to fuse into");
+
+  // Fused sparse operators at the same loop level as the stencil z loop
+  // (Listing 4): one z2 sweep guarded by the binary mask SM, indirected
+  // through SID.
+  if (had_sources) {
+    yloop->body.push_back(loop(
+        "z2", "1", "nz",
+        {stmt("u[t+1, x, y, z2] += SM[x, y, z2] * src_dcmp[t, SID[x, y, z2]]",
+              "inject-fused")}));
+  }
+  if (had_receivers) {
+    yloop->body.push_back(loop(
+        "z3", "1", "nz",
+        {stmt("rec[t, RID[x, y, z3]] += RM[x, y, z3] * w_dcmp[RID[x, y, z3]]"
+              " * u[t+1, x, y, z3]",
+              "interp-fused")}));
+  }
+
+  // Precompute prologue (Listings 2 and 3), hoisted before the time loop by
+  // wrapping the whole nest in a sequence. The root becomes a zero-trip
+  // pseudo-loop acting as a statement list, printed as-is.
+  Node seq = loop("<prologue>", "", "", {});
+  if (had_sources) {
+    seq.body.push_back(
+        stmt("probe: inject unit sources over an empty grid (Listing 2)",
+             "precompute"));
+    seq.body.push_back(
+        stmt("build SM (binary mask) and SID (unique ids) from non-zeros",
+             "precompute"));
+    seq.body.push_back(
+        stmt("decompose wavelets: src_dcmp[t, SID[xs,ys,zs]] += f(src(t, s))"
+             " (Listing 3)",
+             "precompute"));
+  }
+  if (had_receivers) {
+    seq.body.push_back(
+        stmt("build RM/RID and per-point receiver weights w_dcmp",
+             "precompute"));
+  }
+  seq.body.push_back(std::move(root));
+  root = std::move(seq);
+}
+
+void compress_iteration_space(ir::Node& root) {
+  // Listing 5: z2 runs over the column's non-zero count only; Sp_SID packs
+  // (z index, id) pairs per column.
+  if (Node* z2 = ir::find_loop(root, "z2")) {
+    z2->hi = "nnz_mask[x][y]";
+    z2->body.clear();
+    z2->body.push_back(stmt("zind = Sp_SID[x, y, z2].z", "inject-fused"));
+    z2->body.push_back(
+        stmt("u[t+1, x, y, zind] += src_dcmp[t, Sp_SID[x, y, z2].id]",
+             "inject-fused"));
+  }
+  if (Node* z3 = ir::find_loop(root, "z3")) {
+    z3->hi = "rnnz_mask[x][y]";
+    z3->body.clear();
+    z3->body.push_back(stmt("zind = Sp_RID[x, y, z3].z", "interp-fused"));
+    z3->body.push_back(
+        stmt("rec[t, Sp_RID[x, y, z3].rec] += Sp_RID[x, y, z3].w"
+             " * u[t+1, x, y, zind]",
+             "interp-fused"));
+  }
+}
+
+void time_tile(ir::Node& root, int slope) {
+  TEMPEST_REQUIRE(slope >= 0);
+  // Locate the time loop (possibly under the precompute prologue).
+  Node* tloop = ir::find_loop(root, "t");
+  TEMPEST_REQUIRE_MSG(tloop != nullptr, "no time loop to tile");
+
+  // Clip the spatial loops to the tile's wave-front window.
+  Node* xloop = ir::find_loop(*tloop, "x");
+  Node* yloop = xloop ? ir::find_loop(*xloop, "y") : nullptr;
+  TEMPEST_REQUIRE_MSG(xloop != nullptr && yloop != nullptr,
+                      "no spatial nest to tile");
+  const std::string s = std::to_string(slope);
+  xloop->lo = "max(1, xs - " + s + "*t)";
+  xloop->hi = "min(nx, xs + tile_x - " + s + "*t)";
+  yloop->lo = "max(1, ys - " + s + "*t)";
+  yloop->hi = "min(ny, ys + tile_y - " + s + "*t)";
+
+  // Rebuild: tt / xs / ys tile loops around the (shortened) time loop.
+  Node inner_t = *tloop;
+  inner_t.lo = "tt";
+  inner_t.hi = "min(tt + tile_t, nt)";
+  Node tiled =
+      loop("tt", "1", "nt",
+           {loop("xs", "slope*tt", "nx + slope*(tt+tile_t)",
+                 {loop("ys", "slope*tt", "ny + slope*(tt+tile_t)",
+                       {std::move(inner_t)})})});
+  *tloop = std::move(tiled);
+}
+
+}  // namespace tempest::dsl::passes

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "tempest/dsl/ir.hpp"
+
+namespace tempest::dsl::passes {
+
+/// The lowering pipeline of the mini-compiler, mirroring Section II of the
+/// paper. Each pass is a standalone tree rewrite; the Operator composes them
+/// according to the requested schedule, and tests assert the printed shape
+/// of each stage against the corresponding paper listing.
+
+/// Stage 0 (Listing 1): canonical time-stepping nest — the grid sweep with
+/// the stencil update, followed by the off-the-grid sparse operator loops
+/// (source indirection loop, receiver indirection loop).
+[[nodiscard]] ir::Node build_timestepping(const std::string& kernel_stmt,
+                                          bool has_sources,
+                                          bool has_receivers);
+
+/// Stage 1 (Listings 2–4): precompute the sparse operators' effect (probe,
+/// masks, decomposition — emitted as a prologue before the time loop) and
+/// fuse the now grid-aligned injection/interpolation into the stencil nest
+/// at the z-loop level, guarded by the source mask SM / indirected by SID.
+void precompute_and_fuse(ir::Node& root);
+
+/// Stage 2 (Listing 5, Fig. 6): shrink the fused z2 loop from the full z
+/// extent to the per-column non-zero count nnz_mask[x][y], indirecting
+/// through the packed Sp_SID.
+void compress_iteration_space(ir::Node& root);
+
+/// Stage 3 (Listing 6): wave-front temporal blocking — wrap the nest in
+/// (time-tile, skewed x-tile, skewed y-tile) loops and clip the inner
+/// spatial loops to the tile's wave-front window.
+void time_tile(ir::Node& root, int slope);
+
+}  // namespace tempest::dsl::passes

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+
+namespace tempest::grid {
+
+/// Integer grid coordinate (interior coordinates; halo points use negatives
+/// and values >= extent).
+struct Index3 {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  friend bool operator==(const Index3&, const Index3&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Index3& i) {
+  return os << '(' << i.x << ',' << i.y << ',' << i.z << ')';
+}
+
+/// Interior grid shape (number of points per dimension, excluding halos).
+struct Extents3 {
+  int nx = 0;
+  int ny = 0;
+  int nz = 0;
+
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+           static_cast<std::size_t>(nz);
+  }
+
+  [[nodiscard]] bool contains(const Index3& i) const {
+    return i.x >= 0 && i.x < nx && i.y >= 0 && i.y < ny && i.z >= 0 &&
+           i.z < nz;
+  }
+
+  friend bool operator==(const Extents3&, const Extents3&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Extents3& e) {
+  return os << e.nx << 'x' << e.ny << 'x' << e.nz;
+}
+
+/// Half-open integer interval [lo, hi).
+struct Range {
+  int lo = 0;
+  int hi = 0;
+
+  [[nodiscard]] int length() const { return hi > lo ? hi - lo : 0; }
+  [[nodiscard]] bool empty() const { return hi <= lo; }
+  [[nodiscard]] bool contains(int v) const { return v >= lo && v < hi; }
+
+  friend bool operator==(const Range&, const Range&) = default;
+};
+
+[[nodiscard]] inline Range intersect(Range a, Range b) {
+  return {a.lo > b.lo ? a.lo : b.lo, a.hi < b.hi ? a.hi : b.hi};
+}
+
+/// Axis-aligned half-open box, the unit of space blocking.
+struct Box3 {
+  Range x;
+  Range y;
+  Range z;
+
+  [[nodiscard]] bool empty() const {
+    return x.empty() || y.empty() || z.empty();
+  }
+  [[nodiscard]] std::size_t volume() const {
+    if (empty()) return 0;
+    return static_cast<std::size_t>(x.length()) *
+           static_cast<std::size_t>(y.length()) *
+           static_cast<std::size_t>(z.length());
+  }
+
+  [[nodiscard]] static Box3 whole(const Extents3& e) {
+    return {{0, e.nx}, {0, e.ny}, {0, e.nz}};
+  }
+
+  friend bool operator==(const Box3&, const Box3&) = default;
+};
+
+[[nodiscard]] inline Box3 intersect(const Box3& a, const Box3& b) {
+  return {intersect(a.x, b.x), intersect(a.y, b.y), intersect(a.z, b.z)};
+}
+
+}  // namespace tempest::grid

@@ -1,0 +1,24 @@
+#include "tempest/grid/grid3.hpp"
+
+#include "tempest/grid/blocks.hpp"
+#include "tempest/grid/time_buffer.hpp"
+
+namespace tempest::grid {
+
+// Explicit instantiations for the field types used across the library keep
+// per-TU compile times down and catch template errors in one place.
+template class Grid3<float>;
+template class Grid3<double>;
+template class Grid3<int>;
+template class Grid3<unsigned char>;
+
+template class TimeBuffer<float>;
+template class TimeBuffer<double>;
+
+template double max_abs_diff<float>(const Grid3<float>&, const Grid3<float>&);
+template double max_abs_diff<double>(const Grid3<double>&,
+                                     const Grid3<double>&);
+template double max_abs<float>(const Grid3<float>&);
+template double max_abs<double>(const Grid3<double>&);
+
+}  // namespace tempest::grid

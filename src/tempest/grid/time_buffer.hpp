@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "tempest/grid/grid3.hpp"
+#include "tempest/util/error.hpp"
+
+namespace tempest::grid {
+
+/// Circular buffer of time slices, the storage scheme of explicit FD
+/// time-stepping: a time-order-2 scheme keeps 3 slices (t-1, t, t+1) and a
+/// time-order-1 scheme keeps 2, indexed modulo the slot count exactly like
+/// Devito's modulo-buffered TimeFunction.
+template <typename T>
+class TimeBuffer {
+ public:
+  TimeBuffer() = default;
+
+  TimeBuffer(int slots, Extents3 extents, int halo, T init = T{}) {
+    TEMPEST_REQUIRE(slots >= 1);
+    slices_.reserve(static_cast<std::size_t>(slots));
+    for (int i = 0; i < slots; ++i) slices_.emplace_back(extents, halo, init);
+  }
+
+  [[nodiscard]] int slots() const { return static_cast<int>(slices_.size()); }
+
+  /// Slice holding logical timestep `t` (t may be any non-negative step; it
+  /// is folded modulo the slot count).
+  [[nodiscard]] Grid3<T>& at(int t) {
+    return slices_[static_cast<std::size_t>(fold(t))];
+  }
+  [[nodiscard]] const Grid3<T>& at(int t) const {
+    return slices_[static_cast<std::size_t>(fold(t))];
+  }
+
+  [[nodiscard]] Grid3<T>& slot(int s) {
+    TEMPEST_REQUIRE(s >= 0 && s < slots());
+    return slices_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] const Grid3<T>& slot(int s) const {
+    TEMPEST_REQUIRE(s >= 0 && s < slots());
+    return slices_[static_cast<std::size_t>(s)];
+  }
+
+  void fill(T value) {
+    for (auto& s : slices_) s.fill(value);
+  }
+
+ private:
+  [[nodiscard]] int fold(int t) const {
+    const int n = slots();
+    TEMPEST_REQUIRE(t >= 0 && n > 0);
+    return t % n;
+  }
+
+  std::vector<Grid3<T>> slices_;
+};
+
+}  // namespace tempest::grid

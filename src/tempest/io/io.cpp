@@ -1,0 +1,138 @@
+#include "tempest/io/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "tempest/util/error.hpp"
+
+namespace tempest::io {
+
+namespace {
+
+constexpr std::uint32_t kFieldMagic = 0x54504631;   // "TPF1"
+constexpr std::uint32_t kGatherMagic = 0x54504731;  // "TPG1"
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  TEMPEST_REQUIRE_MSG(static_cast<bool>(is), "truncated file");
+  return v;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  TEMPEST_REQUIRE_MSG(os.is_open(), "cannot open for writing: " + path);
+  return os;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  TEMPEST_REQUIRE_MSG(is.is_open(), "cannot open for reading: " + path);
+  return is;
+}
+
+}  // namespace
+
+void save_field(const std::string& path, const grid::Grid3<real_t>& field) {
+  auto os = open_out(path);
+  write_pod(os, kFieldMagic);
+  write_pod(os, static_cast<std::int32_t>(field.extents().nx));
+  write_pod(os, static_cast<std::int32_t>(field.extents().ny));
+  write_pod(os, static_cast<std::int32_t>(field.extents().nz));
+  write_pod(os, static_cast<std::int32_t>(field.halo()));
+  os.write(reinterpret_cast<const char*>(field.raw()),
+           static_cast<std::streamsize>(field.padded_size() * sizeof(real_t)));
+  TEMPEST_REQUIRE_MSG(static_cast<bool>(os), "write failed: " + path);
+}
+
+grid::Grid3<real_t> load_field(const std::string& path) {
+  auto is = open_in(path);
+  TEMPEST_REQUIRE_MSG(read_pod<std::uint32_t>(is) == kFieldMagic,
+                      "not a tempest field file: " + path);
+  const int nx = read_pod<std::int32_t>(is);
+  const int ny = read_pod<std::int32_t>(is);
+  const int nz = read_pod<std::int32_t>(is);
+  const int halo = read_pod<std::int32_t>(is);
+  grid::Grid3<real_t> field({nx, ny, nz}, halo);
+  is.read(reinterpret_cast<char*>(field.raw()),
+          static_cast<std::streamsize>(field.padded_size() * sizeof(real_t)));
+  TEMPEST_REQUIRE_MSG(static_cast<bool>(is), "truncated field payload");
+  return field;
+}
+
+void save_gather(const std::string& path,
+                 const sparse::SparseTimeSeries& gather) {
+  auto os = open_out(path);
+  write_pod(os, kGatherMagic);
+  write_pod(os, static_cast<std::int32_t>(gather.nt()));
+  write_pod(os, static_cast<std::int32_t>(gather.npoints()));
+  for (const sparse::Coord3& c : gather.coords()) {
+    write_pod(os, c.x);
+    write_pod(os, c.y);
+    write_pod(os, c.z);
+  }
+  for (int t = 0; t < gather.nt(); ++t) {
+    const auto step = gather.step(t);
+    os.write(reinterpret_cast<const char*>(step.data()),
+             static_cast<std::streamsize>(step.size() * sizeof(real_t)));
+  }
+  TEMPEST_REQUIRE_MSG(static_cast<bool>(os), "write failed: " + path);
+}
+
+sparse::SparseTimeSeries load_gather(const std::string& path) {
+  auto is = open_in(path);
+  TEMPEST_REQUIRE_MSG(read_pod<std::uint32_t>(is) == kGatherMagic,
+                      "not a tempest gather file: " + path);
+  const int nt = read_pod<std::int32_t>(is);
+  const int npoints = read_pod<std::int32_t>(is);
+  TEMPEST_REQUIRE(nt > 0 && npoints >= 0);
+  sparse::CoordList coords(static_cast<std::size_t>(npoints));
+  for (sparse::Coord3& c : coords) {
+    c.x = read_pod<double>(is);
+    c.y = read_pod<double>(is);
+    c.z = read_pod<double>(is);
+  }
+  sparse::SparseTimeSeries gather(std::move(coords), nt);
+  for (int t = 0; t < nt; ++t) {
+    auto step = gather.step(t);
+    is.read(reinterpret_cast<char*>(step.data()),
+            static_cast<std::streamsize>(step.size() * sizeof(real_t)));
+  }
+  TEMPEST_REQUIRE_MSG(static_cast<bool>(is), "truncated gather payload");
+  return gather;
+}
+
+void save_gather_csv(const std::string& path,
+                     const sparse::SparseTimeSeries& gather, double dt_ms) {
+  std::ofstream os(path);
+  TEMPEST_REQUIRE_MSG(os.is_open(), "cannot open for writing: " + path);
+  os << "t_ms";
+  for (int r = 0; r < gather.npoints(); ++r) os << ",rec" << r;
+  os << "\n";
+  for (int t = 0; t < gather.nt(); ++t) {
+    os << t * dt_ms;
+    for (int r = 0; r < gather.npoints(); ++r) os << ',' << gather.at(t, r);
+    os << "\n";
+  }
+}
+
+void save_slice_csv(const std::string& path,
+                    const grid::Grid3<real_t>& field, int y) {
+  TEMPEST_REQUIRE(y >= 0 && y < field.extents().ny);
+  std::ofstream os(path);
+  TEMPEST_REQUIRE_MSG(os.is_open(), "cannot open for writing: " + path);
+  os << "x,z,value\n";
+  for (int x = 0; x < field.extents().nx; ++x) {
+    for (int z = 0; z < field.extents().nz; ++z) {
+      os << x << ',' << z << ',' << field(x, y, z) << "\n";
+    }
+  }
+}
+
+}  // namespace tempest::io

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "tempest/config.hpp"
+#include "tempest/grid/grid3.hpp"
+#include "tempest/sparse/series.hpp"
+
+namespace tempest::io {
+
+/// Minimal persistence for fields and gathers: a tagged little-endian
+/// binary container (magic + header + raw payload) for exact round trips,
+/// plus CSV export for plotting. Wavefield snapshots, shot gathers and RTM
+/// images all flow through here in the examples.
+
+/// Save/load a field with its full geometry (extents + halo). The halo
+/// contents are preserved exactly, so a loaded field is bitwise identical.
+void save_field(const std::string& path, const grid::Grid3<real_t>& field);
+[[nodiscard]] grid::Grid3<real_t> load_field(const std::string& path);
+
+/// Save/load a sparse time series (coordinates + the nt x npoints data).
+void save_gather(const std::string& path,
+                 const sparse::SparseTimeSeries& gather);
+[[nodiscard]] sparse::SparseTimeSeries load_gather(const std::string& path);
+
+/// CSV export of a gather: header "t_ms,rec0,rec1,..." then one row per
+/// timestep. `dt_ms` scales the time column.
+void save_gather_csv(const std::string& path,
+                     const sparse::SparseTimeSeries& gather, double dt_ms);
+
+/// CSV export of one y-slice of a field as (x, z, value) triplets — the
+/// plotting format the RTM example uses for images.
+void save_slice_csv(const std::string& path,
+                    const grid::Grid3<real_t>& field, int y);
+
+}  // namespace tempest::io

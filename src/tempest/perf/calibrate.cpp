@@ -1,0 +1,103 @@
+#include "tempest/perf/calibrate.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "tempest/util/align.hpp"
+#include "tempest/util/error.hpp"
+#include "tempest/util/timer.hpp"
+
+namespace tempest::perf {
+
+double triad_bandwidth_gbps(std::size_t bytes, int repetitions) {
+  TEMPEST_REQUIRE(bytes >= 3 * 64 && repetitions > 0);
+  const std::size_t n = bytes / (3 * sizeof(float));
+  util::aligned_vector<float> a(n, 0.0f), b(n, 1.0f), c(n, 2.0f);
+  const float s = 3.0f;
+
+  // Small working sets finish one pass below timer resolution: batch enough
+  // passes that each sample spans at least ~10 ms of work.
+  const std::size_t batch = std::max<std::size_t>(
+      1, (64ull * 1024 * 1024) / std::max<std::size_t>(bytes, 1));
+
+  auto pass = [&] {
+    float* __restrict pa = a.data();
+    const float* __restrict pb = b.data();
+    const float* __restrict pc = c.data();
+#pragma omp parallel for simd schedule(static)
+    for (std::size_t i = 0; i < n; ++i) pa[i] = pb[i] + s * pc[i];
+  };
+
+  pass();  // warm up (faults pages, loads caches)
+  double best = 0.0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    util::Timer t;
+    for (std::size_t k = 0; k < batch; ++k) pass();
+    const double secs = t.seconds();
+    // triad moves 2 reads + 1 write per element.
+    const double gbps = 3.0 * static_cast<double>(n) * sizeof(float) *
+                        static_cast<double>(batch) / secs / 1e9;
+    best = std::max(best, gbps);
+  }
+  return best;
+}
+
+double fma_peak_gflops(int repetitions) {
+  TEMPEST_REQUIRE(repetitions > 0);
+  // Wide independent accumulator bank; vectorizes to packed FMAs and keeps
+  // every lane's dependency chain short.
+  constexpr int kLanes = 64;
+  constexpr int kIters = 200000;
+  alignas(64) float acc[kLanes];
+  alignas(64) float mul[kLanes];
+  alignas(64) float add[kLanes];
+  for (int i = 0; i < kLanes; ++i) {
+    acc[i] = 0.5f + 1e-6f * static_cast<float>(i);
+    mul[i] = 0.999999f;
+    add[i] = 1e-7f * static_cast<float>(i + 1);
+  }
+
+  int threads = 1;
+#ifdef _OPENMP
+  threads = omp_get_max_threads();
+#endif
+
+  double best = 0.0;
+  volatile float sink = 0.0f;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    util::Timer t;
+#pragma omp parallel firstprivate(acc)
+    {
+      for (int it = 0; it < kIters; ++it) {
+#pragma omp simd aligned(acc, mul, add : 64)
+        for (int i = 0; i < kLanes; ++i) acc[i] = acc[i] * mul[i] + add[i];
+      }
+      float local = 0.0f;
+      for (int i = 0; i < kLanes; ++i) local += acc[i];
+      sink = sink + local;
+    }
+    const double secs = t.seconds();
+    const double flops =
+        2.0 * kLanes * static_cast<double>(kIters) * threads;
+    best = std::max(best, flops / secs / 1e9);
+  }
+  (void)sink;
+  return best;
+}
+
+MachineCeilings calibrate(bool quick) {
+  const int reps = quick ? 2 : 6;
+  MachineCeilings m;
+  m.peak_gflops = fma_peak_gflops(reps);
+  m.l1_gbps = triad_bandwidth_gbps(16 * 1024, reps);
+  m.l2_gbps = triad_bandwidth_gbps(128 * 1024, reps);
+  m.l3_gbps = triad_bandwidth_gbps(4 * 1024 * 1024, reps);
+  m.dram_gbps = triad_bandwidth_gbps(256ull * 1024 * 1024, reps);
+  return m;
+}
+
+}  // namespace tempest::perf

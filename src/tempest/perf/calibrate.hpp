@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+
+namespace tempest::perf {
+
+/// Measured machine ceilings for the roofline model. The paper reads these
+/// off Intel Advisor's calibration; we measure them directly with
+/// microkernels (a STREAM-triad sweep per cache level and an FMA-saturation
+/// loop), which is the substitution documented in DESIGN.md.
+struct MachineCeilings {
+  double peak_gflops = 0.0;  ///< single-precision FMA peak (all threads)
+  double l1_gbps = 0.0;      ///< triad bandwidth, working set < L1
+  double l2_gbps = 0.0;      ///< working set < L2
+  double l3_gbps = 0.0;      ///< working set < L3
+  double dram_gbps = 0.0;    ///< working set >> L3
+};
+
+/// Run the calibration microkernels. `quick` shortens the sampling for use
+/// in tests (less accurate, still ordered sanely).
+[[nodiscard]] MachineCeilings calibrate(bool quick = false);
+
+/// STREAM-style triad bandwidth (GB/s) for a working set of `bytes`.
+[[nodiscard]] double triad_bandwidth_gbps(std::size_t bytes,
+                                          int repetitions);
+
+/// Single-precision FMA throughput (GFLOP/s).
+[[nodiscard]] double fma_peak_gflops(int repetitions);
+
+}  // namespace tempest::perf

@@ -1,0 +1,30 @@
+#include "tempest/physics/damping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tempest/util/error.hpp"
+
+namespace tempest::physics {
+
+grid::Grid3<real_t> make_damping(const Geometry& g, double vp_ref,
+                                 double r0) {
+  TEMPEST_REQUIRE(g.nbl >= 0 && vp_ref > 0.0 && r0 > 0.0 && r0 < 1.0);
+  grid::Grid3<real_t> damp(g.extents, g.radius(), real_t{0});
+  if (g.nbl == 0) return damp;
+
+  const double len = g.nbl * g.spacing;                  // layer depth (m)
+  const double d0 = 1.5 * vp_ref / len * std::log(1.0 / r0);  // 1/ms
+
+  const auto& e = g.extents;
+  damp.for_each_interior([&](int x, int y, int z) {
+    const int dist = std::min({x, e.nx - 1 - x, y, e.ny - 1 - y, z,
+                               e.nz - 1 - z});
+    if (dist >= g.nbl) return;
+    const double frac = static_cast<double>(g.nbl - dist) / g.nbl;
+    damp(x, y, z) = static_cast<real_t>(d0 * frac * frac);
+  });
+  return damp;
+}
+
+}  // namespace tempest::physics

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "tempest/config.hpp"
+#include "tempest/grid/grid3.hpp"
+#include "tempest/physics/model.hpp"
+
+namespace tempest::physics {
+
+/// Absorbing sponge profile (paper Section IV.B: "damping fields with
+/// absorbing boundary layers"). The coefficient is zero in the interior and
+/// rises quadratically towards each face over the `nbl`-point boundary
+/// layer, scaled so a wave crossing the layer is attenuated by roughly
+/// log(1/R0) with R0 the design reflection coefficient:
+///   d(p) = (3 vp / (2 L)) * ln(1/R0) * ((L - dist(p)) / L)^2.
+/// The top face (z = 0) is damped as well — a free-surface variant is left
+/// to future work, matching the paper's setups which damp all faces.
+[[nodiscard]] grid::Grid3<real_t> make_damping(const Geometry& g,
+                                               double vp_ref = 1.5,
+                                               double r0 = 0.001);
+
+}  // namespace tempest::physics

@@ -1,0 +1,393 @@
+#include "tempest/physics/elastic.hpp"
+
+#include <vector>
+
+#include "tempest/core/compress.hpp"
+#include "tempest/core/fused.hpp"
+#include "tempest/core/precompute.hpp"
+#include "tempest/core/wavefront.hpp"
+#include "tempest/sparse/operators.hpp"
+#include "tempest/stencil/coefficients.hpp"
+#include "tempest/util/error.hpp"
+#include "tempest/util/timer.hpp"
+
+namespace tempest::physics {
+
+namespace {
+
+/// Folded staggered-derivative weights ws[1..R]: with g a field staggered by
+/// +1/2 relative to the evaluation grid,
+///   D+ g(i) = sum_k ws[k] (g[i+k]   - g[i+1-k])   (result at i + 1/2)
+///   D- g(i) = sum_k ws[k] (g[i+k-1] - g[i-k])     (result at i)
+std::vector<real_t> folded_staggered(int space_order) {
+  const stencil::Coeffs c = stencil::staggered_first(space_order);
+  const int r = stencil::radius_for_order(space_order);
+  std::vector<real_t> ws(static_cast<std::size_t>(r) + 1, real_t{0});
+  for (int k = 1; k <= r; ++k) {
+    // Weight of the sample at offset +k - 1/2 from the evaluation point.
+    ws[static_cast<std::size_t>(k)] =
+        static_cast<real_t>(c.weights[static_cast<std::size_t>(r + k - 1)]);
+  }
+  return ws;
+}
+
+struct ElasticFields {
+  real_t* vx;
+  real_t* vy;
+  real_t* vz;
+  real_t* txx;
+  real_t* tyy;
+  real_t* tzz;
+  real_t* txy;
+  real_t* txz;
+  real_t* tyz;
+  const real_t* lam;
+  const real_t* mu;
+  const real_t* b;
+  const real_t* damp;
+};
+
+/// Velocity half-update: v += dt * b * div(tau), with the point-local sponge
+/// factor (1 - damp dt) applied multiplicatively.
+template <int R>
+void v_block(const ElasticFields& f, std::ptrdiff_t sx, std::ptrdiff_t sy,
+             const grid::Box3& blk, const real_t* __restrict w, real_t inv_h,
+             real_t dt) {
+  for (int x = blk.x.lo; x < blk.x.hi; ++x) {
+    for (int y = blk.y.lo; y < blk.y.hi; ++y) {
+      const std::ptrdiff_t row = x * sx + y * sy;
+#pragma omp simd
+      for (int z = blk.z.lo; z < blk.z.hi; ++z) {
+        const std::ptrdiff_t i = row + z;
+        real_t dxx = 0, dxy = 0, dxz = 0;  // terms of div tau, row x
+        real_t dyx = 0, dyy = 0, dyz = 0;  // row y
+        real_t dzx = 0, dzy = 0, dzz = 0;  // row z
+#pragma GCC unroll 8
+        for (int k = 1; k <= R; ++k) {
+          const std::ptrdiff_t kx = k * sx, ky = k * sy;
+          const std::ptrdiff_t kx1 = (k - 1) * sx, ky1 = (k - 1) * sy;
+          // vx at (i+1/2): D+x txx, D-y txy, D-z txz
+          dxx += w[k] * (f.txx[i + kx] - f.txx[i + sx - kx]);
+          dxy += w[k] * (f.txy[i + ky1] - f.txy[i - ky]);
+          dxz += w[k] * (f.txz[i + k - 1] - f.txz[i - k]);
+          // vy at (j+1/2): D-x txy, D+y tyy, D-z tyz
+          dyx += w[k] * (f.txy[i + kx1] - f.txy[i - kx]);
+          dyy += w[k] * (f.tyy[i + ky] - f.tyy[i + sy - ky]);
+          dyz += w[k] * (f.tyz[i + k - 1] - f.tyz[i - k]);
+          // vz at (k+1/2): D-x txz, D-y tyz, D+z tzz
+          dzx += w[k] * (f.txz[i + kx1] - f.txz[i - kx]);
+          dzy += w[k] * (f.tyz[i + ky1] - f.tyz[i - ky]);
+          dzz += w[k] * (f.tzz[i + k] - f.tzz[i + 1 - k]);
+        }
+        const real_t fac = real_t{1} - f.damp[i] * dt;
+        const real_t bdt = f.b[i] * dt * inv_h;
+        f.vx[i] = f.vx[i] * fac + bdt * (dxx + dxy + dxz);
+        f.vy[i] = f.vy[i] * fac + bdt * (dyx + dyy + dyz);
+        f.vz[i] = f.vz[i] * fac + bdt * (dzx + dzy + dzz);
+      }
+    }
+  }
+}
+
+/// Stress half-update: tau += dt (lam tr(grad v) I + mu (grad v + grad v^T)).
+template <int R>
+void tau_block(const ElasticFields& f, std::ptrdiff_t sx, std::ptrdiff_t sy,
+               const grid::Box3& blk, const real_t* __restrict w,
+               real_t inv_h, real_t dt) {
+  for (int x = blk.x.lo; x < blk.x.hi; ++x) {
+    for (int y = blk.y.lo; y < blk.y.hi; ++y) {
+      const std::ptrdiff_t row = x * sx + y * sy;
+#pragma omp simd
+      for (int z = blk.z.lo; z < blk.z.hi; ++z) {
+        const std::ptrdiff_t i = row + z;
+        real_t exx = 0, eyy = 0, ezz = 0;        // D- of v at integer points
+        real_t vxy = 0, vyx = 0;                 // D+ cross terms
+        real_t vxz = 0, vzx = 0, vyz = 0, vzy = 0;
+#pragma GCC unroll 8
+        for (int k = 1; k <= R; ++k) {
+          const std::ptrdiff_t kx = k * sx, ky = k * sy;
+          const std::ptrdiff_t kx1 = (k - 1) * sx, ky1 = (k - 1) * sy;
+          exx += w[k] * (f.vx[i + kx1] - f.vx[i - kx]);
+          eyy += w[k] * (f.vy[i + ky1] - f.vy[i - ky]);
+          ezz += w[k] * (f.vz[i + k - 1] - f.vz[i - k]);
+          vxy += w[k] * (f.vx[i + ky] - f.vx[i + sy - ky]);  // D+y vx
+          vyx += w[k] * (f.vy[i + kx] - f.vy[i + sx - kx]);  // D+x vy
+          vxz += w[k] * (f.vx[i + k] - f.vx[i + 1 - k]);     // D+z vx
+          vzx += w[k] * (f.vz[i + kx] - f.vz[i + sx - kx]);  // D+x vz
+          vyz += w[k] * (f.vy[i + k] - f.vy[i + 1 - k]);     // D+z vy
+          vzy += w[k] * (f.vz[i + ky] - f.vz[i + sy - ky]);  // D+y vz
+        }
+        const real_t fac = real_t{1} - f.damp[i] * dt;
+        const real_t lam = f.lam[i] * dt * inv_h;
+        const real_t mu2 = real_t{2} * f.mu[i] * dt * inv_h;
+        const real_t mu = f.mu[i] * dt * inv_h;
+        const real_t tr = exx + eyy + ezz;
+        f.txx[i] = f.txx[i] * fac + lam * tr + mu2 * exx;
+        f.tyy[i] = f.tyy[i] * fac + lam * tr + mu2 * eyy;
+        f.tzz[i] = f.tzz[i] * fac + lam * tr + mu2 * ezz;
+        f.txy[i] = f.txy[i] * fac + mu * (vxy + vyx);
+        f.txz[i] = f.txz[i] * fac + mu * (vxz + vzx);
+        f.tyz[i] = f.tyz[i] * fac + mu * (vyz + vzy);
+      }
+    }
+  }
+}
+
+/// Radius dispatch shared by both half-updates.
+template <typename F1, typename F2, typename F4, typename F6, typename FG>
+void dispatch_radius(int radius, F1&& f1, F2&& f2, F4&& f4, F6&& f6,
+                     FG&& fg) {
+  switch (radius) {
+    case 1: f1(); break;
+    case 2: f2(); break;
+    case 4: f4(); break;
+    case 6: f6(); break;
+    default: fg(); break;
+  }
+}
+
+/// Runtime-radius fallbacks reuse the templates with R passed as a loop
+/// bound via a large instantiation guard: define a generic copy instead.
+void v_block_generic(const ElasticFields& f, std::ptrdiff_t sx,
+                     std::ptrdiff_t sy, const grid::Box3& blk,
+                     const real_t* w, int radius, real_t inv_h, real_t dt) {
+  for (int x = blk.x.lo; x < blk.x.hi; ++x) {
+    for (int y = blk.y.lo; y < blk.y.hi; ++y) {
+      const std::ptrdiff_t row = x * sx + y * sy;
+      for (int z = blk.z.lo; z < blk.z.hi; ++z) {
+        const std::ptrdiff_t i = row + z;
+        real_t divx = 0, divy = 0, divz = 0;
+        for (int k = 1; k <= radius; ++k) {
+          const std::ptrdiff_t kx = k * sx, ky = k * sy;
+          const std::ptrdiff_t kx1 = (k - 1) * sx, ky1 = (k - 1) * sy;
+          divx += w[k] * (f.txx[i + kx] - f.txx[i + sx - kx]) +
+                  w[k] * (f.txy[i + ky1] - f.txy[i - ky]) +
+                  w[k] * (f.txz[i + k - 1] - f.txz[i - k]);
+          divy += w[k] * (f.txy[i + kx1] - f.txy[i - kx]) +
+                  w[k] * (f.tyy[i + ky] - f.tyy[i + sy - ky]) +
+                  w[k] * (f.tyz[i + k - 1] - f.tyz[i - k]);
+          divz += w[k] * (f.txz[i + kx1] - f.txz[i - kx]) +
+                  w[k] * (f.tyz[i + ky1] - f.tyz[i - ky]) +
+                  w[k] * (f.tzz[i + k] - f.tzz[i + 1 - k]);
+        }
+        const real_t fac = real_t{1} - f.damp[i] * dt;
+        const real_t bdt = f.b[i] * dt * inv_h;
+        f.vx[i] = f.vx[i] * fac + bdt * divx;
+        f.vy[i] = f.vy[i] * fac + bdt * divy;
+        f.vz[i] = f.vz[i] * fac + bdt * divz;
+      }
+    }
+  }
+}
+
+void tau_block_generic(const ElasticFields& f, std::ptrdiff_t sx,
+                       std::ptrdiff_t sy, const grid::Box3& blk,
+                       const real_t* w, int radius, real_t inv_h, real_t dt) {
+  for (int x = blk.x.lo; x < blk.x.hi; ++x) {
+    for (int y = blk.y.lo; y < blk.y.hi; ++y) {
+      const std::ptrdiff_t row = x * sx + y * sy;
+      for (int z = blk.z.lo; z < blk.z.hi; ++z) {
+        const std::ptrdiff_t i = row + z;
+        real_t exx = 0, eyy = 0, ezz = 0, vxy = 0, vyx = 0, vxz = 0, vzx = 0,
+               vyz = 0, vzy = 0;
+        for (int k = 1; k <= radius; ++k) {
+          const std::ptrdiff_t kx = k * sx, ky = k * sy;
+          const std::ptrdiff_t kx1 = (k - 1) * sx, ky1 = (k - 1) * sy;
+          exx += w[k] * (f.vx[i + kx1] - f.vx[i - kx]);
+          eyy += w[k] * (f.vy[i + ky1] - f.vy[i - ky]);
+          ezz += w[k] * (f.vz[i + k - 1] - f.vz[i - k]);
+          vxy += w[k] * (f.vx[i + ky] - f.vx[i + sy - ky]);
+          vyx += w[k] * (f.vy[i + kx] - f.vy[i + sx - kx]);
+          vxz += w[k] * (f.vx[i + k] - f.vx[i + 1 - k]);
+          vzx += w[k] * (f.vz[i + kx] - f.vz[i + sx - kx]);
+          vyz += w[k] * (f.vy[i + k] - f.vy[i + 1 - k]);
+          vzy += w[k] * (f.vz[i + ky] - f.vz[i + sy - ky]);
+        }
+        const real_t fac = real_t{1} - f.damp[i] * dt;
+        const real_t lam = f.lam[i] * dt * inv_h;
+        const real_t mu2 = real_t{2} * f.mu[i] * dt * inv_h;
+        const real_t mu = f.mu[i] * dt * inv_h;
+        const real_t tr = exx + eyy + ezz;
+        f.txx[i] = f.txx[i] * fac + lam * tr + mu2 * exx;
+        f.tyy[i] = f.tyy[i] * fac + lam * tr + mu2 * eyy;
+        f.tzz[i] = f.tzz[i] * fac + lam * tr + mu2 * ezz;
+        f.txy[i] = f.txy[i] * fac + mu * (vxy + vyx);
+        f.txz[i] = f.txz[i] * fac + mu * (vxz + vzx);
+        f.tyz[i] = f.tyz[i] * fac + mu * (vyz + vzy);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ElasticPropagator::ElasticPropagator(const ElasticModel& model,
+                                     PropagatorOptions opts)
+    : model_(model),
+      opts_(opts),
+      dt_(opts.dt > 0.0 ? opts.dt : model.critical_dt()),
+      vx_(model.geom.extents, model.geom.radius(), real_t{0}),
+      vy_(model.geom.extents, model.geom.radius(), real_t{0}),
+      vz_(model.geom.extents, model.geom.radius(), real_t{0}),
+      txx_(model.geom.extents, model.geom.radius(), real_t{0}),
+      tyy_(model.geom.extents, model.geom.radius(), real_t{0}),
+      tzz_(model.geom.extents, model.geom.radius(), real_t{0}),
+      txy_(model.geom.extents, model.geom.radius(), real_t{0}),
+      txz_(model.geom.extents, model.geom.radius(), real_t{0}),
+      tyz_(model.geom.extents, model.geom.radius(), real_t{0}) {
+  TEMPEST_REQUIRE(model.geom.space_order >= 2 &&
+                  model.geom.space_order % 2 == 0);
+  TEMPEST_REQUIRE(opts_.tiles.valid());
+}
+
+RunStats ElasticPropagator::run(Schedule sched,
+                                const sparse::SparseTimeSeries& src,
+                                sparse::SparseTimeSeries* rec) {
+  const int nt = src.nt();
+  TEMPEST_REQUIRE(nt >= 1);
+  TEMPEST_REQUIRE_MSG(sched != Schedule::Diamond,
+                      "diamond tiling is implemented for the acoustic "
+                      "propagator only");
+  if (rec != nullptr) {
+    TEMPEST_REQUIRE(rec->nt() >= nt);
+    rec->zero();
+  }
+  for (auto* g : {&vx_, &vy_, &vz_, &txx_, &tyy_, &tzz_, &txy_, &txz_, &tyz_})
+    g->fill(real_t{0});
+
+  const auto& e = model_.geom.extents;
+  const int radius = model_.geom.radius();
+  const std::vector<real_t> w = folded_staggered(model_.geom.space_order);
+  const real_t inv_h = static_cast<real_t>(1.0 / model_.geom.spacing);
+  const real_t dt = static_cast<real_t>(dt_);
+
+  const std::ptrdiff_t sx = vx_.stride_x();
+  const std::ptrdiff_t sy = vx_.stride_y();
+  TEMPEST_REQUIRE(model_.lam.stride_x() == sx);
+  const ElasticFields f{
+      vx_.origin(),  vy_.origin(),        vz_.origin(),
+      txx_.origin(), tyy_.origin(),       tzz_.origin(),
+      txy_.origin(), txz_.origin(),       tyz_.origin(),
+      model_.lam.origin(), model_.mu.origin(), model_.b.origin(),
+      model_.damp.origin()};
+
+  // Explosive source: injected equally into the three diagonal stresses,
+  // scaled by dt (the time integration factor of the first-order system).
+  auto inj_scale = [dt](int, int, int) { return dt; };
+
+  // One half-step block: even half-steps update v, odd update tau. The
+  // half-step index is what the wavefront driver skews over (slope = radius
+  // per half-step == the paper's shifted wavefront angle for staggered
+  // multi-grid updates).
+  auto half_block = [&](int h, const grid::Box3& box) {
+    if ((h & 1) == 0) {
+      dispatch_radius(
+          radius, [&] { v_block<1>(f, sx, sy, box, w.data(), inv_h, dt); },
+          [&] { v_block<2>(f, sx, sy, box, w.data(), inv_h, dt); },
+          [&] { v_block<4>(f, sx, sy, box, w.data(), inv_h, dt); },
+          [&] { v_block<6>(f, sx, sy, box, w.data(), inv_h, dt); },
+          [&] {
+            v_block_generic(f, sx, sy, box, w.data(), radius, inv_h, dt);
+          });
+    } else {
+      dispatch_radius(
+          radius, [&] { tau_block<1>(f, sx, sy, box, w.data(), inv_h, dt); },
+          [&] { tau_block<2>(f, sx, sy, box, w.data(), inv_h, dt); },
+          [&] { tau_block<4>(f, sx, sy, box, w.data(), inv_h, dt); },
+          [&] { tau_block<6>(f, sx, sy, box, w.data(), inv_h, dt); },
+          [&] {
+            tau_block_generic(f, sx, sy, box, w.data(), radius, inv_h, dt);
+          });
+    }
+  };
+
+  RunStats stats;
+  stats.point_updates =
+      static_cast<long long>(nt) * static_cast<long long>(e.size());
+
+  if (sched == Schedule::Wavefront) {
+    util::Timer pre;
+    const core::SourceMasks masks =
+        core::build_source_masks(e, src, opts_.interp);
+    const core::DecomposedSource dcmp =
+        core::decompose_sources(masks, src, opts_.interp);
+    const core::CompressedSparse cs_src(masks.sm, masks.sid);
+    core::DecomposedReceivers drec;
+    core::CompressedSparse cs_rec;
+    if (rec != nullptr && rec->npoints() > 0) {
+      drec = core::decompose_receivers(e, *rec, opts_.interp);
+      cs_rec = core::CompressedSparse(drec.rm, drec.rid);
+    }
+    stats.precompute_seconds = pre.seconds();
+
+    // Tile the half-step axis: tile_t full steps == 2*tile_t half-steps.
+    core::TileSpec half_spec = opts_.tiles;
+    half_spec.tile_t = 2 * opts_.tiles.tile_t;
+
+    util::Timer timer;
+    core::run_wavefront(
+        e, 0, 2 * nt, radius, half_spec, [&](int h, const grid::Box3& box) {
+          half_block(h, box);
+          if ((h & 1) == 1) {
+            const int t = h / 2;
+            core::fused_inject(txx_, cs_src, dcmp, t, box.x, box.y,
+                               inj_scale);
+            core::fused_inject(tyy_, cs_src, dcmp, t, box.x, box.y,
+                               inj_scale);
+            core::fused_inject(tzz_, cs_src, dcmp, t, box.x, box.y,
+                               inj_scale);
+            if (rec != nullptr && !cs_rec.empty()) {
+              core::fused_gather(vz_, cs_rec, drec, rec->step(t).data(),
+                                 box.x, box.y);
+            }
+          }
+        });
+    stats.seconds = timer.seconds();
+    return stats;
+  }
+
+  if (sched == Schedule::SpaceBlocked) {
+    const sparse::SupportCache src_cache(src, opts_.interp, e);
+    sparse::SupportCache rec_cache;
+    if (rec != nullptr && rec->npoints() > 0) {
+      rec_cache = sparse::SupportCache(*rec, opts_.interp, e);
+    }
+    util::Timer timer;
+    const auto blocks = grid::decompose_xy(
+        grid::Box3::whole(e), opts_.tiles.block_x, opts_.tiles.block_y);
+    for (int t = 0; t < nt; ++t) {
+#pragma omp parallel for schedule(dynamic)
+      for (std::size_t b = 0; b < blocks.size(); ++b) {
+        half_block(2 * t, blocks[b]);
+      }
+#pragma omp parallel for schedule(dynamic)
+      for (std::size_t b = 0; b < blocks.size(); ++b) {
+        half_block(2 * t + 1, blocks[b]);
+      }
+      sparse::inject_cached(txx_, src, t, src_cache, inj_scale);
+      sparse::inject_cached(tyy_, src, t, src_cache, inj_scale);
+      sparse::inject_cached(tzz_, src, t, src_cache, inj_scale);
+      if (rec != nullptr && rec->npoints() > 0) {
+        sparse::interpolate_cached(vz_, *rec, t, rec_cache);
+      }
+    }
+    stats.seconds = timer.seconds();
+    return stats;
+  }
+
+  util::Timer timer;
+  for (int t = 0; t < nt; ++t) {
+    half_block(2 * t, grid::Box3::whole(e));
+    half_block(2 * t + 1, grid::Box3::whole(e));
+    sparse::inject(txx_, src, t, opts_.interp, inj_scale);
+    sparse::inject(tyy_, src, t, opts_.interp, inj_scale);
+    sparse::inject(tzz_, src, t, opts_.interp, inj_scale);
+    if (rec != nullptr && rec->npoints() > 0) {
+      sparse::interpolate(vz_, *rec, t, opts_.interp);
+    }
+  }
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace tempest::physics

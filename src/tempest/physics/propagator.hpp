@@ -1,0 +1,46 @@
+#pragma once
+
+#include "tempest/core/wavefront.hpp"
+#include "tempest/sparse/interp.hpp"
+
+namespace tempest::physics {
+
+/// Execution schedule selector shared by all three propagators.
+enum class Schedule {
+  Reference,     ///< un-blocked triple loop + naive sparse ops (validation)
+  SpaceBlocked,  ///< the paper's baseline: vectorized spatial cache blocking
+  Wavefront,     ///< the contribution: WTB with precomputed sparse operators
+  Diamond,       ///< diamond/split temporal blocking (acoustic only): the
+                 ///< alternative TB family the precompute scheme legalises
+};
+
+[[nodiscard]] constexpr const char* to_string(Schedule s) {
+  switch (s) {
+    case Schedule::Reference: return "reference";
+    case Schedule::SpaceBlocked: return "space-blocked";
+    case Schedule::Wavefront: return "wavefront";
+    case Schedule::Diamond: return "diamond";
+  }
+  return "?";
+}
+
+/// Wall-clock and throughput accounting for one propagation run.
+struct RunStats {
+  double seconds = 0.0;             ///< time loop only
+  double precompute_seconds = 0.0;  ///< sparse-operator precompute (WTB only)
+  long long point_updates = 0;      ///< grid-point updates performed
+
+  [[nodiscard]] double gpoints_per_s() const {
+    return seconds > 0.0 ? static_cast<double>(point_updates) / seconds / 1e9
+                         : 0.0;
+  }
+};
+
+/// Propagator tuning knobs shared by the three kernels.
+struct PropagatorOptions {
+  core::TileSpec tiles{};
+  sparse::InterpKind interp = sparse::InterpKind::Trilinear;
+  double dt = 0.0;  ///< timestep (ms); 0 selects the model's critical dt
+};
+
+}  // namespace tempest::physics

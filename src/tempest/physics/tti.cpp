@@ -1,0 +1,381 @@
+#include "tempest/physics/tti.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "tempest/core/compress.hpp"
+#include "tempest/core/fused.hpp"
+#include "tempest/core/precompute.hpp"
+#include "tempest/sparse/operators.hpp"
+#include "tempest/stencil/coefficients.hpp"
+#include "tempest/util/error.hpp"
+#include "tempest/util/timer.hpp"
+
+namespace tempest::physics {
+
+namespace {
+
+/// Folded weights: second derivative (w2[0..R], symmetric) and first
+/// derivative (w1[1..R], antisymmetric, centre weight zero).
+struct TTIWeights {
+  std::vector<real_t> w2;
+  std::vector<real_t> w1;
+};
+
+TTIWeights folded_weights(int space_order) {
+  const stencil::Coeffs c2 = stencil::central(2, space_order);
+  const stencil::Coeffs c1 = stencil::central(1, space_order);
+  const int r = stencil::radius_for_order(space_order);
+  TTIWeights w;
+  w.w2.resize(static_cast<std::size_t>(r) + 1);
+  w.w1.resize(static_cast<std::size_t>(r) + 1);
+  for (int k = 0; k <= r; ++k) {
+    w.w2[static_cast<std::size_t>(k)] =
+        static_cast<real_t>(c2.weights[static_cast<std::size_t>(r + k)]);
+    w.w1[static_cast<std::size_t>(k)] =
+        static_cast<real_t>(c1.weights[static_cast<std::size_t>(r + k)]);
+  }
+  return w;
+}
+
+/// Per-point rotated operator evaluation: all second derivatives of field f
+/// at linear offset i, returning (laplacian_acc, Hz_acc) without the 1/h^2
+/// factor. The mixed terms use the folded antisymmetric first-derivative
+/// tensor product (the "cross" stencil).
+template <int R>
+struct RotatedDerivs {
+  real_t lap;
+  real_t hz;
+};
+
+template <int R>
+inline RotatedDerivs<R> rotated_derivs(
+    const real_t* __restrict f, std::ptrdiff_t i, std::ptrdiff_t sx,
+    std::ptrdiff_t sy, const real_t* __restrict w2,
+    const real_t* __restrict w1, real_t cxx, real_t cyy, real_t czz,
+    real_t cxy, real_t cxz, real_t cyz) {
+  real_t d2x = w2[0] * f[i];
+  real_t d2y = d2x;
+  real_t d2z = d2x;
+#pragma GCC unroll 8
+  for (int k = 1; k <= R; ++k) {
+    d2x += w2[k] * (f[i - k * sx] + f[i + k * sx]);
+    d2y += w2[k] * (f[i - k * sy] + f[i + k * sy]);
+    d2z += w2[k] * (f[i - k] + f[i + k]);
+  }
+  real_t dxy = real_t{0}, dxz = real_t{0}, dyz = real_t{0};
+  for (int a = 1; a <= R; ++a) {
+    const std::ptrdiff_t ax = a * sx;
+    const std::ptrdiff_t ay = a * sy;
+    for (int b = 1; b <= R; ++b) {
+      const real_t wab = w1[a] * w1[b];
+      const std::ptrdiff_t by = b * sy;
+      dxy += wab * (f[i + ax + by] - f[i + ax - by] - f[i - ax + by] +
+                    f[i - ax - by]);
+      dxz += wab * (f[i + ax + b] - f[i + ax - b] - f[i - ax + b] +
+                    f[i - ax - b]);
+      dyz += wab * (f[i + ay + b] - f[i + ay - b] - f[i - ay + b] +
+                    f[i - ay - b]);
+    }
+  }
+  RotatedDerivs<R> out;
+  out.lap = d2x + d2y + d2z;
+  out.hz = cxx * d2x + cyy * d2y + czz * d2z +
+           real_t{2} * (cxy * dxy + cxz * dxz + cyz * dyz);
+  return out;
+}
+
+/// Parameter-pointer bundle shared by the kernels (all fields share one set
+/// of strides).
+struct TTIFields {
+  const real_t* m;
+  const real_t* damp;
+  const real_t* cxx;
+  const real_t* cyy;
+  const real_t* czz;
+  const real_t* cxy;
+  const real_t* cxz;
+  const real_t* cyz;
+  const real_t* ah;
+  const real_t* an;
+};
+
+template <int R>
+void update_block(real_t* __restrict pn, const real_t* __restrict pc,
+                  const real_t* __restrict pp, real_t* __restrict qn,
+                  const real_t* __restrict qc, const real_t* __restrict qp,
+                  const TTIFields& f, std::ptrdiff_t sx, std::ptrdiff_t sy,
+                  const grid::Box3& b, const real_t* __restrict w2,
+                  const real_t* __restrict w1, real_t inv_h2, real_t idt2,
+                  real_t i2dt) {
+  for (int x = b.x.lo; x < b.x.hi; ++x) {
+    for (int y = b.y.lo; y < b.y.hi; ++y) {
+      const std::ptrdiff_t row = x * sx + y * sy;
+#pragma omp simd
+      for (int z = b.z.lo; z < b.z.hi; ++z) {
+        const std::ptrdiff_t i = row + z;
+        const RotatedDerivs<R> dp = rotated_derivs<R>(
+            pc, i, sx, sy, w2, w1, f.cxx[i], f.cyy[i], f.czz[i], f.cxy[i],
+            f.cxz[i], f.cyz[i]);
+        const RotatedDerivs<R> dq = rotated_derivs<R>(
+            qc, i, sx, sy, w2, w1, f.cxx[i], f.cyy[i], f.czz[i], f.cxy[i],
+            f.cxz[i], f.cyz[i]);
+        const real_t hperp_p = (dp.lap - dp.hz) * inv_h2;
+        const real_t hz_q = dq.hz * inv_h2;
+        const real_t denom = f.m[i] * idt2 + f.damp[i] * i2dt;
+        pn[i] = (f.ah[i] * hperp_p + f.an[i] * hz_q +
+                 f.m[i] * idt2 * (real_t{2} * pc[i] - pp[i]) +
+                 f.damp[i] * i2dt * pp[i]) /
+                denom;
+        qn[i] = (f.an[i] * hperp_p + hz_q +
+                 f.m[i] * idt2 * (real_t{2} * qc[i] - qp[i]) +
+                 f.damp[i] * i2dt * qp[i]) /
+                denom;
+      }
+    }
+  }
+}
+
+/// Runtime-radius fallback (same arithmetic/summation order).
+void update_block_generic(real_t* pn, const real_t* pc, const real_t* pp,
+                          real_t* qn, const real_t* qc, const real_t* qp,
+                          const TTIFields& f, std::ptrdiff_t sx,
+                          std::ptrdiff_t sy, const grid::Box3& b,
+                          const real_t* w2, const real_t* w1, int radius,
+                          real_t inv_h2, real_t idt2, real_t i2dt) {
+  auto derivs = [&](const real_t* fld, std::ptrdiff_t i, real_t cxx,
+                    real_t cyy, real_t czz, real_t cxy, real_t cxz,
+                    real_t cyz, real_t& lap, real_t& hz) {
+    real_t d2x = w2[0] * fld[i], d2y = d2x, d2z = d2x;
+    for (int k = 1; k <= radius; ++k) {
+      d2x += w2[k] * (fld[i - k * sx] + fld[i + k * sx]);
+      d2y += w2[k] * (fld[i - k * sy] + fld[i + k * sy]);
+      d2z += w2[k] * (fld[i - k] + fld[i + k]);
+    }
+    real_t dxy = 0, dxz = 0, dyz = 0;
+    for (int a = 1; a <= radius; ++a) {
+      for (int b2 = 1; b2 <= radius; ++b2) {
+        const real_t wab = w1[a] * w1[b2];
+        const std::ptrdiff_t ax = a * sx, ay = a * sy, by = b2 * sy;
+        dxy += wab * (fld[i + ax + by] - fld[i + ax - by] -
+                      fld[i - ax + by] + fld[i - ax - by]);
+        dxz += wab * (fld[i + ax + b2] - fld[i + ax - b2] -
+                      fld[i - ax + b2] + fld[i - ax - b2]);
+        dyz += wab * (fld[i + ay + b2] - fld[i + ay - b2] -
+                      fld[i - ay + b2] + fld[i - ay - b2]);
+      }
+    }
+    lap = d2x + d2y + d2z;
+    hz = cxx * d2x + cyy * d2y + czz * d2z +
+         real_t{2} * (cxy * dxy + cxz * dxz + cyz * dyz);
+  };
+
+  for (int x = b.x.lo; x < b.x.hi; ++x) {
+    for (int y = b.y.lo; y < b.y.hi; ++y) {
+      const std::ptrdiff_t row = x * sx + y * sy;
+      for (int z = b.z.lo; z < b.z.hi; ++z) {
+        const std::ptrdiff_t i = row + z;
+        real_t lap_p, hz_p, lap_q, hz_q_raw;
+        derivs(pc, i, f.cxx[i], f.cyy[i], f.czz[i], f.cxy[i], f.cxz[i],
+               f.cyz[i], lap_p, hz_p);
+        derivs(qc, i, f.cxx[i], f.cyy[i], f.czz[i], f.cxy[i], f.cxz[i],
+               f.cyz[i], lap_q, hz_q_raw);
+        const real_t hperp_p = (lap_p - hz_p) * inv_h2;
+        const real_t hz_q = hz_q_raw * inv_h2;
+        const real_t denom = f.m[i] * idt2 + f.damp[i] * i2dt;
+        pn[i] = (f.ah[i] * hperp_p + f.an[i] * hz_q +
+                 f.m[i] * idt2 * (real_t{2} * pc[i] - pp[i]) +
+                 f.damp[i] * i2dt * pp[i]) /
+                denom;
+        qn[i] = (f.an[i] * hperp_p + hz_q +
+                 f.m[i] * idt2 * (real_t{2} * qc[i] - qp[i]) +
+                 f.damp[i] * i2dt * qp[i]) /
+                denom;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TTIPropagator::TTIPropagator(const TTIModel& model, PropagatorOptions opts)
+    : model_(model),
+      opts_(opts),
+      dt_(opts.dt > 0.0 ? opts.dt : model.critical_dt()),
+      p_(3, model.geom.extents, model.geom.radius()),
+      q_(3, model.geom.extents, model.geom.radius()),
+      cxx_(model.geom.extents, model.geom.radius(), real_t{0}),
+      cyy_(model.geom.extents, model.geom.radius(), real_t{0}),
+      czz_(model.geom.extents, model.geom.radius(), real_t{0}),
+      cxy_(model.geom.extents, model.geom.radius(), real_t{0}),
+      cxz_(model.geom.extents, model.geom.radius(), real_t{0}),
+      cyz_(model.geom.extents, model.geom.radius(), real_t{0}),
+      ah_(model.geom.extents, model.geom.radius(), real_t{1}),
+      an_(model.geom.extents, model.geom.radius(), real_t{1}) {
+  TEMPEST_REQUIRE(model.geom.space_order >= 2 &&
+                  model.geom.space_order % 2 == 0);
+  TEMPEST_REQUIRE(opts_.tiles.valid());
+  // Precompute the symmetry-axis dyad n n^T and the Thomsen factors once:
+  // n = (sin t cos f, sin t sin f, cos t) with tilt t and azimuth f.
+  cxx_.for_each_interior([&](int x, int y, int z) {
+    const double t = model_.theta(x, y, z);
+    const double f = model_.phi(x, y, z);
+    const double nx = std::sin(t) * std::cos(f);
+    const double ny = std::sin(t) * std::sin(f);
+    const double nz = std::cos(t);
+    cxx_(x, y, z) = static_cast<real_t>(nx * nx);
+    cyy_(x, y, z) = static_cast<real_t>(ny * ny);
+    czz_(x, y, z) = static_cast<real_t>(nz * nz);
+    cxy_(x, y, z) = static_cast<real_t>(nx * ny);
+    cxz_(x, y, z) = static_cast<real_t>(nx * nz);
+    cyz_(x, y, z) = static_cast<real_t>(ny * nz);
+    ah_(x, y, z) =
+        static_cast<real_t>(1.0 + 2.0 * model_.epsilon(x, y, z));
+    an_(x, y, z) =
+        static_cast<real_t>(std::sqrt(1.0 + 2.0 * model_.delta(x, y, z)));
+  });
+}
+
+RunStats TTIPropagator::run(Schedule sched,
+                            const sparse::SparseTimeSeries& src,
+                            sparse::SparseTimeSeries* rec) {
+  const int nt = src.nt();
+  TEMPEST_REQUIRE(nt >= 2);
+  TEMPEST_REQUIRE_MSG(sched != Schedule::Diamond,
+                      "diamond tiling is implemented for the acoustic "
+                      "propagator only");
+  if (rec != nullptr) {
+    TEMPEST_REQUIRE(rec->nt() >= nt);
+    rec->zero();
+  }
+  p_.fill(real_t{0});
+  q_.fill(real_t{0});
+
+  const auto& e = model_.geom.extents;
+  const int radius = model_.geom.radius();
+  const TTIWeights w = folded_weights(model_.geom.space_order);
+  const real_t inv_h2 =
+      static_cast<real_t>(1.0 / (model_.geom.spacing * model_.geom.spacing));
+  const real_t idt2 = static_cast<real_t>(1.0 / (dt_ * dt_));
+  const real_t i2dt = static_cast<real_t>(1.0 / (2.0 * dt_));
+  const real_t dt2 = static_cast<real_t>(dt_ * dt_);
+
+  const std::ptrdiff_t sx = p_.at(0).stride_x();
+  const std::ptrdiff_t sy = p_.at(0).stride_y();
+  TEMPEST_REQUIRE(model_.m.stride_x() == sx);
+  const TTIFields f{model_.m.origin(),  model_.damp.origin(), cxx_.origin(),
+                    cyy_.origin(),      czz_.origin(),        cxy_.origin(),
+                    cxz_.origin(),      cyz_.origin(),        ah_.origin(),
+                    an_.origin()};
+
+  const auto& m_grid = model_.m;
+  auto inj_scale = [dt2, &m_grid](int x, int y, int z) {
+    return dt2 / m_grid(x, y, z);
+  };
+
+  auto stencil_block = [&](int t, const grid::Box3& box) {
+    real_t* pn = p_.at(t + 1).origin();
+    const real_t* pc = p_.at(t).origin();
+    const real_t* pp = p_.at(t - 1).origin();
+    real_t* qn = q_.at(t + 1).origin();
+    const real_t* qc = q_.at(t).origin();
+    const real_t* qp = q_.at(t - 1).origin();
+    switch (radius) {
+      case 1:
+        update_block<1>(pn, pc, pp, qn, qc, qp, f, sx, sy, box, w.w2.data(),
+                        w.w1.data(), inv_h2, idt2, i2dt);
+        break;
+      case 2:
+        update_block<2>(pn, pc, pp, qn, qc, qp, f, sx, sy, box, w.w2.data(),
+                        w.w1.data(), inv_h2, idt2, i2dt);
+        break;
+      case 4:
+        update_block<4>(pn, pc, pp, qn, qc, qp, f, sx, sy, box, w.w2.data(),
+                        w.w1.data(), inv_h2, idt2, i2dt);
+        break;
+      case 6:
+        update_block<6>(pn, pc, pp, qn, qc, qp, f, sx, sy, box, w.w2.data(),
+                        w.w1.data(), inv_h2, idt2, i2dt);
+        break;
+      default:
+        update_block_generic(pn, pc, pp, qn, qc, qp, f, sx, sy, box,
+                             w.w2.data(), w.w1.data(), radius, inv_h2, idt2,
+                             i2dt);
+        break;
+    }
+  };
+
+  RunStats stats;
+  stats.point_updates =
+      static_cast<long long>(nt - 1) * static_cast<long long>(e.size());
+
+  if (sched == Schedule::Wavefront) {
+    util::Timer pre;
+    const core::SourceMasks masks =
+        core::build_source_masks(e, src, opts_.interp);
+    const core::DecomposedSource dcmp =
+        core::decompose_sources(masks, src, opts_.interp);
+    const core::CompressedSparse cs_src(masks.sm, masks.sid);
+    core::DecomposedReceivers drec;
+    core::CompressedSparse cs_rec;
+    if (rec != nullptr && rec->npoints() > 0) {
+      drec = core::decompose_receivers(e, *rec, opts_.interp);
+      cs_rec = core::CompressedSparse(drec.rm, drec.rid);
+    }
+    stats.precompute_seconds = pre.seconds();
+
+    util::Timer timer;
+    core::run_wavefront(
+        e, 1, nt, radius, opts_.tiles, [&](int t, const grid::Box3& box) {
+          stencil_block(t, box);
+          core::fused_inject(p_.at(t + 1), cs_src, dcmp, t, box.x, box.y,
+                             inj_scale);
+          core::fused_inject(q_.at(t + 1), cs_src, dcmp, t, box.x, box.y,
+                             inj_scale);
+          if (rec != nullptr && !cs_rec.empty()) {
+            core::fused_gather(p_.at(t + 1), cs_rec, drec,
+                               rec->step(t).data(), box.x, box.y);
+          }
+        });
+    stats.seconds = timer.seconds();
+    return stats;
+  }
+
+  if (sched == Schedule::SpaceBlocked) {
+    const sparse::SupportCache src_cache(src, opts_.interp, e);
+    sparse::SupportCache rec_cache;
+    if (rec != nullptr && rec->npoints() > 0) {
+      rec_cache = sparse::SupportCache(*rec, opts_.interp, e);
+    }
+    util::Timer timer;
+    const auto blocks = grid::decompose_xy(
+        grid::Box3::whole(e), opts_.tiles.block_x, opts_.tiles.block_y);
+    for (int t = 1; t < nt; ++t) {
+#pragma omp parallel for schedule(dynamic)
+      for (std::size_t b = 0; b < blocks.size(); ++b) {
+        stencil_block(t, blocks[b]);
+      }
+      sparse::inject_cached(p_.at(t + 1), src, t, src_cache, inj_scale);
+      sparse::inject_cached(q_.at(t + 1), src, t, src_cache, inj_scale);
+      if (rec != nullptr && rec->npoints() > 0) {
+        sparse::interpolate_cached(p_.at(t + 1), *rec, t, rec_cache);
+      }
+    }
+    stats.seconds = timer.seconds();
+    return stats;
+  }
+
+  util::Timer timer;
+  for (int t = 1; t < nt; ++t) {
+    stencil_block(t, grid::Box3::whole(e));
+    sparse::inject(p_.at(t + 1), src, t, opts_.interp, inj_scale);
+    sparse::inject(q_.at(t + 1), src, t, opts_.interp, inj_scale);
+    if (rec != nullptr && rec->npoints() > 0) {
+      sparse::interpolate(p_.at(t + 1), *rec, t, opts_.interp);
+    }
+  }
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace tempest::physics

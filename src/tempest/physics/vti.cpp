@@ -1,0 +1,258 @@
+#include "tempest/physics/vti.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "tempest/core/compress.hpp"
+#include "tempest/core/fused.hpp"
+#include "tempest/core/precompute.hpp"
+#include "tempest/sparse/operators.hpp"
+#include "tempest/stencil/coefficients.hpp"
+#include "tempest/util/error.hpp"
+#include "tempest/util/timer.hpp"
+
+namespace tempest::physics {
+
+namespace {
+
+std::vector<real_t> folded_w2(int space_order) {
+  const stencil::Coeffs c = stencil::central(2, space_order);
+  const int r = stencil::radius_for_order(space_order);
+  std::vector<real_t> w(static_cast<std::size_t>(r) + 1);
+  for (int k = 0; k <= r; ++k) {
+    w[static_cast<std::size_t>(k)] =
+        static_cast<real_t>(c.weights[static_cast<std::size_t>(r + k)]);
+  }
+  return w;
+}
+
+/// VTI block update: horizontal Laplacian of p, vertical second derivative
+/// of q, coupled through the Thomsen factors.
+template <int R>
+void update_block(real_t* __restrict pn, const real_t* __restrict pc,
+                  const real_t* __restrict pp, real_t* __restrict qn,
+                  const real_t* __restrict qc, const real_t* __restrict qp,
+                  const real_t* __restrict m, const real_t* __restrict damp,
+                  const real_t* __restrict ah, const real_t* __restrict an,
+                  std::ptrdiff_t sx, std::ptrdiff_t sy, const grid::Box3& b,
+                  const real_t* __restrict w, real_t inv_h2, real_t idt2,
+                  real_t i2dt) {
+  for (int x = b.x.lo; x < b.x.hi; ++x) {
+    for (int y = b.y.lo; y < b.y.hi; ++y) {
+      const std::ptrdiff_t row = x * sx + y * sy;
+#pragma omp simd
+      for (int z = b.z.lo; z < b.z.hi; ++z) {
+        const std::ptrdiff_t i = row + z;
+        real_t hp = real_t{2} * w[0] * pc[i];  // d2x + d2y of p
+        real_t hz = w[0] * qc[i];              // d2z of q
+#pragma GCC unroll 8
+        for (int k = 1; k <= R; ++k) {
+          hp += w[k] * (pc[i - k * sx] + pc[i + k * sx] + pc[i - k * sy] +
+                        pc[i + k * sy]);
+          hz += w[k] * (qc[i - k] + qc[i + k]);
+        }
+        hp *= inv_h2;
+        hz *= inv_h2;
+        const real_t denom = m[i] * idt2 + damp[i] * i2dt;
+        pn[i] = (ah[i] * hp + an[i] * hz +
+                 m[i] * idt2 * (real_t{2} * pc[i] - pp[i]) +
+                 damp[i] * i2dt * pp[i]) /
+                denom;
+        qn[i] = (an[i] * hp + hz +
+                 m[i] * idt2 * (real_t{2} * qc[i] - qp[i]) +
+                 damp[i] * i2dt * qp[i]) /
+                denom;
+      }
+    }
+  }
+}
+
+void update_block_generic(real_t* pn, const real_t* pc, const real_t* pp,
+                          real_t* qn, const real_t* qc, const real_t* qp,
+                          const real_t* m, const real_t* damp,
+                          const real_t* ah, const real_t* an,
+                          std::ptrdiff_t sx, std::ptrdiff_t sy,
+                          const grid::Box3& b, const real_t* w, int radius,
+                          real_t inv_h2, real_t idt2, real_t i2dt) {
+  for (int x = b.x.lo; x < b.x.hi; ++x) {
+    for (int y = b.y.lo; y < b.y.hi; ++y) {
+      const std::ptrdiff_t row = x * sx + y * sy;
+      for (int z = b.z.lo; z < b.z.hi; ++z) {
+        const std::ptrdiff_t i = row + z;
+        real_t hp = real_t{2} * w[0] * pc[i];
+        real_t hz = w[0] * qc[i];
+        for (int k = 1; k <= radius; ++k) {
+          hp += w[k] * (pc[i - k * sx] + pc[i + k * sx] + pc[i - k * sy] +
+                        pc[i + k * sy]);
+          hz += w[k] * (qc[i - k] + qc[i + k]);
+        }
+        hp *= inv_h2;
+        hz *= inv_h2;
+        const real_t denom = m[i] * idt2 + damp[i] * i2dt;
+        pn[i] = (ah[i] * hp + an[i] * hz +
+                 m[i] * idt2 * (real_t{2} * pc[i] - pp[i]) +
+                 damp[i] * i2dt * pp[i]) /
+                denom;
+        qn[i] = (an[i] * hp + hz +
+                 m[i] * idt2 * (real_t{2} * qc[i] - qp[i]) +
+                 damp[i] * i2dt * qp[i]) /
+                denom;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+VTIPropagator::VTIPropagator(const TTIModel& model, PropagatorOptions opts)
+    : model_(model),
+      opts_(opts),
+      dt_(opts.dt > 0.0 ? opts.dt : model.critical_dt()),
+      p_(3, model.geom.extents, model.geom.radius()),
+      q_(3, model.geom.extents, model.geom.radius()),
+      ah_(model.geom.extents, model.geom.radius(), real_t{1}),
+      an_(model.geom.extents, model.geom.radius(), real_t{1}) {
+  TEMPEST_REQUIRE(opts_.tiles.valid());
+  TEMPEST_REQUIRE_MSG(grid::max_abs(model.theta) == 0.0 &&
+                          grid::max_abs(model.phi) == 0.0,
+                      "VTI requires an untilted model (theta == phi == 0); "
+                      "use TTIPropagator for tilted media");
+  ah_.for_each_interior([&](int x, int y, int z) {
+    ah_(x, y, z) = static_cast<real_t>(1.0 + 2.0 * model_.epsilon(x, y, z));
+    an_(x, y, z) =
+        static_cast<real_t>(std::sqrt(1.0 + 2.0 * model_.delta(x, y, z)));
+  });
+}
+
+RunStats VTIPropagator::run(Schedule sched,
+                            const sparse::SparseTimeSeries& src,
+                            sparse::SparseTimeSeries* rec) {
+  const int nt = src.nt();
+  TEMPEST_REQUIRE(nt >= 2);
+  TEMPEST_REQUIRE_MSG(sched != Schedule::Diamond,
+                      "diamond tiling is implemented for the acoustic "
+                      "propagator only");
+  if (rec != nullptr) {
+    TEMPEST_REQUIRE(rec->nt() >= nt);
+    rec->zero();
+  }
+  p_.fill(real_t{0});
+  q_.fill(real_t{0});
+
+  const auto& e = model_.geom.extents;
+  const int radius = model_.geom.radius();
+  const std::vector<real_t> w = folded_w2(model_.geom.space_order);
+  const real_t inv_h2 =
+      static_cast<real_t>(1.0 / (model_.geom.spacing * model_.geom.spacing));
+  const real_t idt2 = static_cast<real_t>(1.0 / (dt_ * dt_));
+  const real_t i2dt = static_cast<real_t>(1.0 / (2.0 * dt_));
+  const real_t dt2 = static_cast<real_t>(dt_ * dt_);
+
+  const std::ptrdiff_t sx = p_.at(0).stride_x();
+  const std::ptrdiff_t sy = p_.at(0).stride_y();
+  const auto& m_grid = model_.m;
+  auto inj_scale = [dt2, &m_grid](int x, int y, int z) {
+    return dt2 / m_grid(x, y, z);
+  };
+
+  auto stencil_block = [&](int t, const grid::Box3& box) {
+    real_t* pn = p_.at(t + 1).origin();
+    const real_t* pc = p_.at(t).origin();
+    const real_t* pp = p_.at(t - 1).origin();
+    real_t* qn = q_.at(t + 1).origin();
+    const real_t* qc = q_.at(t).origin();
+    const real_t* qp = q_.at(t - 1).origin();
+    const real_t* m = model_.m.origin();
+    const real_t* damp = model_.damp.origin();
+    switch (radius) {
+      case 1:
+        update_block<1>(pn, pc, pp, qn, qc, qp, m, damp, ah_.origin(),
+                        an_.origin(), sx, sy, box, w.data(), inv_h2, idt2,
+                        i2dt);
+        break;
+      case 2:
+        update_block<2>(pn, pc, pp, qn, qc, qp, m, damp, ah_.origin(),
+                        an_.origin(), sx, sy, box, w.data(), inv_h2, idt2,
+                        i2dt);
+        break;
+      case 4:
+        update_block<4>(pn, pc, pp, qn, qc, qp, m, damp, ah_.origin(),
+                        an_.origin(), sx, sy, box, w.data(), inv_h2, idt2,
+                        i2dt);
+        break;
+      case 6:
+        update_block<6>(pn, pc, pp, qn, qc, qp, m, damp, ah_.origin(),
+                        an_.origin(), sx, sy, box, w.data(), inv_h2, idt2,
+                        i2dt);
+        break;
+      default:
+        update_block_generic(pn, pc, pp, qn, qc, qp, m, damp, ah_.origin(),
+                             an_.origin(), sx, sy, box, w.data(), radius,
+                             inv_h2, idt2, i2dt);
+        break;
+    }
+  };
+
+  RunStats stats;
+  stats.point_updates =
+      static_cast<long long>(nt - 1) * static_cast<long long>(e.size());
+
+  if (sched == Schedule::Wavefront) {
+    util::Timer pre;
+    const core::SourceMasks masks =
+        core::build_source_masks(e, src, opts_.interp);
+    const core::DecomposedSource dcmp =
+        core::decompose_sources(masks, src, opts_.interp);
+    const core::CompressedSparse cs_src(masks.sm, masks.sid);
+    core::DecomposedReceivers drec;
+    core::CompressedSparse cs_rec;
+    if (rec != nullptr && rec->npoints() > 0) {
+      drec = core::decompose_receivers(e, *rec, opts_.interp);
+      cs_rec = core::CompressedSparse(drec.rm, drec.rid);
+    }
+    stats.precompute_seconds = pre.seconds();
+
+    util::Timer timer;
+    core::run_wavefront(
+        e, 1, nt, radius, opts_.tiles, [&](int t, const grid::Box3& box) {
+          stencil_block(t, box);
+          core::fused_inject(p_.at(t + 1), cs_src, dcmp, t, box.x, box.y,
+                             inj_scale);
+          core::fused_inject(q_.at(t + 1), cs_src, dcmp, t, box.x, box.y,
+                             inj_scale);
+          if (rec != nullptr && !cs_rec.empty()) {
+            core::fused_gather(p_.at(t + 1), cs_rec, drec,
+                               rec->step(t).data(), box.x, box.y);
+          }
+        });
+    stats.seconds = timer.seconds();
+    return stats;
+  }
+
+  const sparse::SupportCache src_cache(src, opts_.interp, e);
+  sparse::SupportCache rec_cache;
+  if (rec != nullptr && rec->npoints() > 0) {
+    rec_cache = sparse::SupportCache(*rec, opts_.interp, e);
+  }
+  util::Timer timer;
+  const bool blocked = sched == Schedule::SpaceBlocked;
+  const auto blocks =
+      blocked ? grid::decompose_xy(grid::Box3::whole(e), opts_.tiles.block_x,
+                                   opts_.tiles.block_y)
+              : std::vector<grid::Box3>{grid::Box3::whole(e)};
+  for (int t = 1; t < nt; ++t) {
+#pragma omp parallel for schedule(dynamic) if (blocked)
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      stencil_block(t, blocks[b]);
+    }
+    sparse::inject_cached(p_.at(t + 1), src, t, src_cache, inj_scale);
+    sparse::inject_cached(q_.at(t + 1), src, t, src_cache, inj_scale);
+    if (rec != nullptr && rec->npoints() > 0) {
+      sparse::interpolate_cached(p_.at(t + 1), *rec, t, rec_cache);
+    }
+  }
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace tempest::physics

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "tempest/config.hpp"
+#include "tempest/grid/time_buffer.hpp"
+#include "tempest/physics/model.hpp"
+#include "tempest/physics/propagator.hpp"
+#include "tempest/sparse/series.hpp"
+
+namespace tempest::physics {
+
+/// Vertically transversely isotropic (VTI) pseudo-acoustic propagator: the
+/// untilted specialisation of the TTI system (theta = phi = 0), for which
+/// the rotated operators collapse to
+///   Hz u = d²u/dz²,   Hперп u = d²u/dx² + d²u/dy²
+/// — no mixed derivatives, so the kernel is far cheaper than TTI while
+/// keeping the coupled p–q anisotropic physics. Widely used in practice
+/// (Alkhalifah-style VTI modelling) and, here, a cross-check: on a model
+/// with zero tilt this propagator and TTIPropagator must agree.
+///
+/// Takes a TTIModel whose theta and phi are identically zero (enforced).
+class VTIPropagator {
+ public:
+  VTIPropagator(const TTIModel& model, PropagatorOptions opts = {});
+
+  RunStats run(Schedule sched, const sparse::SparseTimeSeries& src,
+               sparse::SparseTimeSeries* rec = nullptr);
+
+  [[nodiscard]] const grid::Grid3<real_t>& wavefield_p(int t) const {
+    return p_.at(t);
+  }
+  [[nodiscard]] const grid::Grid3<real_t>& wavefield_q(int t) const {
+    return q_.at(t);
+  }
+  [[nodiscard]] double dt() const { return dt_; }
+
+ private:
+  const TTIModel& model_;
+  PropagatorOptions opts_;
+  double dt_;
+  grid::TimeBuffer<real_t> p_;
+  grid::TimeBuffer<real_t> q_;
+  grid::Grid3<real_t> ah_;  ///< 1 + 2 eps
+  grid::Grid3<real_t> an_;  ///< sqrt(1 + 2 delta)
+};
+
+}  // namespace tempest::physics

@@ -1,0 +1,36 @@
+#include "tempest/sparse/operators.hpp"
+
+namespace tempest::sparse {
+
+void interpolate(const grid::Grid3<real_t>& u, SparseTimeSeries& rec, int t,
+                 InterpKind kind) {
+  for (int r = 0; r < rec.npoints(); ++r) {
+    double acc = 0.0;
+    for (const SupportPoint& p : support(rec.coord(r), kind, u.extents())) {
+      acc += p.w * static_cast<double>(u(p.x, p.y, p.z));
+    }
+    rec.at(t, r) = static_cast<real_t>(acc);
+  }
+}
+
+SupportCache::SupportCache(const SparseTimeSeries& series, InterpKind kind,
+                           const grid::Extents3& extents) {
+  per_point.reserve(static_cast<std::size_t>(series.npoints()));
+  for (int p = 0; p < series.npoints(); ++p) {
+    per_point.push_back(support(series.coord(p), kind, extents));
+  }
+}
+
+void interpolate_cached(const grid::Grid3<real_t>& u, SparseTimeSeries& rec,
+                        int t, const SupportCache& cache) {
+  for (int r = 0; r < rec.npoints(); ++r) {
+    double acc = 0.0;
+    for (const SupportPoint& p :
+         cache.per_point[static_cast<std::size_t>(r)]) {
+      acc += p.w * static_cast<double>(u(p.x, p.y, p.z));
+    }
+    rec.at(t, r) = static_cast<real_t>(acc);
+  }
+}
+
+}  // namespace tempest::sparse

@@ -1,0 +1,67 @@
+#pragma once
+
+#include "tempest/config.hpp"
+#include "tempest/grid/grid3.hpp"
+#include "tempest/sparse/interp.hpp"
+#include "tempest/sparse/series.hpp"
+
+namespace tempest::sparse {
+
+/// The *baseline* sparse operators of the paper's Listing 1: indirection
+/// loops over off-the-grid point sets, run once per timestep after (or
+/// before) the grid sweep. These are what space-blocked Devito code executes
+/// and what the precompute pipeline in core/ replaces.
+
+/// Scatter `src` amplitudes at timestep `t` into `u`:
+///   u(p) += w_p * src[t][s] * scale(p)   for each support point p of s.
+/// `scale` is the grid-point-local injection factor (e.g. dt^2/m(x,y,z) for
+/// the acoustic equation); it must depend only on the target grid point so
+/// the decomposed/fused variants remain exactly equivalent.
+template <typename ScaleFn>
+void inject(grid::Grid3<real_t>& u, const SparseTimeSeries& src, int t,
+            InterpKind kind, ScaleFn&& scale) {
+  for (int s = 0; s < src.npoints(); ++s) {
+    const real_t amp = src.at(t, s);
+    for (const SupportPoint& p : support(src.coord(s), kind, u.extents())) {
+      u(p.x, p.y, p.z) += static_cast<real_t>(p.w) * amp *
+                          static_cast<real_t>(scale(p.x, p.y, p.z));
+    }
+  }
+}
+
+/// Gather field values at timestep `t` into the receiver series:
+///   rec[t][r] = sum_p w_p * u(p).
+void interpolate(const grid::Grid3<real_t>& u, SparseTimeSeries& rec, int t,
+                 InterpKind kind);
+
+/// Precomputed support cache: the support of each point in a series, used
+/// where per-timestep recomputation of weights would dominate (the naive
+/// baselines reuse it so baseline-vs-fused comparisons measure scheduling,
+/// not coordinate arithmetic).
+struct SupportCache {
+  std::vector<std::vector<SupportPoint>> per_point;
+
+  SupportCache() = default;
+  SupportCache(const SparseTimeSeries& series, InterpKind kind,
+               const grid::Extents3& extents);
+};
+
+/// inject() through a prebuilt cache.
+template <typename ScaleFn>
+void inject_cached(grid::Grid3<real_t>& u, const SparseTimeSeries& src, int t,
+                   const SupportCache& cache, ScaleFn&& scale) {
+  for (int s = 0; s < src.npoints(); ++s) {
+    const real_t amp = src.at(t, s);
+    for (const SupportPoint& p :
+         cache.per_point[static_cast<std::size_t>(s)]) {
+      u(p.x, p.y, p.z) += static_cast<real_t>(p.w) * amp *
+                          static_cast<real_t>(scale(p.x, p.y, p.z));
+    }
+  }
+}
+
+/// interpolate() through a prebuilt cache.
+void interpolate_cached(const grid::Grid3<real_t>& u, SparseTimeSeries& rec,
+                        int t, const SupportCache& cache);
+
+}  // namespace tempest::sparse

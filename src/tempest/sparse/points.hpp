@@ -1,0 +1,26 @@
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+namespace tempest::sparse {
+
+/// Continuous position in *grid units*: (1.5, 2.0, 7.25) sits halfway
+/// between grid points 1 and 2 in x. Off-the-grid operators (sources,
+/// receivers) live at such coordinates; conversion from physical metres is
+/// a division by the grid spacing done by the caller (see physics::Model).
+struct Coord3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend bool operator==(const Coord3&, const Coord3&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Coord3& c) {
+  return os << '(' << c.x << ',' << c.y << ',' << c.z << ')';
+}
+
+using CoordList = std::vector<Coord3>;
+
+}  // namespace tempest::sparse

@@ -1,0 +1,115 @@
+#include "tempest/sparse/survey.hpp"
+
+#include <cmath>
+
+#include "tempest/util/error.hpp"
+#include "tempest/util/rng.hpp"
+
+namespace tempest::sparse {
+
+namespace {
+
+double clamp_margin(double v, int extent, int margin) {
+  const double lo = static_cast<double>(margin);
+  const double hi = static_cast<double>(extent - 1 - margin);
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace
+
+CoordList single_center_source(const grid::Extents3& e,
+                               double depth_fraction) {
+  TEMPEST_REQUIRE(depth_fraction >= 0.0 && depth_fraction <= 1.0);
+  // 0.37 / 0.61 fractional parts: off-the-grid in every dimension.
+  return {Coord3{0.5 * (e.nx - 1) + 0.37, 0.5 * (e.ny - 1) + 0.61,
+                 depth_fraction * (e.nz - 1) + 0.43}};
+}
+
+CoordList plane_scatter(const grid::Extents3& e, int n, std::uint64_t seed,
+                        double depth_fraction, int margin) {
+  TEMPEST_REQUIRE(n > 0 && margin >= 0);
+  TEMPEST_REQUIRE(e.nx > 2 * margin && e.ny > 2 * margin);
+  util::SplitMix64 rng(seed);
+  const double z = clamp_margin(depth_fraction * (e.nz - 1) + 0.43, e.nz,
+                                margin);
+  CoordList out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Coord3{
+        rng.uniform(margin, e.nx - 1 - margin),
+        rng.uniform(margin, e.ny - 1 - margin),
+        z,
+    });
+  }
+  return out;
+}
+
+CoordList dense_volume(const grid::Extents3& e, int n, std::uint64_t seed,
+                       int margin) {
+  TEMPEST_REQUIRE(n > 0 && margin >= 0);
+  TEMPEST_REQUIRE(e.nx > 2 * margin && e.ny > 2 * margin &&
+                  e.nz > 2 * margin);
+  // Uniform lattice with jitter: "densely and uniformly located all over the
+  // 3D grid". A jittered lattice covers the volume evenly at any n while
+  // keeping every position off-the-grid.
+  util::SplitMix64 rng(seed);
+  const int per_dim =
+      std::max(1, static_cast<int>(std::ceil(std::cbrt(static_cast<double>(n)))));
+  CoordList out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int ix = 0; ix < per_dim && static_cast<int>(out.size()) < n; ++ix) {
+    for (int iy = 0; iy < per_dim && static_cast<int>(out.size()) < n; ++iy) {
+      for (int iz = 0; iz < per_dim && static_cast<int>(out.size()) < n;
+           ++iz) {
+        auto place = [&](int i, int extent) {
+          const double cell =
+              static_cast<double>(extent - 2 * margin) / per_dim;
+          return clamp_margin(
+              margin + (i + 0.25 + 0.5 * rng.uniform()) * cell, extent,
+              margin);
+        };
+        out.push_back(
+            Coord3{place(ix, e.nx), place(iy, e.ny), place(iz, e.nz)});
+      }
+    }
+  }
+  return out;
+}
+
+CoordList receiver_line(const grid::Extents3& e, int n, double depth_fraction,
+                        int margin) {
+  TEMPEST_REQUIRE(n > 0);
+  CoordList out;
+  out.reserve(static_cast<std::size_t>(n));
+  const double z =
+      clamp_margin(depth_fraction * (e.nz - 1) + 0.29, e.nz, margin);
+  const double y = 0.5 * (e.ny - 1) + 0.17;
+  const double span = static_cast<double>(e.nx - 1 - 2 * margin);
+  for (int i = 0; i < n; ++i) {
+    const double frac = (n == 1) ? 0.5 : static_cast<double>(i) / (n - 1);
+    out.push_back(Coord3{margin + frac * span + 0.11, y, z});
+  }
+  return out;
+}
+
+CoordList receiver_carpet(const grid::Extents3& e, int n_x, int n_y,
+                          double depth_fraction, int margin) {
+  TEMPEST_REQUIRE(n_x > 0 && n_y > 0);
+  CoordList out;
+  out.reserve(static_cast<std::size_t>(n_x) * static_cast<std::size_t>(n_y));
+  const double z =
+      clamp_margin(depth_fraction * (e.nz - 1) + 0.29, e.nz, margin);
+  const double span_x = static_cast<double>(e.nx - 1 - 2 * margin);
+  const double span_y = static_cast<double>(e.ny - 1 - 2 * margin);
+  for (int i = 0; i < n_x; ++i) {
+    const double fx = (n_x == 1) ? 0.5 : static_cast<double>(i) / (n_x - 1);
+    for (int j = 0; j < n_y; ++j) {
+      const double fy = (n_y == 1) ? 0.5 : static_cast<double>(j) / (n_y - 1);
+      out.push_back(Coord3{margin + fx * span_x + 0.11,
+                           margin + fy * span_y + 0.23, z});
+    }
+  }
+  return out;
+}
+
+}  // namespace tempest::sparse

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "tempest/grid/extents.hpp"
+#include "tempest/sparse/points.hpp"
+
+namespace tempest::sparse {
+
+/// Acquisition-geometry builders for the paper's experimental setups
+/// (Section IV.B and IV.E). All coordinates are in grid units and are
+/// deliberately placed *off* the grid (fractional offsets) unless stated.
+
+/// One source at the centre of the domain, offset by an irrational-ish
+/// fraction so it is genuinely off-the-grid (the paper's standard setup:
+/// "one time-dependent, spatially localized seismic source").
+[[nodiscard]] CoordList single_center_source(const grid::Extents3& e,
+                                             double depth_fraction = 0.1);
+
+/// `n` sources scattered at random off-the-grid positions on one x–y plane
+/// slice of the 3-D grid (paper Fig. 10, "sparsely located" corner case).
+[[nodiscard]] CoordList plane_scatter(const grid::Extents3& e, int n,
+                                      std::uint64_t seed,
+                                      double depth_fraction = 0.1,
+                                      int margin = 8);
+
+/// `n` sources densely and uniformly distributed over the whole 3-D volume
+/// (paper Fig. 10, "densely located" corner case that defeats sparsity).
+[[nodiscard]] CoordList dense_volume(const grid::Extents3& e, int n,
+                                     std::uint64_t seed, int margin = 8);
+
+/// A horizontal line of `n` receivers near the surface spanning the x range
+/// (the classic streamer/shot-gather geometry used by the examples).
+[[nodiscard]] CoordList receiver_line(const grid::Extents3& e, int n,
+                                      double depth_fraction = 0.05,
+                                      int margin = 8);
+
+/// A coarse x–y carpet of n_x*n_y receivers near the surface.
+[[nodiscard]] CoordList receiver_carpet(const grid::Extents3& e, int n_x,
+                                        int n_y, double depth_fraction = 0.05,
+                                        int margin = 8);
+
+}  // namespace tempest::sparse

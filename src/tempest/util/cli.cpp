@@ -1,0 +1,73 @@
+#include "tempest/util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace tempest::util {
+
+namespace {
+
+bool looks_like_option(const std::string& s) {
+  return s.size() > 2 && s.rfind("--", 0) == 0;
+}
+
+}  // namespace
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!looks_like_option(arg)) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      options_[arg] = "";  // bare flag
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return options_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+long Cli::get_int(const std::string& key, long fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_flag(const std::string& key, bool fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  const std::string& v = it->second;
+  return v.empty() || v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<long> Cli::get_int_list(const std::string& key,
+                                    const std::vector<long>& fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  std::vector<long> out;
+  std::stringstream ss(it->second);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::strtol(tok.c_str(), nullptr, 10));
+  }
+  return out.empty() ? fallback : out;
+}
+
+}  // namespace tempest::util

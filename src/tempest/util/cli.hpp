@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tempest::util {
+
+/// Minimal command-line parser for the bench/example binaries.
+///
+/// Accepts `--key=value` and boolean `--flag` forms (the space-separated
+/// `--key value` form is deliberately rejected: it is ambiguous with
+/// positionals). Positional arguments are collected in positional(). The bench
+/// harnesses share one option vocabulary (--size, --steps, --so, --full,
+/// --csv, ...) documented per binary via usage().
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_flag(const std::string& key,
+                              bool fallback = false) const;
+
+  /// Comma-separated integer list, e.g. --so=4,8,12.
+  [[nodiscard]] std::vector<long> get_int_list(
+      const std::string& key, const std::vector<long>& fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tempest::util

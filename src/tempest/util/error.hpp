@@ -1,0 +1,43 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tempest::util {
+
+/// Exception thrown by TEMPEST_REQUIRE on precondition violations.
+/// Carries the failing expression and source location in its message.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace tempest::util
+
+/// Check a precondition that must hold regardless of build type.
+/// Unlike assert(), this is active in Release builds: the library is driven
+/// by user-supplied geometry and tile parameters, and silent out-of-bounds
+/// access is never acceptable in a solver.
+#define TEMPEST_REQUIRE(expr)                                                \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::tempest::util::detail::require_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define TEMPEST_REQUIRE_MSG(expr, msg)                                       \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::tempest::util::detail::require_failed(#expr, __FILE__, __LINE__,     \
+                                              (msg));                        \
+  } while (0)

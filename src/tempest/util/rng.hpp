@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+namespace tempest::util {
+
+/// SplitMix64: tiny, fast, deterministic PRNG. Used wherever the library
+/// needs reproducible pseudo-random data (source scatter geometries,
+/// randomized property tests, synthetic velocity models). Deliberately not
+/// std::mt19937 so that sequences are identical across standard libraries.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace tempest::util

@@ -1,0 +1,39 @@
+#include "tempest/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tempest::util {
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+
+  const std::size_t mid = s.count / 2;
+  s.median = (s.count % 2 == 1) ? sorted[mid]
+                                : 0.5 * (sorted[mid - 1] + sorted[mid]);
+
+  double sq = 0.0;
+  for (double v : sorted) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = (s.count > 1)
+                 ? std::sqrt(sq / static_cast<double>(s.count - 1))
+                 : 0.0;
+  return s;
+}
+
+double rel_err(double a, double b, double eps) {
+  const double denom = std::max({std::fabs(a), std::fabs(b), eps});
+  return std::fabs(a - b) / denom;
+}
+
+}  // namespace tempest::util

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tempest::util {
+
+/// Summary statistics over a series of benchmark samples.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+/// Compute min/max/mean/median/stddev of `samples`. Empty input yields a
+/// zero-initialized Summary.
+Summary summarize(std::span<const double> samples);
+
+/// Best-of-N timing convention used throughout the benches: run `fn` `n`
+/// times, return all wall times (seconds). Callers typically take the min,
+/// matching the paper's "best performing" reporting.
+template <typename Fn>
+std::vector<double> sample_times(std::size_t n, Fn&& fn);
+
+/// Relative error |a-b| / max(|a|,|b|,eps); symmetric and safe near zero.
+double rel_err(double a, double b, double eps = 1e-30);
+
+}  // namespace tempest::util
+
+#include "tempest/util/timer.hpp"
+
+namespace tempest::util {
+
+template <typename Fn>
+std::vector<double> sample_times(std::size_t n, Fn&& fn) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(timed(fn));
+  return out;
+}
+
+}  // namespace tempest::util

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tempest::util {
+
+/// Plain-text table printer used by the bench harnesses to emit the rows of
+/// the paper's tables/figures. Supports an aligned ASCII rendering for human
+/// reading and a CSV rendering for post-processing/plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  void print_ascii(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tempest::util

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tempest/autotune/autotune.hpp"
+#include "tempest/util/error.hpp"
+
+namespace at = tempest::autotune;
+namespace tc = tempest::core;
+namespace tg = tempest::grid;
+
+TEST(Candidates, SymmetricSpaceShape) {
+  at::CandidateSpace space;
+  space.tile_sizes = {32, 64};
+  space.block_sizes = {4, 8};
+  space.tile_t = {8};
+  space.symmetric = true;
+  const auto c = at::candidates({128, 128, 128}, space);
+  // 2 tiles x 2 blocks = 4 symmetric shapes.
+  EXPECT_EQ(c.size(), 4u);
+  for (const auto& s : c) {
+    EXPECT_EQ(s.tile_x, s.tile_y);
+    EXPECT_EQ(s.block_x, s.block_y);
+    EXPECT_LE(s.block_x, s.tile_x);
+  }
+}
+
+TEST(Candidates, FullSpaceIncludesAsymmetric) {
+  at::CandidateSpace space;
+  space.tile_sizes = {32, 64};
+  space.block_sizes = {4, 8};
+  space.symmetric = false;
+  const auto c = at::candidates({128, 128, 128}, space);
+  EXPECT_EQ(c.size(), 16u);
+  bool any_asym = false;
+  for (const auto& s : c) any_asym = any_asym || (s.tile_x != s.tile_y);
+  EXPECT_TRUE(any_asym);
+}
+
+TEST(Candidates, DropsOversizeAndInvalid) {
+  at::CandidateSpace space;
+  space.tile_sizes = {32, 512};  // 512 > 2*64: dropped
+  space.block_sizes = {8, 64};   // 64 > tile 32: dropped for that tile
+  const auto c = at::candidates({64, 64, 64}, space);
+  for (const auto& s : c) {
+    EXPECT_LE(s.tile_x, 128);
+    EXPECT_LE(s.block_x, s.tile_x);
+  }
+}
+
+TEST(Candidates, RejectsEmptySpace) {
+  at::CandidateSpace space;
+  space.tile_sizes = {};
+  EXPECT_THROW((void)at::candidates({64, 64, 64}, space),
+               tempest::util::PreconditionError);
+}
+
+TEST(Sweep, FindsTheAnalyticOptimum) {
+  at::CandidateSpace space;
+  space.tile_sizes = {16, 32, 64, 128};
+  space.block_sizes = {4, 8, 16};
+  const auto specs = at::candidates({128, 128, 128}, space);
+  // Synthetic cost surface with a unique minimum at (64, 8).
+  auto measure = [](const tc::TileSpec& s) {
+    return std::fabs(s.tile_x - 64.0) + std::fabs(s.block_x - 8.0) + 1.0;
+  };
+  const auto result = at::sweep(specs, measure);
+  EXPECT_EQ(result.best.spec.tile_x, 64);
+  EXPECT_EQ(result.best.spec.block_x, 8);
+  EXPECT_DOUBLE_EQ(result.best.seconds, 1.0);
+  EXPECT_EQ(result.evaluated.size(), specs.size());
+}
+
+TEST(Sweep, RepeatsTakeBestOfN) {
+  const std::vector<tc::TileSpec> specs{tc::TileSpec{8, 32, 32, 8, 8}};
+  int call = 0;
+  auto measure = [&](const tc::TileSpec&) {
+    return (++call == 3) ? 0.5 : 2.0;  // only the 3rd sample is fast
+  };
+  const auto result = at::sweep(specs, measure, /*repeats=*/3);
+  EXPECT_EQ(call, 3);
+  EXPECT_DOUBLE_EQ(result.best.seconds, 0.5);
+}
+
+TEST(Sweep, RejectsEmptyInput) {
+  EXPECT_THROW(
+      (void)at::sweep({}, [](const tc::TileSpec&) { return 1.0; }),
+      tempest::util::PreconditionError);
+}

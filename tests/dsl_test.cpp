@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include "tempest/dsl/interpreter.hpp"
+#include "tempest/dsl/operator.hpp"
+#include "tempest/dsl/passes.hpp"
+#include "tempest/sparse/survey.hpp"
+#include "tempest/sparse/wavelet.hpp"
+
+namespace dsl = tempest::dsl;
+namespace ph = tempest::physics;
+namespace sp = tempest::sparse;
+namespace tg = tempest::grid;
+using tempest::real_t;
+
+namespace {
+
+/// The paper's symbolic acoustic specification (its Listing "Wave-equation
+/// symbolic definition"): eq = m * u.dt2 + damp * u.dt - u.laplace.
+dsl::Eq acoustic_eq(const dsl::TimeFunction& u) {
+  const dsl::Expr eq = dsl::param("m") * u.dt2() + dsl::param("damp") * u.dt() -
+                       u.laplace();
+  return dsl::solve(eq, u.forward());
+}
+
+}  // namespace
+
+TEST(Expr, BuildAndPrint) {
+  dsl::Grid g{{32, 32, 32}, 10.0};
+  dsl::TimeFunction u("u", g, 4, 2);
+  const dsl::Expr e = dsl::param("m") * u.dt2() - u.laplace();
+  EXPECT_EQ(e.str(), "m*dt2(u) - laplace(u)");
+  EXPECT_EQ(u.forward().str(), "u.forward");
+  EXPECT_EQ((2.0 * u.now()).str(), "2*u");
+}
+
+TEST(Expr, StructuralQueries) {
+  dsl::Grid g{{32, 32, 32}, 10.0};
+  dsl::TimeFunction u("u", g, 4, 2);
+  dsl::TimeFunction q("q", g, 4, 2);
+  const dsl::Expr e =
+      dsl::param("m") * u.dt2() + q.hz() - u.laplace() + dsl::param("damp");
+  EXPECT_TRUE(dsl::contains_deriv(e, dsl::DerivKind::Dt2, "u"));
+  EXPECT_TRUE(dsl::contains_deriv(e, dsl::DerivKind::Laplace, "u"));
+  EXPECT_TRUE(dsl::contains_deriv(e, dsl::DerivKind::RotLapHz, "q"));
+  EXPECT_FALSE(dsl::contains_deriv(e, dsl::DerivKind::Dt, "u"));
+  const auto fields = dsl::referenced_fields(e);
+  EXPECT_EQ(fields.size(), 2u);
+  const auto params = dsl::referenced_params(e);
+  EXPECT_EQ(params.size(), 2u);
+}
+
+TEST(Expr, SolveValidatesShape) {
+  dsl::Grid g{{32, 32, 32}, 10.0};
+  dsl::TimeFunction u("u", g, 4, 2);
+  EXPECT_NO_THROW(acoustic_eq(u));
+  // Target must be a forward reference.
+  EXPECT_THROW(
+      (void)dsl::solve(dsl::param("m") * u.dt2() - u.laplace(), u.now()),
+      tempest::util::PreconditionError);
+  // Equation must carry a time derivative of the target.
+  EXPECT_THROW((void)dsl::solve(u.laplace(), u.forward()),
+               tempest::util::PreconditionError);
+}
+
+TEST(Ir, BuildFindRemovePrint) {
+  namespace ir = dsl::ir;
+  ir::Node root = dsl::passes::build_timestepping("A(t,x,y,z)", true, true);
+  EXPECT_EQ(ir::loop_order(root),
+            (std::vector<std::string>{"t", "x", "y", "z", "s", "i", "r",
+                                      "i"}));
+  EXPECT_NE(ir::find_loop(root, "s"), nullptr);
+  EXPECT_EQ(ir::find_loop(root, "nope"), nullptr);
+  EXPECT_EQ(ir::remove_loops(root, "s"), 1);
+  EXPECT_EQ(ir::find_loop(root, "s"), nullptr);
+  const std::string text = ir::print(root);
+  EXPECT_NE(text.find("for t = 1 to nt do"), std::string::npos);
+  EXPECT_NE(text.find("A(t,x,y,z);"), std::string::npos);
+}
+
+TEST(Passes, Listing1Shape) {
+  namespace ir = dsl::ir;
+  const ir::Node root =
+      dsl::passes::build_timestepping("A(t, x, y, z, s)", true, false);
+  // Listing 1: sparse loops come *after* the full grid sweep, inside t.
+  const auto tags = ir::stmt_tags(root);
+  ASSERT_GE(tags.size(), 2u);
+  EXPECT_EQ(tags.front(), "stencil");
+  EXPECT_EQ(tags.back(), "inject");
+}
+
+TEST(Passes, FusionMovesInjectionIntoGridNest) {
+  namespace ir = dsl::ir;
+  ir::Node root = dsl::passes::build_timestepping("A(t,x,y,z)", true, true);
+  dsl::passes::precompute_and_fuse(root);
+  // Listing 4: no more source/receiver indirection loops...
+  EXPECT_EQ(ir::find_loop(root, "s"), nullptr);
+  EXPECT_EQ(ir::find_loop(root, "r"), nullptr);
+  // ...and a z2 loop at the same level as z, inside y.
+  const ir::Node* y = ir::find_loop(root, "y");
+  ASSERT_NE(y, nullptr);
+  bool has_z = false, has_z2 = false;
+  for (const auto& child : y->body) {
+    if (child.kind == ir::Node::Kind::Loop && child.dim == "z") has_z = true;
+    if (child.kind == ir::Node::Kind::Loop && child.dim == "z2")
+      has_z2 = true;
+  }
+  EXPECT_TRUE(has_z);
+  EXPECT_TRUE(has_z2);
+  // Precompute prologue precedes the time loop.
+  const auto tags = ir::stmt_tags(root);
+  ASSERT_FALSE(tags.empty());
+  EXPECT_EQ(tags.front(), "precompute");
+}
+
+TEST(Passes, CompressionRewritesZ2Bounds) {
+  namespace ir = dsl::ir;
+  ir::Node root = dsl::passes::build_timestepping("A(t,x,y,z)", true, false);
+  dsl::passes::precompute_and_fuse(root);
+  dsl::passes::compress_iteration_space(root);
+  const ir::Node* z2 = ir::find_loop(root, "z2");
+  ASSERT_NE(z2, nullptr);
+  EXPECT_EQ(z2->hi, "nnz_mask[x][y]");  // Listing 5
+  const std::string text = ir::print(root);
+  EXPECT_NE(text.find("Sp_SID"), std::string::npos);
+}
+
+TEST(Passes, TimeTilingWrapsNest) {
+  namespace ir = dsl::ir;
+  ir::Node root = dsl::passes::build_timestepping("A(t,x,y,z)", true, false);
+  dsl::passes::precompute_and_fuse(root);
+  dsl::passes::compress_iteration_space(root);
+  dsl::passes::time_tile(root, 2);
+  // Listing 6 loop order: tt, xs, ys, t, x, y, z (+ fused z2).
+  const auto order = ir::loop_order(root);
+  const std::vector<std::string> expected{"tt", "xs", "ys", "t",
+                                          "x",  "y",  "z",  "z2"};
+  EXPECT_EQ(order, expected);
+  const ir::Node* x = ir::find_loop(root, "x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_NE(x->lo.find("xs - 2*t"), std::string::npos);
+}
+
+TEST(Operator, ClassifiesAcoustic) {
+  dsl::Grid g{{24, 20, 16}, 10.0};
+  dsl::TimeFunction u("u", g, 4, 2);
+  dsl::SparseTimeFunction s("src", sp::single_center_source({24, 20, 16}),
+                            16);
+  dsl::Operator op({acoustic_eq(u)}, {s.inject(u, dsl::param("dt2_over_m"))},
+                   {}, {});
+  EXPECT_EQ(op.kernel_class(), dsl::KernelClass::IsoAcoustic);
+}
+
+TEST(Operator, ClassifiesTTIAndElastic) {
+  dsl::Grid g{{24, 20, 16}, 10.0};
+  dsl::TimeFunction p("p", g, 4, 2), q("q", g, 4, 2);
+  const dsl::Expr eq_p = dsl::param("m") * p.dt2() -
+                         (dsl::param("ah") * p.hp() + dsl::param("an") * q.hz());
+  const dsl::Expr eq_q = dsl::param("m") * q.dt2() -
+                         (dsl::param("an") * p.hp() + q.hz());
+  dsl::Operator tti({dsl::solve(eq_p, p.forward()),
+                     dsl::solve(eq_q, q.forward())},
+                    {}, {}, {});
+  EXPECT_EQ(tti.kernel_class(), dsl::KernelClass::TTI);
+
+  dsl::TimeFunction v("v", g, 4, 1), tau("tau", g, 4, 1);
+  const dsl::Expr eq_v =
+      v.dt() - dsl::param("b") * dsl::deriv(dsl::DerivKind::Div, tau.now());
+  const dsl::Expr eq_t =
+      tau.dt() - (dsl::param("lam") * dsl::deriv(dsl::DerivKind::Trace,
+                                                 dsl::deriv(dsl::DerivKind::GradSym, v.now())) +
+                  dsl::param("mu") * dsl::deriv(dsl::DerivKind::GradSym, v.now()));
+  dsl::Operator elastic({dsl::solve(eq_v, v.forward()),
+                         dsl::solve(eq_t, tau.forward())},
+                        {}, {}, {});
+  EXPECT_EQ(elastic.kernel_class(), dsl::KernelClass::Elastic);
+}
+
+TEST(Operator, RejectsMixedClasses) {
+  dsl::Grid g{{24, 20, 16}, 10.0};
+  dsl::TimeFunction u("u", g, 4, 2);
+  dsl::TimeFunction v("v", g, 4, 1);
+  const dsl::Expr mixed =
+      u.dt2() - u.laplace() + dsl::deriv(dsl::DerivKind::Div, v.now());
+  EXPECT_THROW(dsl::Operator({dsl::Eq{u.forward(), mixed}}, {}, {}, {}),
+               tempest::util::PreconditionError);
+}
+
+TEST(Operator, CcodeStagesMatchListings) {
+  dsl::Grid g{{24, 20, 16}, 10.0};
+  dsl::TimeFunction u("u", g, 4, 2);
+  dsl::SparseTimeFunction s("src", sp::single_center_source({24, 20, 16}),
+                            16);
+  dsl::SparseTimeFunction d("rec", sp::receiver_line({24, 20, 16}, 4), 16);
+  dsl::OperatorOptions opts;
+  opts.schedule = ph::Schedule::Wavefront;
+  dsl::Operator op({acoustic_eq(u)}, {s.inject(u, dsl::param("dt2_over_m"))},
+                   {d.interpolate(u)}, opts);
+
+  const std::string stage0 = op.ccode_stage(0);
+  EXPECT_NE(stage0.find("for s = 1 to len(sources) do"), std::string::npos);
+  const std::string stage3 = op.ccode();
+  EXPECT_EQ(stage3.find("for s ="), std::string::npos);
+  EXPECT_NE(stage3.find("for tt ="), std::string::npos);
+  EXPECT_NE(stage3.find("nnz_mask"), std::string::npos);
+}
+
+TEST(Operator, ExecutesAcousticMatchingDirectPropagator) {
+  const tg::Extents3 e{20, 18, 16};
+  ph::Geometry geom{e, 10.0, 4, 4};
+  const auto model = ph::make_acoustic_layered(geom, 1.5, 3.0, 3);
+  const int nt = 18;
+  sp::SparseTimeSeries src(sp::single_center_source(e, 0.4), nt);
+  src.broadcast_signature(sp::ricker(nt, model.critical_dt(), 0.015));
+  sp::SparseTimeSeries rec1(sp::receiver_line(e, 3, 0.15, 3), nt);
+  sp::SparseTimeSeries rec2 = rec1;
+
+  dsl::Grid g{e, geom.spacing};
+  dsl::TimeFunction u("u", g, 4, 2);
+  dsl::SparseTimeFunction s("src", src.coords(), nt);
+  dsl::SparseTimeFunction d("rec", rec1.coords(), nt);
+  dsl::OperatorOptions opts;
+  opts.schedule = ph::Schedule::Wavefront;
+  dsl::Operator op({acoustic_eq(u)}, {s.inject(u, dsl::param("dt2_over_m"))},
+                   {d.interpolate(u)}, opts);
+  op.apply(model, src, &rec1);
+
+  ph::PropagatorOptions popts;
+  ph::AcousticPropagator direct(model, popts);
+  direct.run(ph::Schedule::Wavefront, src, &rec2);
+
+  for (int t = 0; t < nt; ++t) {
+    for (int r = 0; r < rec1.npoints(); ++r) {
+      EXPECT_EQ(rec1.at(t, r), rec2.at(t, r)) << "t=" << t;
+    }
+  }
+}
+
+TEST(Operator, RejectsModelClassMismatch) {
+  const tg::Extents3 e{16, 16, 16};
+  ph::Geometry geom{e, 10.0, 4, 4};
+  const auto model = ph::make_acoustic_layered(geom);
+  dsl::Grid g{e, geom.spacing};
+  dsl::TimeFunction p("p", g, 4, 2), q("q", g, 4, 2);
+  const dsl::Expr eq_p = dsl::param("m") * p.dt2() - (p.hp() + q.hz());
+  const dsl::Expr eq_q = dsl::param("m") * q.dt2() - (p.hp() + q.hz());
+  dsl::Operator tti({dsl::solve(eq_p, p.forward()),
+                     dsl::solve(eq_q, q.forward())},
+                    {}, {}, {});
+  sp::SparseTimeSeries src(sp::single_center_source(e), 8);
+  EXPECT_THROW(tti.apply(model, src, nullptr),
+               tempest::util::PreconditionError);
+}
+
+TEST(Interpreter, MatchesCompiledAcousticKernel) {
+  // The tree-walking interpreter — which never saw the hand-written kernel —
+  // must agree with it. This validates the pattern-matched dispatch: the
+  // symbolic equation and the optimised code compute the same operator.
+  const tg::Extents3 e{10, 9, 8};
+  ph::Geometry geom{e, 10.0, 4, 2};
+  const auto model = ph::make_acoustic_layered(geom, 1.5, 3.0, 2);
+  const double dt = model.critical_dt();
+  const int nt = 10;
+  sp::SparseTimeSeries src(sp::single_center_source(e, 0.4), nt);
+  src.broadcast_signature(sp::ricker(nt, dt, 0.03));
+
+  dsl::Grid g{e, geom.spacing};
+  dsl::TimeFunction u("u", g, 4, 2);
+  const dsl::Eq update = acoustic_eq(u);
+
+  dsl::Interpreter interp(update, model, dt);
+  const auto u_interp = interp.run(src, sp::InterpKind::Trilinear);
+
+  ph::PropagatorOptions popts;
+  popts.dt = dt;
+  ph::AcousticPropagator direct(model, popts);
+  direct.run(ph::Schedule::SpaceBlocked, src, nullptr);
+  const auto& u_direct = direct.wavefield(nt);
+
+  const double umax = tg::max_abs(u_direct);
+  ASSERT_GT(umax, 0.0);
+  // Interpreter evaluates in double, kernel in float: tolerance compare.
+  EXPECT_LT(tg::max_abs_diff(u_interp, u_direct), 5e-4 * umax);
+}
+
+TEST(Interpreter, RejectsNonLinearAndWrongShapes) {
+  const tg::Extents3 e{8, 8, 8};
+  ph::Geometry geom{e, 10.0, 4, 2};
+  const auto model = ph::make_acoustic_layered(geom);
+  dsl::Grid g{e, geom.spacing};
+  dsl::TimeFunction u("u", g, 4, 2);
+  // lhs not a forward reference:
+  EXPECT_THROW(dsl::Interpreter(dsl::Eq{u.now(), u.laplace()}, model, 1.0),
+               tempest::util::PreconditionError);
+  // equation independent of the forward value: detected at run time.
+  dsl::Interpreter bad(dsl::Eq{u.forward(), u.laplace()}, model, 1.0);
+  sp::SparseTimeSeries src(sp::single_center_source(e), 4);
+  EXPECT_THROW((void)bad.run(src, sp::InterpKind::Trilinear),
+               tempest::util::PreconditionError);
+}

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "tempest/io/io.hpp"
+#include "tempest/util/rng.hpp"
+
+namespace io = tempest::io;
+namespace tg = tempest::grid;
+namespace sp = tempest::sparse;
+using tempest::real_t;
+
+namespace {
+
+/// Temp path helper with cleanup.
+class TempFile {
+ public:
+  explicit TempFile(const char* suffix)
+      : path_(std::string("/tmp/tempest_io_test_") +
+              std::to_string(counter_++) + suffix) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static int counter_;
+  std::string path_;
+};
+int TempFile::counter_ = 0;
+
+tg::Grid3<real_t> random_field(tg::Extents3 e, int halo,
+                               std::uint64_t seed) {
+  tempest::util::SplitMix64 rng(seed);
+  tg::Grid3<real_t> f(e, halo);
+  // Fill the *padded* volume, halos included, through raw() so the round
+  // trip check covers everything.
+  for (std::size_t i = 0; i < f.padded_size(); ++i) {
+    f.raw()[i] = static_cast<real_t>(rng.uniform(-1, 1));
+  }
+  return f;
+}
+
+}  // namespace
+
+TEST(IoField, RoundTripIsBitExact) {
+  TempFile file(".tpf");
+  const auto original = random_field({7, 5, 9}, 3, 42);
+  io::save_field(file.path(), original);
+  const auto loaded = io::load_field(file.path());
+  ASSERT_EQ(loaded.extents(), original.extents());
+  ASSERT_EQ(loaded.halo(), original.halo());
+  ASSERT_EQ(loaded.padded_size(), original.padded_size());
+  for (std::size_t i = 0; i < original.padded_size(); ++i) {
+    ASSERT_EQ(loaded.raw()[i], original.raw()[i]) << "byte offset " << i;
+  }
+}
+
+TEST(IoField, RejectsWrongMagicAndTruncation) {
+  TempFile file(".tpf");
+  {
+    std::ofstream os(file.path(), std::ios::binary);
+    os << "garbage data, definitely not a field";
+  }
+  EXPECT_THROW((void)io::load_field(file.path()),
+               tempest::util::PreconditionError);
+
+  // Valid header, truncated payload.
+  const auto f = random_field({8, 8, 8}, 2, 7);
+  io::save_field(file.path(), f);
+  {
+    std::ifstream is(file.path(), std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(is)),
+                        std::istreambuf_iterator<char>());
+    content.resize(content.size() / 2);
+    std::ofstream os(file.path(), std::ios::binary | std::ios::trunc);
+    os << content;
+  }
+  EXPECT_THROW((void)io::load_field(file.path()),
+               tempest::util::PreconditionError);
+}
+
+TEST(IoField, RejectsUnwritablePath) {
+  const auto f = random_field({4, 4, 4}, 1, 3);
+  EXPECT_THROW(io::save_field("/nonexistent-dir/x.tpf", f),
+               tempest::util::PreconditionError);
+  EXPECT_THROW((void)io::load_field("/nonexistent-dir/x.tpf"),
+               tempest::util::PreconditionError);
+}
+
+TEST(IoGather, RoundTripPreservesCoordsAndData) {
+  TempFile file(".tpg");
+  sp::SparseTimeSeries g({{1.5, 2.25, 3.125}, {9.75, 8.5, 7.0625}}, 6);
+  for (int t = 0; t < 6; ++t) {
+    for (int r = 0; r < 2; ++r) {
+      g.at(t, r) = static_cast<real_t>(t * 10 + r + 0.5);
+    }
+  }
+  io::save_gather(file.path(), g);
+  const auto loaded = io::load_gather(file.path());
+  ASSERT_EQ(loaded.nt(), g.nt());
+  ASSERT_EQ(loaded.npoints(), g.npoints());
+  EXPECT_EQ(loaded.coords(), g.coords());
+  for (int t = 0; t < 6; ++t) {
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_EQ(loaded.at(t, r), g.at(t, r));
+    }
+  }
+}
+
+TEST(IoGather, FieldAndGatherFormatsAreDistinct) {
+  TempFile ffile(".tpf");
+  const auto f = random_field({4, 4, 4}, 0, 1);
+  io::save_field(ffile.path(), f);
+  EXPECT_THROW((void)io::load_gather(ffile.path()),
+               tempest::util::PreconditionError);
+
+  TempFile gfile(".tpg");
+  sp::SparseTimeSeries g({{1, 1, 1}}, 2);
+  io::save_gather(gfile.path(), g);
+  EXPECT_THROW((void)io::load_field(gfile.path()),
+               tempest::util::PreconditionError);
+}
+
+TEST(IoCsv, GatherCsvShape) {
+  TempFile file(".csv");
+  sp::SparseTimeSeries g({{1, 1, 1}, {2, 2, 2}, {3, 3, 3}}, 4);
+  g.at(2, 1) = 7.5f;
+  io::save_gather_csv(file.path(), g, 0.5);
+  std::ifstream is(file.path());
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header, "t_ms,rec0,rec1,rec2");
+  std::string line;
+  int rows = 0;
+  std::string third;
+  while (std::getline(is, line)) {
+    if (rows == 2) third = line;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 4);
+  EXPECT_EQ(third, "1,0,7.5,0");  // t = 2 * 0.5 ms
+}
+
+TEST(IoCsv, SliceCsvShapeAndBounds) {
+  TempFile file(".csv");
+  tg::Grid3<real_t> f({3, 2, 4}, 0, 0.0f);
+  f(1, 1, 2) = 9.0f;
+  io::save_slice_csv(file.path(), f, 1);
+  std::ifstream is(file.path());
+  std::string line;
+  int rows = -1;  // header
+  bool found = false;
+  while (std::getline(is, line)) {
+    ++rows;
+    found = found || line == "1,2,9";
+  }
+  EXPECT_EQ(rows, 3 * 4);
+  EXPECT_TRUE(found);
+  EXPECT_THROW(io::save_slice_csv(file.path(), f, 5),
+               tempest::util::PreconditionError);
+}

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tempest/physics/damping.hpp"
+#include "tempest/physics/model.hpp"
+
+namespace ph = tempest::physics;
+namespace tg = tempest::grid;
+using tempest::real_t;
+
+namespace {
+const ph::Geometry kGeom{{24, 20, 18}, 10.0, 4, 6};
+}
+
+TEST(Geometry, RadiusFromOrder) {
+  const ph::Geometry g4{{8, 8, 8}, 10.0, 4, 0};
+  const ph::Geometry g12{{8, 8, 8}, 10.0, 12, 0};
+  EXPECT_EQ(g4.radius(), 2);
+  EXPECT_EQ(g12.radius(), 6);
+}
+
+TEST(AcousticModel, HomogeneousFieldsConsistent) {
+  const auto m = ph::make_acoustic_homogeneous(kGeom, 2.0);
+  EXPECT_EQ(m.vp.halo(), 2);
+  m.vp.for_each_interior([&](int x, int y, int z) {
+    EXPECT_FLOAT_EQ(m.vp(x, y, z), 2.0f);
+    EXPECT_FLOAT_EQ(m.m(x, y, z), 0.25f);
+  });
+  EXPECT_DOUBLE_EQ(m.vp_max(), 2.0);
+  EXPECT_GT(m.critical_dt(), 0.0);
+}
+
+TEST(AcousticModel, LayeredVelocityMonotoneWithDepth) {
+  const auto m = ph::make_acoustic_layered(kGeom, 1.5, 3.5, 4);
+  for (int z = 1; z < kGeom.extents.nz; ++z) {
+    EXPECT_GE(m.vp(5, 5, z), m.vp(5, 5, z - 1));
+  }
+  EXPECT_FLOAT_EQ(m.vp(5, 5, 0), 1.5f);
+  EXPECT_FLOAT_EQ(m.vp(5, 5, kGeom.extents.nz - 1), 3.5f);
+  // m = 1/vp^2 pointwise.
+  m.vp.for_each_interior([&](int x, int y, int z) {
+    EXPECT_NEAR(m.m(x, y, z), 1.0 / (m.vp(x, y, z) * m.vp(x, y, z)), 1e-6);
+  });
+}
+
+TEST(AcousticModel, RejectsBadParameters) {
+  EXPECT_THROW(ph::make_acoustic_homogeneous(kGeom, -1.0),
+               tempest::util::PreconditionError);
+  EXPECT_THROW(ph::make_acoustic_layered(kGeom, 3.0, 1.0, 2),
+               tempest::util::PreconditionError);
+  EXPECT_THROW(ph::make_acoustic_layered(kGeom, 1.0, 2.0, 0),
+               tempest::util::PreconditionError);
+}
+
+TEST(TTIModel, ParameterRangesPhysical) {
+  const auto m = ph::make_tti_layered(kGeom, 1.5, 3.5, 4);
+  m.vp.for_each_interior([&](int x, int y, int z) {
+    EXPECT_GE(m.epsilon(x, y, z), 0.0f);
+    EXPECT_LE(m.epsilon(x, y, z), 0.3f);
+    EXPECT_GE(m.delta(x, y, z), 0.0f);
+    EXPECT_LE(m.delta(x, y, z), 0.2f);
+    EXPECT_GE(m.theta(x, y, z), 0.0f);
+    EXPECT_LE(m.theta(x, y, z), 0.6f);
+  });
+  // Anisotropy tightens the CFL bound relative to plain acoustic.
+  const auto iso = ph::make_acoustic_layered(kGeom, 1.5, 3.5, 4);
+  EXPECT_LT(m.critical_dt(), iso.critical_dt());
+}
+
+TEST(ElasticModel, LameParametersConsistent) {
+  const auto m = ph::make_elastic_layered(kGeom, 1.5, 3.5, 4);
+  m.vp.for_each_interior([&](int x, int y, int z) {
+    const double vp = m.vp(x, y, z);
+    const double vs = m.vs(x, y, z);
+    const double rho = m.rho(x, y, z);
+    EXPECT_NEAR(vs, vp / std::sqrt(3.0), 1e-5);
+    EXPECT_NEAR(m.mu(x, y, z), rho * vs * vs, 1e-5);
+    EXPECT_NEAR(m.lam(x, y, z), rho * (vp * vp - 2 * vs * vs), 1e-5);
+    EXPECT_NEAR(m.b(x, y, z), 1.0 / rho, 1e-6);
+    // Poisson solid: lambda == mu.
+    EXPECT_NEAR(m.lam(x, y, z), m.mu(x, y, z), 1e-4);
+  });
+  EXPECT_GT(m.critical_dt(), 0.0);
+}
+
+TEST(Damping, ZeroInInteriorPositiveAtBoundary) {
+  const auto damp = ph::make_damping(kGeom, 1.5);
+  EXPECT_EQ(damp(12, 10, 9), 0.0f);  // deep interior
+  EXPECT_GT(damp(0, 10, 9), 0.0f);   // at faces
+  EXPECT_GT(damp(12, 10, 0), 0.0f);
+  EXPECT_GT(damp(12, 19, 9), 0.0f);
+}
+
+TEST(Damping, MonotoneTowardsFaces) {
+  const auto damp = ph::make_damping(kGeom, 1.5);
+  for (int x = 1; x < kGeom.nbl; ++x) {
+    EXPECT_LE(damp(x, 10, 9), damp(x - 1, 10, 9));
+  }
+}
+
+TEST(Damping, StrongerForFasterMediaAndThinnerLayers) {
+  const auto slow = ph::make_damping(kGeom, 1.5);
+  const auto fast = ph::make_damping(kGeom, 4.5);
+  EXPECT_GT(fast(0, 10, 9), slow(0, 10, 9));
+
+  ph::Geometry thin = kGeom;
+  thin.nbl = 3;
+  const auto thin_damp = ph::make_damping(thin, 1.5);
+  EXPECT_GT(thin_damp(0, 10, 9), slow(0, 10, 9));
+}
+
+TEST(Damping, NblZeroMeansNoDamping) {
+  ph::Geometry g = kGeom;
+  g.nbl = 0;
+  const auto damp = ph::make_damping(g, 1.5);
+  EXPECT_EQ(tg::max_abs(damp), 0.0);
+}
+
+TEST(Damping, CornersUseMinimumFaceDistance) {
+  const auto damp = ph::make_damping(kGeom, 1.5);
+  // A corner is as damped as a face point at the same minimum distance.
+  EXPECT_FLOAT_EQ(damp(0, 0, 0), damp(0, 10, 9));
+  EXPECT_FLOAT_EQ(damp(2, 2, 2), damp(2, 10, 9));
+}

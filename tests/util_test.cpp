@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "tempest/util/align.hpp"
+#include "tempest/util/cli.hpp"
+#include "tempest/util/error.hpp"
+#include "tempest/util/rng.hpp"
+#include "tempest/util/stats.hpp"
+#include "tempest/util/table.hpp"
+#include "tempest/util/timer.hpp"
+
+namespace tu = tempest::util;
+
+TEST(Require, ThrowsOnViolation) {
+  EXPECT_THROW(TEMPEST_REQUIRE(1 == 2), tu::PreconditionError);
+  EXPECT_NO_THROW(TEMPEST_REQUIRE(1 == 1));
+  try {
+    TEMPEST_REQUIRE_MSG(false, "custom detail");
+    FAIL() << "should have thrown";
+  } catch (const tu::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail"), std::string::npos);
+  }
+}
+
+TEST(AlignedVector, StorageIsAligned) {
+  tu::aligned_vector<float> v(1000, 1.0f);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % tu::kAlignment, 0u);
+  tu::aligned_vector<double> w(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) % tu::kAlignment, 0u);
+}
+
+TEST(AlignedVector, AllocatorEqualityAndRebind) {
+  tu::AlignedAllocator<float> a;
+  tu::AlignedAllocator<double> b;
+  EXPECT_TRUE(a == tu::AlignedAllocator<float>(b));
+}
+
+TEST(Rng, Deterministic) {
+  tu::SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange) {
+  tu::SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(3.0, 5.0);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LT(v, 5.0);
+    EXPECT_LT(rng.below(10), 10u);
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  tu::SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Stats, SummaryOfKnownSeries) {
+  const double xs[] = {4.0, 1.0, 3.0, 2.0};
+  const tu::Summary s = tu::summarize(xs);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, 1.2909944487358056, 1e-12);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(Stats, OddMedianAndEmpty) {
+  const double xs[] = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(tu::summarize(xs).median, 3.0);
+  const tu::Summary empty = tu::summarize({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+TEST(Stats, RelErr) {
+  EXPECT_DOUBLE_EQ(tu::rel_err(1.0, 1.0), 0.0);
+  EXPECT_NEAR(tu::rel_err(1.0, 1.1), 0.1 / 1.1, 1e-12);
+  EXPECT_DOUBLE_EQ(tu::rel_err(0.0, 0.0), 0.0);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  tu::Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(t.seconds(), 0.0);
+  const double ms = t.milliseconds();
+  EXPECT_GE(ms, 0.0);
+}
+
+TEST(Cli, ParsesAllForms) {
+  const char* argv[] = {"prog",      "--size=128", "--steps=50",
+                        "--verbose", "pos1",       "--ratio=0.5"};
+  tu::Cli cli(6, argv);
+  EXPECT_EQ(cli.get_int("size", 0), 128);
+  EXPECT_EQ(cli.get_int("steps", 0), 50);
+  EXPECT_TRUE(cli.get_flag("verbose"));
+  EXPECT_FALSE(cli.get_flag("quiet"));
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0.0), 0.5);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.program(), "prog");
+}
+
+TEST(Cli, Fallbacks) {
+  const char* argv[] = {"prog"};
+  tu::Cli cli(1, argv);
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_TRUE(cli.get_flag("missing", true));
+}
+
+TEST(Cli, IntList) {
+  const char* argv[] = {"prog", "--so=4,8,12"};
+  tu::Cli cli(2, argv);
+  const auto so = cli.get_int_list("so", {2});
+  ASSERT_EQ(so.size(), 3u);
+  EXPECT_EQ(so[0], 4);
+  EXPECT_EQ(so[1], 8);
+  EXPECT_EQ(so[2], 12);
+  EXPECT_EQ(cli.get_int_list("missing", {2, 4}).size(), 2u);
+}
+
+TEST(Table, AsciiAndCsv) {
+  tu::Table t({"name", "value"});
+  t.add_row({"alpha", tu::Table::num(1.5, 2)});
+  t.add_row({"beta", "2"});
+  EXPECT_EQ(t.rows(), 2u);
+
+  std::ostringstream ascii;
+  t.print_ascii(ascii);
+  EXPECT_NE(ascii.str().find("alpha"), std::string::npos);
+  EXPECT_NE(ascii.str().find("1.50"), std::string::npos);
+
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "name,value\nalpha,1.50\nbeta,2\n");
+}
+
+TEST(Table, RejectsWrongArity) {
+  tu::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), tu::PreconditionError);
+}
