@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_injection.dir/micro_injection.cpp.o"
+  "CMakeFiles/micro_injection.dir/micro_injection.cpp.o.d"
+  "micro_injection"
+  "micro_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_precompute.dir/micro_precompute.cpp.o"
+  "CMakeFiles/micro_precompute.dir/micro_precompute.cpp.o.d"
+  "micro_precompute"
+  "micro_precompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_precompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

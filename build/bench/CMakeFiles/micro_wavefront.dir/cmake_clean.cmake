@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_wavefront.dir/micro_wavefront.cpp.o"
+  "CMakeFiles/micro_wavefront.dir/micro_wavefront.cpp.o.d"
+  "micro_wavefront"
+  "micro_wavefront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_wavefront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_autotune.dir/table1_autotune.cpp.o"
+  "CMakeFiles/table1_autotune.dir/table1_autotune.cpp.o.d"
+  "table1_autotune"
+  "table1_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

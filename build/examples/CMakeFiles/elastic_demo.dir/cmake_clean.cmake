@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_demo.dir/elastic_demo.cpp.o"
+  "CMakeFiles/elastic_demo.dir/elastic_demo.cpp.o.d"
+  "elastic_demo"
+  "elastic_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

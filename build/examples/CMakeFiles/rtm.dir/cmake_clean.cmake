@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtm.dir/rtm.cpp.o"
+  "CMakeFiles/rtm.dir/rtm.cpp.o.d"
+  "rtm"
+  "rtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

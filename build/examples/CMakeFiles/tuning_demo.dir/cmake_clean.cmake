@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_demo.dir/tuning_demo.cpp.o"
+  "CMakeFiles/tuning_demo.dir/tuning_demo.cpp.o.d"
+  "tuning_demo"
+  "tuning_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

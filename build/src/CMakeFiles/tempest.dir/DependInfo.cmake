@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tempest/autotune/autotune.cpp" "src/CMakeFiles/tempest.dir/tempest/autotune/autotune.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/autotune/autotune.cpp.o.d"
+  "/root/repo/src/tempest/cachesim/cache.cpp" "src/CMakeFiles/tempest.dir/tempest/cachesim/cache.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/cachesim/cache.cpp.o.d"
+  "/root/repo/src/tempest/cachesim/instrumented_acoustic.cpp" "src/CMakeFiles/tempest.dir/tempest/cachesim/instrumented_acoustic.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/cachesim/instrumented_acoustic.cpp.o.d"
+  "/root/repo/src/tempest/codegen/emit.cpp" "src/CMakeFiles/tempest.dir/tempest/codegen/emit.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/codegen/emit.cpp.o.d"
+  "/root/repo/src/tempest/codegen/jit.cpp" "src/CMakeFiles/tempest.dir/tempest/codegen/jit.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/codegen/jit.cpp.o.d"
+  "/root/repo/src/tempest/core/compress.cpp" "src/CMakeFiles/tempest.dir/tempest/core/compress.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/core/compress.cpp.o.d"
+  "/root/repo/src/tempest/core/diamond.cpp" "src/CMakeFiles/tempest.dir/tempest/core/diamond.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/core/diamond.cpp.o.d"
+  "/root/repo/src/tempest/core/moving.cpp" "src/CMakeFiles/tempest.dir/tempest/core/moving.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/core/moving.cpp.o.d"
+  "/root/repo/src/tempest/core/precompute.cpp" "src/CMakeFiles/tempest.dir/tempest/core/precompute.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/core/precompute.cpp.o.d"
+  "/root/repo/src/tempest/core/wavefront.cpp" "src/CMakeFiles/tempest.dir/tempest/core/wavefront.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/core/wavefront.cpp.o.d"
+  "/root/repo/src/tempest/dsl/expr.cpp" "src/CMakeFiles/tempest.dir/tempest/dsl/expr.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/dsl/expr.cpp.o.d"
+  "/root/repo/src/tempest/dsl/interpreter.cpp" "src/CMakeFiles/tempest.dir/tempest/dsl/interpreter.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/dsl/interpreter.cpp.o.d"
+  "/root/repo/src/tempest/dsl/ir.cpp" "src/CMakeFiles/tempest.dir/tempest/dsl/ir.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/dsl/ir.cpp.o.d"
+  "/root/repo/src/tempest/dsl/operator.cpp" "src/CMakeFiles/tempest.dir/tempest/dsl/operator.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/dsl/operator.cpp.o.d"
+  "/root/repo/src/tempest/dsl/passes.cpp" "src/CMakeFiles/tempest.dir/tempest/dsl/passes.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/dsl/passes.cpp.o.d"
+  "/root/repo/src/tempest/grid/grid3.cpp" "src/CMakeFiles/tempest.dir/tempest/grid/grid3.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/grid/grid3.cpp.o.d"
+  "/root/repo/src/tempest/io/io.cpp" "src/CMakeFiles/tempest.dir/tempest/io/io.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/io/io.cpp.o.d"
+  "/root/repo/src/tempest/perf/calibrate.cpp" "src/CMakeFiles/tempest.dir/tempest/perf/calibrate.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/perf/calibrate.cpp.o.d"
+  "/root/repo/src/tempest/perf/roofline.cpp" "src/CMakeFiles/tempest.dir/tempest/perf/roofline.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/perf/roofline.cpp.o.d"
+  "/root/repo/src/tempest/physics/acoustic.cpp" "src/CMakeFiles/tempest.dir/tempest/physics/acoustic.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/physics/acoustic.cpp.o.d"
+  "/root/repo/src/tempest/physics/damping.cpp" "src/CMakeFiles/tempest.dir/tempest/physics/damping.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/physics/damping.cpp.o.d"
+  "/root/repo/src/tempest/physics/elastic.cpp" "src/CMakeFiles/tempest.dir/tempest/physics/elastic.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/physics/elastic.cpp.o.d"
+  "/root/repo/src/tempest/physics/model.cpp" "src/CMakeFiles/tempest.dir/tempest/physics/model.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/physics/model.cpp.o.d"
+  "/root/repo/src/tempest/physics/tti.cpp" "src/CMakeFiles/tempest.dir/tempest/physics/tti.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/physics/tti.cpp.o.d"
+  "/root/repo/src/tempest/physics/vti.cpp" "src/CMakeFiles/tempest.dir/tempest/physics/vti.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/physics/vti.cpp.o.d"
+  "/root/repo/src/tempest/sparse/interp.cpp" "src/CMakeFiles/tempest.dir/tempest/sparse/interp.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/sparse/interp.cpp.o.d"
+  "/root/repo/src/tempest/sparse/operators.cpp" "src/CMakeFiles/tempest.dir/tempest/sparse/operators.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/sparse/operators.cpp.o.d"
+  "/root/repo/src/tempest/sparse/survey.cpp" "src/CMakeFiles/tempest.dir/tempest/sparse/survey.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/sparse/survey.cpp.o.d"
+  "/root/repo/src/tempest/sparse/wavelet.cpp" "src/CMakeFiles/tempest.dir/tempest/sparse/wavelet.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/sparse/wavelet.cpp.o.d"
+  "/root/repo/src/tempest/stencil/cfl.cpp" "src/CMakeFiles/tempest.dir/tempest/stencil/cfl.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/stencil/cfl.cpp.o.d"
+  "/root/repo/src/tempest/stencil/coefficients.cpp" "src/CMakeFiles/tempest.dir/tempest/stencil/coefficients.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/stencil/coefficients.cpp.o.d"
+  "/root/repo/src/tempest/util/cli.cpp" "src/CMakeFiles/tempest.dir/tempest/util/cli.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/util/cli.cpp.o.d"
+  "/root/repo/src/tempest/util/stats.cpp" "src/CMakeFiles/tempest.dir/tempest/util/stats.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/util/stats.cpp.o.d"
+  "/root/repo/src/tempest/util/table.cpp" "src/CMakeFiles/tempest.dir/tempest/util/table.cpp.o" "gcc" "src/CMakeFiles/tempest.dir/tempest/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

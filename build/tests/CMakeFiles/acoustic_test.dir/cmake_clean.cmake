@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustic_test.dir/acoustic_test.cpp.o"
+  "CMakeFiles/acoustic_test.dir/acoustic_test.cpp.o.d"
+  "acoustic_test"
+  "acoustic_test.pdb"
+  "acoustic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diamond_test.dir/diamond_test.cpp.o"
+  "CMakeFiles/diamond_test.dir/diamond_test.cpp.o.d"
+  "diamond_test"
+  "diamond_test.pdb"
+  "diamond_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diamond_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

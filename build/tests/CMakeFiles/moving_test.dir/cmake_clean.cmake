@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moving_test.dir/moving_test.cpp.o"
+  "CMakeFiles/moving_test.dir/moving_test.cpp.o.d"
+  "moving_test"
+  "moving_test.pdb"
+  "moving_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

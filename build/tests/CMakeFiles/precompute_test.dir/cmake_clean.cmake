@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precompute_test.dir/precompute_test.cpp.o"
+  "CMakeFiles/precompute_test.dir/precompute_test.cpp.o.d"
+  "precompute_test"
+  "precompute_test.pdb"
+  "precompute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precompute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tti_test.dir/tti_test.cpp.o"
+  "CMakeFiles/tti_test.dir/tti_test.cpp.o.d"
+  "tti_test"
+  "tti_test.pdb"
+  "tti_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tti_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

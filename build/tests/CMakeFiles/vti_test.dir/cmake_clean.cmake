@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vti_test.dir/vti_test.cpp.o"
+  "CMakeFiles/vti_test.dir/vti_test.cpp.o.d"
+  "vti_test"
+  "vti_test.pdb"
+  "vti_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vti_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/grid_test[1]_include.cmake")
+include("/root/repo/build/tests/stencil_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_test[1]_include.cmake")
+include("/root/repo/build/tests/precompute_test[1]_include.cmake")
+include("/root/repo/build/tests/wavefront_test[1]_include.cmake")
+include("/root/repo/build/tests/acoustic_test[1]_include.cmake")
+include("/root/repo/build/tests/tti_test[1]_include.cmake")
+include("/root/repo/build/tests/vti_test[1]_include.cmake")
+include("/root/repo/build/tests/elastic_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl_test[1]_include.cmake")
+include("/root/repo/build/tests/cachesim_test[1]_include.cmake")
+include("/root/repo/build/tests/perf_test[1]_include.cmake")
+include("/root/repo/build/tests/autotune_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/moving_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/diamond_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
