@@ -17,13 +17,24 @@
 //
 // Build & run:  ./build/examples/rtm [--size=112] [--steps=220]
 //               [--stride=4] [--out=rtm_image.csv]
+//               [--checkpoint=rtm.tpck] [--ckpt-every=50]
+//
+// With --checkpoint the adjoint/imaging pass — the long tail of the run —
+// checkpoints its wavefield state and the partial image every --ckpt-every
+// steps. A restarted run recomputes the deterministic modelling and forward
+// passes, then resumes the adjoint pass where it died.
 
 #include <cmath>
+#include <cstdio>
+#include <cstdint>
+#include <cstring>
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "tempest/io/io.hpp"
 #include "tempest/physics/acoustic.hpp"
+#include "tempest/resilience/checkpoint.hpp"
 #include "tempest/sparse/survey.hpp"
 #include "tempest/sparse/wavelet.hpp"
 #include "tempest/util/cli.hpp"
@@ -37,6 +48,8 @@ int main(int argc, char** argv) {
   const int nt = static_cast<int>(cli.get_int("steps", 420));
   const int stride = static_cast<int>(cli.get_int("stride", 8));
   const std::string out = cli.get("out", "rtm_image.csv");
+  const std::string ckpt_path = cli.get("checkpoint", "");
+  const int ckpt_every = static_cast<int>(cli.get_int("ckpt-every", 50));
 
   const grid::Extents3 e{n, n, n};
   physics::Geometry geom{e, 10.0, 4, 10};
@@ -113,21 +126,58 @@ int main(int argc, char** argv) {
 
   grid::Grid3<double> image(e, 0, 0.0);
   {
+    // Passes 1–2 are deterministic and were just recomputed; only the
+    // adjoint pass state (wavefield buffer + partial image) needs to
+    // persist. The partial image rides in the checkpoint as an aux blob.
+    resilience::Fingerprint fpb;
+    fpb.add(n).add(nt).add(stride).add(geom.space_order).add(dt);
+    const std::uint64_t fp = fpb.value();
+    std::optional<resilience::Checkpointer> ckpt;
+    if (!ckpt_path.empty()) ckpt.emplace(ckpt_path);
+
     physics::AcousticPropagator prop(smooth, opts);
-    const physics::RunStats s = prop.run(
-        physics::Schedule::SpaceBlocked, adj_src, nullptr, [&](int tau) {
-          const int t_fwd = nt - 1 - tau;  // forward time of this adjoint step
-          if (t_fwd < stride || t_fwd % stride != 0) return;
-          const auto& snap =
-              snaps[static_cast<std::size_t>(t_fwd / stride) - 1];
-          const auto& adj = prop.wavefield(tau);
-          image.for_each_interior([&](int x, int y, int z) {
-            image(x, y, z) += static_cast<double>(snap(x, y, z)) *
-                              static_cast<double>(adj(x, y, z));
-          });
+    int t_start = 1;
+    if (ckpt) {
+      if (auto resume = ckpt->try_load(fp)) {
+        const auto* blob = resume->find_aux("image");
+        const std::size_t want = image.padded_size() * sizeof(double);
+        if (blob != nullptr && blob->size() == want) {
+          std::memcpy(image.raw(), blob->data(), want);
+          prop.restore(*resume);
+          t_start = resume->step;
+          std::cout << "resuming adjoint pass from step " << t_start << "\n";
+        }
+      }
+    }
+
+    const auto imaging = [&](int tau) {
+      const int t_fwd = nt - 1 - tau;  // forward time of this adjoint step
+      if (t_fwd >= stride && t_fwd % stride == 0) {
+        const auto& snap =
+            snaps[static_cast<std::size_t>(t_fwd / stride) - 1];
+        const auto& adj = prop.wavefield(tau);
+        image.for_each_interior([&](int x, int y, int z) {
+          image(x, y, z) += static_cast<double>(snap(x, y, z)) *
+                            static_cast<double>(adj(x, y, z));
         });
+      }
+      if (ckpt && ckpt_every > 0 && tau % ckpt_every == 0 && tau < nt) {
+        resilience::Checkpoint ck = prop.capture(tau, fp);
+        std::vector<std::uint8_t> bytes(image.padded_size() * sizeof(double));
+        std::memcpy(bytes.data(), image.raw(), bytes.size());
+        ck.aux.emplace_back("image", std::move(bytes));
+        ckpt->save(ck);
+      }
+    };
+    const physics::RunStats s =
+        t_start > 1 ? prop.run_from(t_start, physics::Schedule::SpaceBlocked,
+                                    adj_src, nullptr, imaging)
+                    : prop.run(physics::Schedule::SpaceBlocked, adj_src,
+                               nullptr, imaging);
     std::cout << "adjoint pass + imaging condition:   " << s.seconds
               << " s\n";
+    // Done: a stale checkpoint must not shadow the next run.
+    if (ckpt && ckpt->exists()) std::remove(ckpt->path().c_str());
   }
 
   // Depth profile of |image| away from the source cone; pick the peak.

@@ -8,15 +8,38 @@
 //
 // Build & run:  ./build/examples/seismic_survey [--size=160] [--steps=160]
 //               [--shots=3] [--out=gather.csv]
+//               [--checkpoint=survey.tpck] [--ckpt-every=40]
+//
+// With --checkpoint the baseline pass of every shot checkpoints its full
+// state every --ckpt-every steps; an interrupted run restarted with the
+// same flags resumes mid-shot and produces the identical gathers.
 
 #include <cmath>
+#include <cstdio>
+#include <cstdint>
 #include <iostream>
+#include <optional>
 
 #include "tempest/io/io.hpp"
 #include "tempest/physics/acoustic.hpp"
+#include "tempest/resilience/checkpoint.hpp"
 #include "tempest/sparse/survey.hpp"
 #include "tempest/sparse/wavelet.hpp"
 #include "tempest/util/cli.hpp"
+
+namespace {
+
+/// Cross-shot progress carried in the checkpoint's auxiliary blob: which
+/// shot the checkpointed propagator state belongs to, plus the totals
+/// accumulated over the shots already finished.
+struct SurveyState {
+  std::int32_t shot = 0;
+  double total_base = 0.0;
+  double total_wave = 0.0;
+  double worst_mismatch = 0.0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tempest;
@@ -25,6 +48,8 @@ int main(int argc, char** argv) {
   const int nt = static_cast<int>(cli.get_int("steps", 160));
   const int n_shots = static_cast<int>(cli.get_int("shots", 3));
   const std::string out = cli.get("out", "gather.csv");
+  const std::string ckpt_path = cli.get("checkpoint", "");
+  const int ckpt_every = static_cast<int>(cli.get_int("ckpt-every", 40));
 
   physics::Geometry geom{{n, n, n}, 10.0, 8, 10};
   const physics::AcousticModel model =
@@ -42,10 +67,37 @@ int main(int argc, char** argv) {
             << " receivers, grid " << n << "^3, " << nt << " steps of "
             << dt << " ms\n\n";
 
-  double total_base = 0.0, total_wave = 0.0, worst_mismatch = 0.0;
+  // Everything a resumed run must reproduce bitwise goes into the
+  // fingerprint; a checkpoint from different flags is rejected, not
+  // silently resumed.
+  resilience::Fingerprint fpb;
+  fpb.add(n).add(nt).add(n_shots).add(geom.space_order).add(dt);
+  const std::uint64_t fp = fpb.value();
+  std::optional<resilience::Checkpointer> ckpt;
+  if (!ckpt_path.empty()) ckpt.emplace(ckpt_path);
+
+  SurveyState state;
+  std::optional<resilience::Checkpoint> resume;
+  if (ckpt) {
+    resume = ckpt->try_load(fp);
+    if (resume) {
+      if (const auto* blob = resume->find_aux("survey-state")) {
+        if (const auto s = resilience::aux_unpack<SurveyState>(*blob)) {
+          state = *s;
+          std::cout << "resuming from " << ckpt_path << ": shot "
+                    << state.shot << ", step " << resume->step << "\n";
+        } else {
+          resume.reset();
+        }
+      } else {
+        resume.reset();
+      }
+    }
+  }
+
   sparse::SparseTimeSeries last_gather(rec_coords, nt);
 
-  for (int shot = 0; shot < n_shots; ++shot) {
+  for (int shot = state.shot; shot < n_shots; ++shot) {
     // Shots march along x at 1/4 .. 3/4 of the line, off-the-grid.
     const double fx = 0.25 + 0.5 * shot / std::max(1, n_shots - 1);
     sparse::SparseTimeSeries src(
@@ -54,8 +106,34 @@ int main(int argc, char** argv) {
     src.broadcast_signature(wavelet);
 
     sparse::SparseTimeSeries gather_base(rec_coords, nt);
-    const physics::RunStats base =
-        prop.run(physics::Schedule::SpaceBlocked, src, &gather_base);
+    // Checkpoint during the baseline (barrier) pass: capture at a completed
+    // timestep, with the shot/totals state riding along as an aux blob. The
+    // WTB pass is re-run from scratch on resume — it has no global
+    // per-timestep barrier to checkpoint at (the point of the paper).
+    const auto save_ckpt = [&](int t_done) {
+      if (!ckpt || ckpt_every <= 0 || t_done % ckpt_every != 0 ||
+          t_done >= nt) {
+        return;
+      }
+      resilience::Checkpoint ck = prop.capture(t_done, fp, &gather_base);
+      SurveyState at_save = state;
+      at_save.shot = shot;
+      ck.aux.emplace_back("survey-state", resilience::aux_pack(at_save));
+      ckpt->save(ck);
+    };
+
+    physics::RunStats base;
+    if (resume && shot == state.shot) {
+      prop.restore(*resume);
+      if (resume->has_rec) gather_base = resume->rec;
+      const int t_start = resume->step;
+      resume.reset();
+      base = prop.run_from(t_start, physics::Schedule::SpaceBlocked, src,
+                           &gather_base, save_ckpt);
+    } else {
+      base = prop.run(physics::Schedule::SpaceBlocked, src, &gather_base,
+                      save_ckpt);
+    }
 
     sparse::SparseTimeSeries gather_wave(rec_coords, nt);
     const physics::RunStats wave =
@@ -72,9 +150,10 @@ int main(int argc, char** argv) {
                                   static_cast<double>(gather_wave.at(t, r))));
       }
     }
-    worst_mismatch = std::max(worst_mismatch, diff / scale);
-    total_base += base.seconds;
-    total_wave += wave.seconds;
+    state.worst_mismatch = std::max(state.worst_mismatch, diff / scale);
+    state.total_base += base.seconds;
+    state.total_wave += wave.seconds;
+    state.shot = shot + 1;
     std::cout << "shot " << shot << " @ x=" << fx * (n - 1)
               << ": baseline " << base.seconds << " s, WTB " << wave.seconds
               << " s (speed-up " << base.seconds / wave.seconds
@@ -82,13 +161,16 @@ int main(int argc, char** argv) {
     last_gather = gather_wave;
   }
 
-  std::cout << "\nsurvey total: baseline " << total_base << " s, WTB "
-            << total_wave << " s -> speed-up "
-            << total_base / total_wave << "x; worst gather mismatch "
-            << worst_mismatch << " (relative)\n";
+  std::cout << "\nsurvey total: baseline " << state.total_base << " s, WTB "
+            << state.total_wave << " s -> speed-up "
+            << state.total_base / state.total_wave
+            << "x; worst gather mismatch " << state.worst_mismatch
+            << " (relative)\n";
 
   io::save_gather_csv(out, last_gather, dt);
   io::save_gather(out + ".tpg", last_gather);
   std::cout << "last shot gather written to " << out << " (+ binary .tpg)\n";
+  // The survey finished: a stale checkpoint must not shadow the next run.
+  if (ckpt && ckpt->exists()) std::remove(ckpt->path().c_str());
   return 0;
 }

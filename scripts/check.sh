@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build + full test suite under the default (Release)
+# preset, then again under the asan preset (-fsanitize=address,undefined).
+# Usage:  scripts/check.sh [--skip-asan]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+run_preset() {
+  preset="$1"
+  echo "==> configure (${preset})"
+  cmake --preset "${preset}"
+  echo "==> build (${preset})"
+  cmake --build --preset "${preset}" -j "$(nproc)"
+  echo "==> test (${preset})"
+  ctest --preset "${preset}" -j "$(nproc)"
+}
+
+run_preset default
+
+if [ "${1:-}" != "--skip-asan" ]; then
+  # The JIT compiles plain C helper objects that are dlopen()ed into the
+  # sanitized process; suppress the expected ODR/leak noise from the
+  # toolchain itself, not from tempest.
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" run_preset asan
+fi
+
+echo "==> all checks passed"

@@ -1,9 +1,12 @@
 #include "tempest/autotune/autotune.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <string>
 
 #include "tempest/util/error.hpp"
+#include "tempest/util/log.hpp"
 
 namespace tempest::autotune {
 
@@ -44,15 +47,42 @@ SweepResult sweep(const std::vector<core::TileSpec>& specs,
   TEMPEST_REQUIRE(!specs.empty() && repeats >= 1);
   SweepResult result;
   result.best.seconds = std::numeric_limits<double>::infinity();
+  bool found_healthy = false;
+  std::string first_error;
   for (const core::TileSpec& spec : specs) {
-    double best_time = std::numeric_limits<double>::infinity();
-    for (int rep = 0; rep < repeats; ++rep) {
-      best_time = std::min(best_time, measure(spec));
+    Candidate cand{spec, std::numeric_limits<double>::infinity()};
+    for (int rep = 0; rep < repeats && !cand.failed; ++rep) {
+      double t = 0.0;
+      try {
+        t = measure(spec);
+      } catch (const std::exception& e) {
+        cand.failed = true;
+        cand.error = e.what();
+        break;
+      }
+      if (!std::isfinite(t) || t < 0.0) {
+        cand.failed = true;
+        cand.error = "trial reported a non-finite or negative time: " +
+                     std::to_string(t);
+        break;
+      }
+      cand.seconds = std::min(cand.seconds, t);
     }
-    const Candidate cand{spec, best_time};
+    if (cand.failed && first_error.empty()) first_error = cand.error;
+    if (cand.failed) {
+      util::warn("autotune: skipping failed candidate (tile " +
+                 std::to_string(cand.spec.tile_x) + "x" +
+                 std::to_string(cand.spec.tile_y) + "): " + cand.error);
+    }
     result.evaluated.push_back(cand);
-    if (cand.seconds < result.best.seconds) result.best = cand;
+    if (!cand.failed && cand.seconds < result.best.seconds) {
+      result.best = cand;
+      found_healthy = true;
+    }
   }
+  TEMPEST_REQUIRE_MSG(found_healthy,
+                      "every autotune candidate failed; first failure: " +
+                          first_error);
   return result;
 }
 

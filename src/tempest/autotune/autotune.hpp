@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "tempest/core/wavefront.hpp"
@@ -12,6 +13,8 @@ namespace tempest::autotune {
 struct Candidate {
   core::TileSpec spec;
   double seconds = 0.0;  ///< measured propagation wall time
+  bool failed = false;   ///< trial threw, or timed non-finite/negative
+  std::string error;     ///< why it failed (exception message or diagnosis)
 };
 
 /// Outcome of a sweep: every evaluated candidate plus the fastest one.
@@ -42,6 +45,13 @@ struct CandidateSpace {
 /// Measure every candidate with `measure` (returning seconds; lower is
 /// better) and return the full record. `repeats` takes the best of N per
 /// candidate to suppress timer noise.
+///
+/// A sweep is only as robust as its worst trial: a candidate whose measure
+/// call throws, or that reports a NaN/Inf/negative time, is recorded with
+/// `failed = true` and its `error` set, then skipped when picking `best` —
+/// one pathological tile shape must not abort an hour-long sweep. Throws
+/// PreconditionError only when *every* candidate fails, with the first
+/// failure's message for diagnosis.
 [[nodiscard]] SweepResult sweep(
     const std::vector<core::TileSpec>& specs,
     const std::function<double(const core::TileSpec&)>& measure,

@@ -1,14 +1,22 @@
 #include "tempest/codegen/jit.hpp"
 
 #include <dlfcn.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <array>
-#include <cstdio>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
+#include "tempest/dsl/interpreter.hpp"
+#include "tempest/resilience/fault.hpp"
 #include "tempest/util/error.hpp"
+#include "tempest/util/log.hpp"
 
 namespace tempest::codegen {
 
@@ -17,17 +25,121 @@ namespace {
 static_assert(sizeof(core::CompressedSparse::Entry) == 2 * sizeof(int),
               "Entry must be two interleaved ints for the generated C ABI");
 
-/// Run a shell command, capturing combined stdout+stderr.
-std::pair<int, std::string> run_command(const std::string& cmd) {
-  std::string output;
-  FILE* pipe = ::popen((cmd + " 2>&1").c_str(), "r");
-  TEMPEST_REQUIRE_MSG(pipe != nullptr, "failed to spawn compiler");
-  std::array<char, 512> buf{};
-  while (::fgets(buf.data(), static_cast<int>(buf.size()), pipe) != nullptr) {
-    output += buf.data();
+/// Unlinks a temp artifact unless released — the compile/dlopen/dlsym
+/// pipeline has four distinct failure exits and every one of them must
+/// clean up both the .c and the .so (they used to leak on failure).
+class TempFileGuard {
+ public:
+  explicit TempFileGuard(std::string path) : path_(std::move(path)) {}
+  ~TempFileGuard() {
+    if (!path_.empty()) ::unlink(path_.c_str());
   }
-  const int status = ::pclose(pipe);
-  return {status, output};
+  TempFileGuard(const TempFileGuard&) = delete;
+  TempFileGuard& operator=(const TempFileGuard&) = delete;
+
+  void release() { path_.clear(); }
+
+ private:
+  std::string path_;
+};
+
+/// The system C compiler: $CC when set (how users point the JIT at icc/
+/// clang or a wrapper), else "cc".
+std::string compiler_command() {
+  const char* cc = std::getenv("CC");
+  return (cc != nullptr && *cc != '\0') ? cc : "cc";
+}
+
+/// Compile deadline in milliseconds ($TEMPEST_JIT_TIMEOUT_MS, default 2
+/// minutes): a wedged compiler must not hang the simulation forever.
+int jit_timeout_ms() {
+  const char* env = std::getenv("TEMPEST_JIT_TIMEOUT_MS");
+  if (env != nullptr && *env != '\0') {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<int>(v);
+  }
+  return 120000;
+}
+
+struct CommandResult {
+  int status = -1;       ///< exit code; nonzero = failure
+  std::string output;    ///< combined stdout+stderr
+  bool timed_out = false;
+};
+
+/// Run a shell command with combined output capture and a hard deadline.
+/// fork/exec instead of popen so the child can be killed (as its own
+/// process group) when the deadline passes.
+CommandResult run_command(const std::string& cmd, int timeout_ms) {
+  if (resilience::fault::consume_jit_failure()) {
+    return {1, "fault injection: simulated compiler failure", false};
+  }
+
+  int fds[2];
+  if (::pipe(fds) != 0) return {-1, "pipe() failed", false};
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return {-1, "fork() failed", false};
+  }
+  if (pid == 0) {
+    ::setpgid(0, 0);  // own group, so the timeout can kill sh + compiler
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::dup2(fds[1], STDERR_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    ::execl("/bin/sh", "sh", "-c", cmd.c_str(), static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+
+  ::close(fds[1]);
+  CommandResult res;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::array<char, 4096> buf{};
+  struct pollfd pfd {
+    fds[0], POLLIN, 0
+  };
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      res.timed_out = true;
+      break;
+    }
+    const auto remain_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count();
+    const int pr =
+        ::poll(&pfd, 1, static_cast<int>(std::min<long long>(remain_ms, 200)));
+    if (pr > 0) {
+      const ssize_t n = ::read(fds[0], buf.data(), buf.size());
+      if (n > 0) {
+        res.output.append(buf.data(), static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) break;  // EOF: every writer exited
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;
+    }
+    if (pr < 0 && errno != EINTR) break;
+  }
+  ::close(fds[0]);
+
+  int status = 0;
+  if (res.timed_out) {
+    ::kill(-pid, SIGKILL);
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, &status, 0);
+    res.status = -1;
+    res.output += "\ncompiler killed after exceeding the " +
+                  std::to_string(timeout_ms) + " ms deadline";
+    return res;
+  }
+  ::waitpid(pid, &status, 0);
+  res.status = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return res;
 }
 
 }  // namespace
@@ -38,6 +150,7 @@ JitModule::JitModule(const std::string& c_source,
   char c_path[] = "/tmp/tempest_jit_XXXXXX.c";
   const int fd = ::mkstemps(c_path, 2);
   TEMPEST_REQUIRE_MSG(fd >= 0, "cannot create temporary source file");
+  TempFileGuard c_guard(c_path);
   {
     std::ofstream out(c_path);
     out << c_source;
@@ -45,19 +158,35 @@ JitModule::JitModule(const std::string& c_source,
   ::close(fd);
 
   so_path_ = std::string(c_path, std::strlen(c_path) - 2) + ".so";
-  const std::string cmd = "cc " + extra_flags + " -fPIC -shared -o " +
-                          so_path_ + " " + c_path;
-  const auto [status, output] = run_command(cmd);
-  ::unlink(c_path);
-  TEMPEST_REQUIRE_MSG(status == 0,
-                      "generated code failed to compile:\n" + output);
+  TempFileGuard so_guard(so_path_);
+  const std::string cmd = compiler_command() + " " + extra_flags +
+                          " -fPIC -shared -o " + so_path_ + " " + c_path;
+  const int timeout_ms = jit_timeout_ms();
+
+  CommandResult res = run_command(cmd, timeout_ms);
+  if (res.status != 0 && !res.timed_out) {
+    // One retry absorbs transient failures (OOM kill, tmpfs hiccup, a
+    // ccache race); a deterministic diagnostic will simply fail again. A
+    // timed-out compile is not retried — it would hang twice as long.
+    util::warn("JIT compile failed, retrying once: " + cmd);
+    res = run_command(cmd, timeout_ms);
+  }
+  TEMPEST_REQUIRE_MSG(res.status == 0,
+                      "generated code failed to compile:\n" + res.output);
 
   handle_ = ::dlopen(so_path_.c_str(), RTLD_NOW | RTLD_LOCAL);
   TEMPEST_REQUIRE_MSG(handle_ != nullptr,
                       std::string("dlopen failed: ") + ::dlerror());
   sym_ = ::dlsym(handle_, symbol_name.c_str());
-  TEMPEST_REQUIRE_MSG(sym_ != nullptr,
-                      "symbol not found in generated module: " + symbol_name);
+  if (sym_ == nullptr) {
+    ::dlclose(handle_);
+    handle_ = nullptr;
+    TEMPEST_REQUIRE_MSG(false,
+                        "symbol not found in generated module: " +
+                            symbol_name);
+  }
+  // Success: the .so must outlive us while mapped; the destructor unlinks.
+  so_guard.release();
 }
 
 JitModule::JitModule(JitModule&& other) noexcept
@@ -87,16 +216,42 @@ JitAcoustic::JitAcoustic(const physics::AcousticModel& model, KernelSpec spec)
       spec_(spec),
       dt_(model.critical_dt()),
       source_(emit_acoustic_c(spec)),
-      module_(source_, spec.symbol()),
       u_(3, model.geom.extents, model.geom.radius()) {
   TEMPEST_REQUIRE_MSG(model.geom.space_order == spec.space_order,
                       "model space order must match the generated kernel");
+  try {
+    module_.emplace(source_, spec.symbol());
+  } catch (const util::PreconditionError& e) {
+    // Resilience over speed: a broken toolchain degrades the run to the
+    // tree-walking reference interpreter instead of aborting it.
+    util::warn(
+        std::string("JIT compilation failed; falling back to the DSL "
+                    "interpreter (orders of magnitude slower, same "
+                    "physics): ") +
+        e.what());
+  }
 }
 
 void JitAcoustic::run(const sparse::SparseTimeSeries& src) {
   const int nt = src.nt();
   TEMPEST_REQUIRE(nt >= 2);
   u_.fill(real_t{0});
+
+  if (!module_.has_value()) {
+    // Interpreter fallback: evaluate the same symbolic acoustic equation
+    // the pattern matcher recognises, with naive injection. Produces the
+    // final wavefield only — the intermediate slices of a JIT run are an
+    // implementation detail of the circular buffer anyway.
+    dsl::Grid g{model_.geom.extents, model_.geom.spacing};
+    dsl::TimeFunction u("u", g, model_.geom.space_order, 2);
+    const dsl::Eq update = dsl::solve(dsl::param("m") * u.dt2() +
+                                          dsl::param("damp") * u.dt() -
+                                          u.laplace(),
+                                      u.forward());
+    dsl::Interpreter interp(update, model_, dt_);
+    u_.at(nt) = interp.run(src, sparse::InterpKind::Trilinear);
+    return;
+  }
 
   const auto& e = model_.geom.extents;
   const core::SourceMasks masks =
@@ -105,7 +260,7 @@ void JitAcoustic::run(const sparse::SparseTimeSeries& src) {
       core::decompose_sources(masks, src, sparse::InterpKind::Trilinear);
   const core::CompressedSparse cs(masks.sm, masks.sid);
 
-  auto* fn = module_.as<AcousticKernelC>();
+  auto* fn = module_->as<AcousticKernelC>();
   const float inv_h2 = static_cast<float>(
       1.0 / (model_.geom.spacing * model_.geom.spacing));
   const float idt2 = static_cast<float>(1.0 / (dt_ * dt_));

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "tempest/codegen/emit.hpp"
@@ -13,7 +14,13 @@ namespace tempest::codegen {
 /// JIT host: compiles a C translation unit with the system C compiler into
 /// a shared object and loads one symbol — the run-time half of the
 /// Devito-style code generation workflow. The temporary artifacts live
-/// under /tmp and are removed on destruction.
+/// under /tmp and are removed on *every* path, success or failure.
+///
+/// Hardened for long-running production use: honours $CC (falling back to
+/// "cc"), retries a failed compile once (transient OOM kills and tmpfs
+/// races happen on loaded hosts), and kills a compile that exceeds the
+/// $TEMPEST_JIT_TIMEOUT_MS deadline (default 2 minutes) instead of hanging
+/// the simulation behind a wedged compiler.
 class JitModule {
  public:
   /// Compile `c_source` and resolve `symbol_name`. Throws PreconditionError
@@ -59,8 +66,15 @@ class JitAcoustic {
   JitAcoustic(const physics::AcousticModel& model, KernelSpec spec);
 
   /// Propagate: zeroes the buffer, runs ops t in [1, nt) with fused
-  /// injection from the decomposed sources.
+  /// injection from the decomposed sources. When compilation failed at
+  /// construction, runs the same physics through the DSL tree-walking
+  /// interpreter instead (much slower, same result).
   void run(const sparse::SparseTimeSeries& src);
+
+  /// True when compilation failed and run() uses the interpreter fallback.
+  [[nodiscard]] bool used_interpreter_fallback() const {
+    return !module_.has_value();
+  }
 
   [[nodiscard]] const grid::Grid3<real_t>& wavefield(int t) const {
     return u_.at(t);
@@ -73,7 +87,7 @@ class JitAcoustic {
   KernelSpec spec_;
   double dt_;
   std::string source_;
-  JitModule module_;
+  std::optional<JitModule> module_;
   grid::TimeBuffer<real_t> u_;
 };
 

@@ -37,9 +37,12 @@ struct DiamondSpec {
 
 /// Execute fn(t, Box3) under the diamond schedule. Blocks within one
 /// triangle slice run under OpenMP; phases and bands are barriers.
-template <typename BlockFn>
+/// `on_band(te)` fires after band [t0, te) completes — every timestep < te
+/// is then fully computed (the hook the health monitor scans from).
+template <typename BlockFn, typename BandFn = NoBandCallback>
 void run_diamond(const grid::Extents3& e, int t_begin, int t_end, int slope,
-                 const DiamondSpec& spec, BlockFn&& fn, bool parallel = true) {
+                 const DiamondSpec& spec, BlockFn&& fn, bool parallel = true,
+                 BandFn&& on_band = BandFn{}) {
   TEMPEST_REQUIRE(slope >= 0);
   TEMPEST_REQUIRE_MSG(spec.valid_for(slope),
                       "diamond width must be >= 2*slope*height");
@@ -74,6 +77,7 @@ void run_diamond(const grid::Extents3& e, int t_begin, int t_end, int slope,
         emit_range(t, base + W - grow, base + W + grow);
       }
     }
+    on_band(te);
   }
 }
 

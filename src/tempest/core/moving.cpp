@@ -1,5 +1,9 @@
 #include "tempest/core/moving.hpp"
 
+#include <cmath>
+#include <sstream>
+
+#include "tempest/resilience/health.hpp"
 #include "tempest/util/error.hpp"
 
 namespace tempest::core {
@@ -80,6 +84,17 @@ DecomposedSource decompose_moving(const SourceMasks& masks,
   DecomposedSource dcmp(src.nt(), masks.npts);
   for (int t = 0; t < src.nt(); ++t) {
     for (int s = 0; s < src.nsrc(); ++s) {
+      // A single NaN amplitude would silently poison every decomposed
+      // weight sharing this support and, from there, the whole wavefield;
+      // diagnose it at the boundary where the bad data enters.
+      if (!std::isfinite(static_cast<double>(src.amplitude(t, s)))) {
+        std::ostringstream os;
+        os << "numerical health check failed: non-finite amplitude in "
+              "moving source "
+           << s << " at timestep " << t
+           << " — rejecting it before the decomposition spreads it";
+        throw resilience::NumericalHealthError("moving-source", t, os.str());
+      }
       for (const sparse::SupportPoint& p :
            sparse::support(src.coords(t)[static_cast<std::size_t>(s)], kind,
                            masks.extents())) {

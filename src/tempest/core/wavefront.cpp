@@ -1,5 +1,6 @@
 #include "tempest/core/wavefront.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 
@@ -14,6 +15,16 @@ std::vector<ScheduleOp> wavefront_schedule(const grid::Extents3& e,
       [&](int t, const grid::Box3& box) { ops.push_back({t, box}); },
       /*parallel=*/false);
   return ops;
+}
+
+std::vector<std::pair<int, int>> wavefront_bands(int t_begin, int t_end,
+                                                 int tile_t) {
+  TEMPEST_REQUIRE(tile_t > 0);
+  std::vector<std::pair<int, int>> bands;
+  for (int tt = t_begin; tt < t_end; tt += tile_t) {
+    bands.emplace_back(tt, std::min(tt + tile_t, t_end));
+  }
+  return bands;
 }
 
 std::vector<ScheduleOp> spaceblocked_schedule(const grid::Extents3& e,

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "tempest/grid/blocks.hpp"
@@ -37,6 +38,14 @@ struct ScheduleOp {
   friend bool operator==(const ScheduleOp&, const ScheduleOp&) = default;
 };
 
+/// Default no-op for the band-completion hook of the temporally blocked
+/// runners. After a time band [tt, te) finishes, *every* timestep < te is
+/// fully computed — the only global barrier temporal blocking offers, and
+/// therefore the place the resilience layer runs wavefield health scans.
+struct NoBandCallback {
+  void operator()(int /*band_end*/) const {}
+};
+
 /// The classic (legal-by-construction) schedule: every timestep sweeps the
 /// whole domain in space blocks before the next begins (paper Fig. 4a).
 /// fn(t, Box3) is invoked for each block; blocks of one timestep are
@@ -66,9 +75,10 @@ void run_spaceblocked(const grid::Extents3& e, int t_begin, int t_end,
 /// lexicographically non-negative vectors in (t, x', y'), so the sequential
 /// x'-tile → y'-tile → t traversal respects them (see tests/wavefront_test
 /// for the executable proof).
-template <typename BlockFn>
+template <typename BlockFn, typename BandFn = NoBandCallback>
 void run_wavefront(const grid::Extents3& e, int t_begin, int t_end, int slope,
-                   const TileSpec& spec, BlockFn&& fn, bool parallel = true) {
+                   const TileSpec& spec, BlockFn&& fn, bool parallel = true,
+                   BandFn&& on_band = BandFn{}) {
   TEMPEST_REQUIRE(spec.valid());
   TEMPEST_REQUIRE_MSG(slope >= 0, "skew slope must be non-negative");
   for (int tt = t_begin; tt < t_end; tt += spec.tile_t) {
@@ -102,8 +112,17 @@ void run_wavefront(const grid::Extents3& e, int t_begin, int t_end, int slope,
         }
       }
     }
+    on_band(te);
   }
 }
+
+/// The [begin, end) time bands run_wavefront executes for this range and
+/// tile height — i.e. the instants its band-completion hook fires. Exposed
+/// so consumers (health monitoring, tests) can reason about scan cadence
+/// without re-deriving the banding arithmetic.
+[[nodiscard]] std::vector<std::pair<int, int>> wavefront_bands(int t_begin,
+                                                               int t_end,
+                                                               int tile_t);
 
 /// Materialize the exact op sequence run_wavefront would execute (blocks in
 /// OpenMP groups appear in deterministic order). Used by tests to verify

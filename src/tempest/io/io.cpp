@@ -1,7 +1,9 @@
 #include "tempest/io/io.hpp"
 
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "tempest/util/error.hpp"
 
@@ -11,6 +13,12 @@ namespace {
 
 constexpr std::uint32_t kFieldMagic = 0x54504631;   // "TPF1"
 constexpr std::uint32_t kGatherMagic = 0x54504731;  // "TPG1"
+
+/// Dimension sanity bounds: a garbage header must not be able to request a
+/// multi-terabyte allocation before the size cross-check runs.
+constexpr int kMaxExtent = 1 << 20;
+constexpr int kMaxHalo = 1 << 10;
+constexpr int kMaxPoints = 1 << 28;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -23,6 +31,24 @@ T read_pod(std::istream& is) {
   is.read(reinterpret_cast<char*>(&v), sizeof(T));
   TEMPEST_REQUIRE_MSG(static_cast<bool>(is), "truncated file");
   return v;
+}
+
+/// Actual on-disk size, for validating declared payloads before allocating.
+std::uintmax_t file_size_of(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) throw CorruptFileError(path, "cannot stat: " + ec.message());
+  return size;
+}
+
+[[noreturn]] void throw_size_mismatch(const std::string& path,
+                                      const char* kind,
+                                      std::uintmax_t expected,
+                                      std::uintmax_t actual) {
+  std::ostringstream os;
+  os << kind << " declares " << expected << " bytes but the file holds "
+     << actual << " — truncated or corrupted";
+  throw CorruptFileError(path, os.str());
 }
 
 std::ofstream open_out(const std::string& path) {
@@ -52,13 +78,35 @@ void save_field(const std::string& path, const grid::Grid3<real_t>& field) {
 }
 
 grid::Grid3<real_t> load_field(const std::string& path) {
+  constexpr std::uintmax_t kHeader = 5 * sizeof(std::uint32_t);
+  const std::uintmax_t actual = file_size_of(path);
+  if (actual < kHeader) {
+    throw CorruptFileError(path, "too small to hold a field header (" +
+                                     std::to_string(actual) + " bytes)");
+  }
   auto is = open_in(path);
-  TEMPEST_REQUIRE_MSG(read_pod<std::uint32_t>(is) == kFieldMagic,
-                      "not a tempest field file: " + path);
+  if (read_pod<std::uint32_t>(is) != kFieldMagic) {
+    throw CorruptFileError(path, "bad magic — not a tempest field file");
+  }
   const int nx = read_pod<std::int32_t>(is);
   const int ny = read_pod<std::int32_t>(is);
   const int nz = read_pod<std::int32_t>(is);
   const int halo = read_pod<std::int32_t>(is);
+  if (nx <= 0 || ny <= 0 || nz <= 0 || nx > kMaxExtent || ny > kMaxExtent ||
+      nz > kMaxExtent || halo < 0 || halo > kMaxHalo) {
+    std::ostringstream os;
+    os << "implausible field header: extents (" << nx << ", " << ny << ", "
+       << nz << "), halo " << halo;
+    throw CorruptFileError(path, os.str());
+  }
+  const std::uintmax_t padded =
+      static_cast<std::uintmax_t>(nx + 2 * halo) *
+      static_cast<std::uintmax_t>(ny + 2 * halo) *
+      static_cast<std::uintmax_t>(nz + 2 * halo);
+  const std::uintmax_t expected = kHeader + padded * sizeof(real_t);
+  if (expected != actual) {
+    throw_size_mismatch(path, "field header", expected, actual);
+  }
   grid::Grid3<real_t> field({nx, ny, nz}, halo);
   is.read(reinterpret_cast<char*>(field.raw()),
           static_cast<std::streamsize>(field.padded_size() * sizeof(real_t)));
@@ -86,12 +134,31 @@ void save_gather(const std::string& path,
 }
 
 sparse::SparseTimeSeries load_gather(const std::string& path) {
+  constexpr std::uintmax_t kHeader = 3 * sizeof(std::uint32_t);
+  const std::uintmax_t actual = file_size_of(path);
+  if (actual < kHeader) {
+    throw CorruptFileError(path, "too small to hold a gather header (" +
+                                     std::to_string(actual) + " bytes)");
+  }
   auto is = open_in(path);
-  TEMPEST_REQUIRE_MSG(read_pod<std::uint32_t>(is) == kGatherMagic,
-                      "not a tempest gather file: " + path);
+  if (read_pod<std::uint32_t>(is) != kGatherMagic) {
+    throw CorruptFileError(path, "bad magic — not a tempest gather file");
+  }
   const int nt = read_pod<std::int32_t>(is);
   const int npoints = read_pod<std::int32_t>(is);
-  TEMPEST_REQUIRE(nt > 0 && npoints >= 0);
+  if (nt <= 0 || npoints < 0 || npoints > kMaxPoints) {
+    std::ostringstream os;
+    os << "implausible gather header: nt " << nt << ", npoints " << npoints;
+    throw CorruptFileError(path, os.str());
+  }
+  const std::uintmax_t expected =
+      kHeader +
+      static_cast<std::uintmax_t>(npoints) * 3 * sizeof(double) +
+      static_cast<std::uintmax_t>(nt) * static_cast<std::uintmax_t>(npoints) *
+          sizeof(real_t);
+  if (expected != actual) {
+    throw_size_mismatch(path, "gather header", expected, actual);
+  }
   sparse::CoordList coords(static_cast<std::size_t>(npoints));
   for (sparse::Coord3& c : coords) {
     c.x = read_pod<double>(is);

@@ -5,8 +5,26 @@
 #include "tempest/config.hpp"
 #include "tempest/grid/grid3.hpp"
 #include "tempest/sparse/series.hpp"
+#include "tempest/util/error.hpp"
 
 namespace tempest::io {
+
+/// Thrown when a file fails structural validation before its payload is
+/// trusted: wrong magic, nonsensical header values, or a declared payload
+/// that disagrees with the actual file size (truncation/corruption). The
+/// message names the path and exactly what mismatched. Derives from
+/// PreconditionError so existing catch sites keep working.
+class CorruptFileError : public util::PreconditionError {
+ public:
+  CorruptFileError(std::string path, const std::string& detail)
+      : util::PreconditionError("corrupt file '" + path + "': " + detail),
+        path_(std::move(path)) {}
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
 
 /// Minimal persistence for fields and gathers: a tagged little-endian
 /// binary container (magic + header + raw payload) for exact round trips,
@@ -15,10 +33,13 @@ namespace tempest::io {
 
 /// Save/load a field with its full geometry (extents + halo). The halo
 /// contents are preserved exactly, so a loaded field is bitwise identical.
+/// load_field validates magic, header sanity and payload length against the
+/// actual file size before allocating; throws CorruptFileError otherwise.
 void save_field(const std::string& path, const grid::Grid3<real_t>& field);
 [[nodiscard]] grid::Grid3<real_t> load_field(const std::string& path);
 
 /// Save/load a sparse time series (coordinates + the nt x npoints data).
+/// load_gather performs the same pre-validation as load_field.
 void save_gather(const std::string& path,
                  const sparse::SparseTimeSeries& gather);
 [[nodiscard]] sparse::SparseTimeSeries load_gather(const std::string& path);

@@ -1,12 +1,15 @@
 #include "tempest/physics/acoustic.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <sstream>
 #include <vector>
 
 #include "tempest/core/compress.hpp"
 #include "tempest/core/diamond.hpp"
 #include "tempest/core/fused.hpp"
 #include "tempest/core/precompute.hpp"
+#include "tempest/resilience/fault.hpp"
 #include "tempest/sparse/operators.hpp"
 #include "tempest/stencil/coefficients.hpp"
 #include "tempest/util/error.hpp"
@@ -117,8 +120,57 @@ RunStats AcousticPropagator::run(Schedule sched,
                                  const sparse::SparseTimeSeries& src,
                                  sparse::SparseTimeSeries* rec,
                                  const StepCallback& on_step) {
+  if (rec != nullptr) rec->zero();
+  u_.fill(real_t{0});
+  return run_from(1, sched, src, rec, on_step);
+}
+
+resilience::Checkpoint AcousticPropagator::capture(
+    int step, std::uint64_t fingerprint,
+    const sparse::SparseTimeSeries* rec) const {
+  TEMPEST_REQUIRE(step >= 1);
+  resilience::Checkpoint ck;
+  ck.fingerprint = fingerprint;
+  ck.step = step;
+  ck.slots.reserve(static_cast<std::size_t>(u_.slots()));
+  for (int s = 0; s < u_.slots(); ++s) ck.slots.push_back(u_.slot(s));
+  if (rec != nullptr) {
+    ck.has_rec = true;
+    ck.rec = *rec;
+  }
+  return ck;
+}
+
+void AcousticPropagator::restore(const resilience::Checkpoint& ck) {
+  if (static_cast<int>(ck.slots.size()) != u_.slots() || ck.slots.empty() ||
+      ck.slots.front().extents() != model_.geom.extents ||
+      ck.slots.front().halo() != model_.geom.radius()) {
+    std::ostringstream os;
+    os << "checkpoint does not fit this propagator: it holds "
+       << ck.slots.size() << " slices";
+    if (!ck.slots.empty()) {
+      const auto& e = ck.slots.front().extents();
+      os << " of " << e.nx << "x" << e.ny << "x" << e.nz << " (halo "
+         << ck.slots.front().halo() << ")";
+    }
+    const auto& e = model_.geom.extents;
+    os << ", this run needs " << u_.slots() << " of " << e.nx << "x" << e.ny
+       << "x" << e.nz << " (halo " << model_.geom.radius() << ")";
+    throw resilience::CheckpointMismatchError(os.str());
+  }
+  for (int s = 0; s < u_.slots(); ++s) {
+    u_.slot(s) = ck.slots[static_cast<std::size_t>(s)];
+  }
+}
+
+RunStats AcousticPropagator::run_from(int t_begin, Schedule sched,
+                                      const sparse::SparseTimeSeries& src,
+                                      sparse::SparseTimeSeries* rec,
+                                      const StepCallback& on_step) {
   const int nt = src.nt();
   TEMPEST_REQUIRE(nt >= 2);
+  TEMPEST_REQUIRE_MSG(t_begin >= 1 && t_begin < nt,
+                      "resume step outside the simulated time range");
   TEMPEST_REQUIRE_MSG(
       !on_step ||
           (sched != Schedule::Wavefront && sched != Schedule::Diamond),
@@ -126,9 +178,9 @@ RunStats AcousticPropagator::run(Schedule sched,
       "(Reference or SpaceBlocked)");
   if (rec != nullptr) {
     TEMPEST_REQUIRE(rec->nt() >= nt);
-    rec->zero();
   }
-  u_.fill(real_t{0});
+
+  resilience::HealthMonitor monitor(opts_.health);
 
   const auto& e = model_.geom.extents;
   const int radius = model_.geom.radius();
@@ -149,6 +201,21 @@ RunStats AcousticPropagator::run(Schedule sched,
   const auto& m_grid = model_.m;
   auto inj_scale = [dt2, &m_grid](int x, int y, int z) {
     return dt2 / m_grid(x, y, z);
+  };
+
+  // Post-step resilience hook shared by all schedules: the deterministic
+  // fault-injection site first (tests arm it; disarmed it is one int
+  // compare), then the wavefield health scan. Barrier schedules gate the
+  // scan on the policy cadence; temporally blocked schedules scan at every
+  // band boundary, the only instants a whole timestep exists.
+  auto health_point = [&](int t_done, bool cadence_gated) {
+    if (resilience::fault::consume_wavefield_poison(t_done)) {
+      u_.at(t_done)(e.nx / 2, e.ny / 2, e.nz / 2) =
+          std::numeric_limits<real_t>::quiet_NaN();
+    }
+    if (monitor.enabled() && (!cadence_gated || monitor.due(t_done))) {
+      monitor.check(u_.at(t_done), "u", t_done);
+    }
   };
 
   // One block of one timestep: the unit handed to both schedules.
@@ -182,7 +249,7 @@ RunStats AcousticPropagator::run(Schedule sched,
 
   RunStats stats;
   stats.point_updates =
-      static_cast<long long>(nt - 1) * static_cast<long long>(e.size());
+      static_cast<long long>(nt - t_begin) * static_cast<long long>(e.size());
 
   if (sched == Schedule::Wavefront || sched == Schedule::Diamond) {
     // --- The paper's scheme: precompute, fuse, compress, time-tile. The
@@ -213,9 +280,14 @@ RunStats AcousticPropagator::run(Schedule sched,
       }
     };
 
+    // Completed-band hook: timestep te-1 is the newest complete slice, and
+    // u_.at(te) is the newest fully *written* slice (ops compute t+1).
+    auto on_band = [&](int te) { health_point(te, /*cadence_gated=*/false); };
+
     util::Timer timer;
     if (sched == Schedule::Wavefront) {
-      core::run_wavefront(e, 1, nt, radius, opts_.tiles, fused_block);
+      core::run_wavefront(e, t_begin, nt, radius, opts_.tiles, fused_block,
+                          /*parallel=*/true, on_band);
     } else {
       core::DiamondSpec dspec;
       dspec.height = opts_.tiles.tile_t;
@@ -224,7 +296,8 @@ RunStats AcousticPropagator::run(Schedule sched,
           std::max(opts_.tiles.tile_x, 2 * radius * opts_.tiles.tile_t);
       dspec.block_x = opts_.tiles.block_x;
       dspec.block_y = opts_.tiles.block_y;
-      core::run_diamond(e, 1, nt, radius, dspec, fused_block);
+      core::run_diamond(e, t_begin, nt, radius, dspec, fused_block,
+                        /*parallel=*/true, on_band);
     }
     stats.seconds = timer.seconds();
     return stats;
@@ -242,7 +315,7 @@ RunStats AcousticPropagator::run(Schedule sched,
     util::Timer timer;
     const auto blocks = grid::decompose_xy(
         grid::Box3::whole(e), opts_.tiles.block_x, opts_.tiles.block_y);
-    for (int t = 1; t < nt; ++t) {
+    for (int t = t_begin; t < nt; ++t) {
 #pragma omp parallel for schedule(dynamic)
       for (std::size_t b = 0; b < blocks.size(); ++b) {
         stencil_block(t, blocks[b]);
@@ -251,6 +324,7 @@ RunStats AcousticPropagator::run(Schedule sched,
       if (rec != nullptr && rec->npoints() > 0) {
         sparse::interpolate_cached(u_.at(t + 1), *rec, t, rec_cache);
       }
+      health_point(t + 1, /*cadence_gated=*/true);
       if (on_step) on_step(t + 1);
     }
     stats.seconds = timer.seconds();
@@ -259,12 +333,13 @@ RunStats AcousticPropagator::run(Schedule sched,
 
   // --- Reference: unblocked sweep + naive (uncached) sparse operators. ---
   util::Timer timer;
-  for (int t = 1; t < nt; ++t) {
+  for (int t = t_begin; t < nt; ++t) {
     stencil_block(t, grid::Box3::whole(e));
     sparse::inject(u_.at(t + 1), src, t, opts_.interp, inj_scale);
     if (rec != nullptr && rec->npoints() > 0) {
       sparse::interpolate(u_.at(t + 1), *rec, t, opts_.interp);
     }
+    health_point(t + 1, /*cadence_gated=*/true);
     if (on_step) on_step(t + 1);
   }
   stats.seconds = timer.seconds();

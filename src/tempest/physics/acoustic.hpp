@@ -1,11 +1,13 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "tempest/config.hpp"
 #include "tempest/grid/time_buffer.hpp"
 #include "tempest/physics/model.hpp"
 #include "tempest/physics/propagator.hpp"
+#include "tempest/resilience/checkpoint.hpp"
 #include "tempest/sparse/series.hpp"
 
 namespace tempest::physics {
@@ -39,6 +41,30 @@ class AcousticPropagator {
   RunStats run(Schedule sched, const sparse::SparseTimeSeries& src,
                sparse::SparseTimeSeries* rec = nullptr,
                const StepCallback& on_step = {});
+
+  /// Resume a run whose timesteps < t_begin are already computed: neither
+  /// the wavefield buffer nor `rec` is zeroed, and the time loop starts at
+  /// t_begin. Seed the state with restore() from a checkpoint captured at
+  /// t_begin (capture()'s `step` is the next run_from()'s `t_begin`). A
+  /// resumed run reproduces the uninterrupted one bitwise when it uses the
+  /// same schedule and options. run() is run_from(1, ...) after zeroing.
+  RunStats run_from(int t_begin, Schedule sched,
+                    const sparse::SparseTimeSeries& src,
+                    sparse::SparseTimeSeries* rec = nullptr,
+                    const StepCallback& on_step = {});
+
+  /// Snapshot the full propagation state after timestep `step` completed
+  /// (call from a StepCallback, where a global time barrier exists). The
+  /// checkpoint carries the circular-buffer slices, the gather recorded so
+  /// far (when `rec` is non-null) and the caller's config fingerprint.
+  [[nodiscard]] resilience::Checkpoint capture(
+      int step, std::uint64_t fingerprint,
+      const sparse::SparseTimeSeries* rec = nullptr) const;
+
+  /// Seed the wavefield buffer from a checkpoint. Throws
+  /// resilience::CheckpointMismatchError when the checkpoint's slice count
+  /// or grid geometry does not match this propagator.
+  void restore(const resilience::Checkpoint& ck);
 
   /// Wavefield at logical timestep t of the last run (only the last three
   /// timesteps are live in the circular buffer).

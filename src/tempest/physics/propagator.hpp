@@ -1,6 +1,7 @@
 #pragma once
 
 #include "tempest/core/wavefront.hpp"
+#include "tempest/resilience/health.hpp"
 #include "tempest/sparse/interp.hpp"
 
 namespace tempest::physics {
@@ -41,6 +42,12 @@ struct PropagatorOptions {
   core::TileSpec tiles{};
   sparse::InterpKind interp = sparse::InterpKind::Trilinear;
   double dt = 0.0;  ///< timestep (ms); 0 selects the model's critical dt
+
+  /// Numerical health monitoring (NaN/Inf and energy blow-up scans).
+  /// Disabled by default; when enabled, barrier schedules scan every
+  /// `check_every` steps and temporally blocked schedules scan at time-band
+  /// boundaries — the only instants a whole timestep exists under blocking.
+  resilience::HealthPolicy health{};
 };
 
 }  // namespace tempest::physics

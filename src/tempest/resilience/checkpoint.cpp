@@ -1,0 +1,291 @@
+#include "tempest/resilience/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "tempest/io/io.hpp"
+#include "tempest/resilience/fault.hpp"
+#include "tempest/util/crc32.hpp"
+#include "tempest/util/error.hpp"
+#include "tempest/util/log.hpp"
+
+namespace tempest::resilience {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x5450434Bu;  // "TPCK"
+constexpr std::uint32_t kVersion = 1;
+constexpr int kMaxExtent = 1 << 20;
+constexpr int kMaxHalo = 1 << 10;
+constexpr int kMaxSlices = 16;
+constexpr std::uint32_t kMaxAux = 1 << 10;
+
+/// Streams to the temp file while folding every byte into the CRC, so the
+/// trailing checksum covers the exact bytes on disk.
+class CrcWriter {
+ public:
+  explicit CrcWriter(std::ostream& os) : os_(os) {}
+
+  void bytes(const void* data, std::size_t n) {
+    os_.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(n));
+    crc_.update(data, n);
+  }
+
+  template <typename T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bytes(&v, sizeof(T));
+  }
+
+  [[nodiscard]] std::uint32_t crc() const { return crc_.value(); }
+
+ private:
+  std::ostream& os_;
+  util::Crc32 crc_;
+};
+
+/// Bounds-checked cursor over the fully loaded file image.
+class Reader {
+ public:
+  Reader(const std::string& path, const std::vector<std::uint8_t>& buf,
+         std::size_t end)
+      : path_(path), buf_(buf), end_(end) {}
+
+  void bytes(void* out, std::size_t n) {
+    if (pos_ + n > end_) {
+      throw io::CorruptFileError(path_,
+                                 "checkpoint payload ends prematurely");
+    }
+    std::memcpy(out, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  template <typename T>
+  T pod() {
+    T v{};
+    bytes(&v, sizeof(T));
+    return v;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return end_ - pos_; }
+
+ private:
+  const std::string& path_;
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+  std::size_t end_;
+};
+
+}  // namespace
+
+bool Checkpointer::exists() const {
+  std::error_code ec;
+  return std::filesystem::exists(path_, ec);
+}
+
+void Checkpointer::save(const Checkpoint& ck) const {
+  TEMPEST_REQUIRE_MSG(!ck.slots.empty(), "checkpoint carries no time slices");
+  const auto& e0 = ck.slots.front().extents();
+  const int halo0 = ck.slots.front().halo();
+  for (const auto& s : ck.slots) {
+    TEMPEST_REQUIRE_MSG(s.extents() == e0 && s.halo() == halo0,
+                        "checkpoint slices must share one geometry");
+  }
+
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    TEMPEST_REQUIRE_MSG(os.is_open(),
+                        "cannot open checkpoint temp file: " + tmp);
+    CrcWriter w(os);
+    w.pod(kMagic);
+    w.pod(kVersion);
+    w.pod(ck.fingerprint);
+    w.pod(static_cast<std::int32_t>(ck.step));
+    w.pod(static_cast<std::int32_t>(ck.slots.size()));
+    w.pod(static_cast<std::int32_t>(e0.nx));
+    w.pod(static_cast<std::int32_t>(e0.ny));
+    w.pod(static_cast<std::int32_t>(e0.nz));
+    w.pod(static_cast<std::int32_t>(halo0));
+    for (const auto& s : ck.slots) {
+      w.bytes(s.raw(), s.padded_size() * sizeof(real_t));
+    }
+
+    // Torn-write window: a kill here leaves a partial temp file while the
+    // previous checkpoint (if any) is still intact under the live name.
+    if (fault::consume_checkpoint_failure()) {
+      os.flush();
+      throw util::PreconditionError(
+          "fault injection: simulated crash during checkpoint write to " +
+          tmp);
+    }
+
+    w.pod(static_cast<std::uint8_t>(ck.has_rec ? 1 : 0));
+    if (ck.has_rec) {
+      w.pod(static_cast<std::int32_t>(ck.rec.nt()));
+      w.pod(static_cast<std::int32_t>(ck.rec.npoints()));
+      for (const sparse::Coord3& c : ck.rec.coords()) {
+        w.pod(c.x);
+        w.pod(c.y);
+        w.pod(c.z);
+      }
+      for (int t = 0; t < ck.rec.nt(); ++t) {
+        const auto step = ck.rec.step(t);
+        w.bytes(step.data(), step.size() * sizeof(real_t));
+      }
+    }
+
+    w.pod(static_cast<std::uint32_t>(ck.aux.size()));
+    for (const auto& [name, blob] : ck.aux) {
+      w.pod(static_cast<std::uint32_t>(name.size()));
+      w.bytes(name.data(), name.size());
+      w.pod(static_cast<std::uint64_t>(blob.size()));
+      w.bytes(blob.data(), blob.size());
+    }
+
+    const std::uint32_t crc = w.crc();
+    os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    os.flush();
+    TEMPEST_REQUIRE_MSG(static_cast<bool>(os),
+                        "checkpoint write failed: " + tmp);
+  }
+
+  TEMPEST_REQUIRE_MSG(std::rename(tmp.c_str(), path_.c_str()) == 0,
+                      "cannot move checkpoint into place: " + path_);
+}
+
+Checkpoint Checkpointer::load() const {
+  std::ifstream is(path_, std::ios::binary);
+  if (!is.is_open()) {
+    throw io::CorruptFileError(path_, "cannot open checkpoint for reading");
+  }
+  std::vector<std::uint8_t> buf(
+      (std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+
+  constexpr std::size_t kMinSize =
+      2 * sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+      6 * sizeof(std::int32_t) + sizeof(std::uint8_t) +
+      2 * sizeof(std::uint32_t);
+  if (buf.size() < kMinSize) {
+    throw io::CorruptFileError(
+        path_, "too small to hold a checkpoint (" +
+                   std::to_string(buf.size()) + " bytes)");
+  }
+
+  const std::size_t body = buf.size() - sizeof(std::uint32_t);
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + body, sizeof(stored_crc));
+  const std::uint32_t computed_crc = util::crc32(buf.data(), body);
+  if (stored_crc != computed_crc) {
+    std::ostringstream os;
+    os << "CRC mismatch: stored " << std::hex << stored_crc << ", computed "
+       << computed_crc << " — torn write or bit rot";
+    throw io::CorruptFileError(path_, os.str());
+  }
+
+  Reader r(path_, buf, body);
+  if (r.pod<std::uint32_t>() != kMagic) {
+    throw io::CorruptFileError(path_,
+                               "bad magic — not a tempest checkpoint");
+  }
+  const std::uint32_t version = r.pod<std::uint32_t>();
+  if (version != kVersion) {
+    throw io::CorruptFileError(
+        path_, "unsupported checkpoint version " + std::to_string(version));
+  }
+
+  Checkpoint ck;
+  ck.fingerprint = r.pod<std::uint64_t>();
+  ck.step = r.pod<std::int32_t>();
+  const int nslices = r.pod<std::int32_t>();
+  const int nx = r.pod<std::int32_t>();
+  const int ny = r.pod<std::int32_t>();
+  const int nz = r.pod<std::int32_t>();
+  const int halo = r.pod<std::int32_t>();
+  if (ck.step < 0 || nslices <= 0 || nslices > kMaxSlices || nx <= 0 ||
+      ny <= 0 || nz <= 0 || nx > kMaxExtent || ny > kMaxExtent ||
+      nz > kMaxExtent || halo < 0 || halo > kMaxHalo) {
+    throw io::CorruptFileError(path_, "implausible checkpoint header");
+  }
+
+  ck.slots.reserve(static_cast<std::size_t>(nslices));
+  for (int s = 0; s < nslices; ++s) {
+    grid::Grid3<real_t> g({nx, ny, nz}, halo);
+    r.bytes(g.raw(), g.padded_size() * sizeof(real_t));
+    ck.slots.push_back(std::move(g));
+  }
+
+  ck.has_rec = r.pod<std::uint8_t>() != 0;
+  if (ck.has_rec) {
+    const int rec_nt = r.pod<std::int32_t>();
+    const int rec_np = r.pod<std::int32_t>();
+    if (rec_nt <= 0 || rec_np < 0) {
+      throw io::CorruptFileError(path_, "implausible gather header");
+    }
+    sparse::CoordList coords(static_cast<std::size_t>(rec_np));
+    for (sparse::Coord3& c : coords) {
+      c.x = r.pod<double>();
+      c.y = r.pod<double>();
+      c.z = r.pod<double>();
+    }
+    ck.rec = sparse::SparseTimeSeries(std::move(coords), rec_nt);
+    for (int t = 0; t < rec_nt; ++t) {
+      auto step = ck.rec.step(t);
+      r.bytes(step.data(), step.size() * sizeof(real_t));
+    }
+  }
+
+  const std::uint32_t naux = r.pod<std::uint32_t>();
+  if (naux > kMaxAux) {
+    throw io::CorruptFileError(path_, "implausible auxiliary-blob count");
+  }
+  for (std::uint32_t i = 0; i < naux; ++i) {
+    const std::uint32_t name_len = r.pod<std::uint32_t>();
+    if (name_len > 4096) {
+      throw io::CorruptFileError(path_, "implausible auxiliary name length");
+    }
+    std::string name(name_len, '\0');
+    r.bytes(name.data(), name_len);
+    const std::uint64_t nbytes = r.pod<std::uint64_t>();
+    if (nbytes > r.remaining()) {
+      throw io::CorruptFileError(path_,
+                                 "auxiliary blob exceeds the file size");
+    }
+    std::vector<std::uint8_t> blob(static_cast<std::size_t>(nbytes));
+    r.bytes(blob.data(), blob.size());
+    ck.aux.emplace_back(std::move(name), std::move(blob));
+  }
+
+  if (r.remaining() != 0) {
+    throw io::CorruptFileError(path_, "trailing bytes after checkpoint data");
+  }
+  return ck;
+}
+
+std::optional<Checkpoint> Checkpointer::try_load(
+    std::uint64_t expected_fingerprint) const {
+  if (!exists()) return std::nullopt;
+  Checkpoint ck;
+  try {
+    ck = load();
+  } catch (const io::CorruptFileError& e) {
+    util::warn(std::string("ignoring unusable checkpoint: ") + e.what());
+    return std::nullopt;
+  }
+  if (ck.fingerprint != expected_fingerprint) {
+    std::ostringstream os;
+    os << "checkpoint '" << path_ << "' was written by a different "
+       << "configuration (fingerprint " << std::hex << ck.fingerprint
+       << ", this run is " << expected_fingerprint
+       << ") — resuming would corrupt the result; delete the file to start "
+          "fresh";
+    throw CheckpointMismatchError(os.str());
+  }
+  return ck;
+}
+
+}  // namespace tempest::resilience

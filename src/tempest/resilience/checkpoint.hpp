@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "tempest/config.hpp"
+#include "tempest/grid/grid3.hpp"
+#include "tempest/sparse/series.hpp"
+
+namespace tempest::resilience {
+
+/// Thrown when a structurally valid checkpoint does not belong to the run
+/// trying to resume from it: the configuration fingerprint or the grid
+/// geometry differs. Restarting silently with mismatched state would
+/// produce a wrong (not merely imprecise) result, so this is never
+/// downgraded to a warning.
+class CheckpointMismatchError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Order-sensitive FNV-1a accumulator for building configuration
+/// fingerprints: hash every parameter that must match for a resumed run to
+/// be bitwise-identical (geometry, dt, schedule, source/receiver counts...).
+class Fingerprint {
+ public:
+  Fingerprint& add_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 1099511628211ull;
+    }
+    return *this;
+  }
+
+  template <typename T>
+  Fingerprint& add(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "fingerprint inputs must be raw values");
+    return add_bytes(&v, sizeof(T));
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ull;
+};
+
+/// Full simulation state at a barrier timestep: the circular-buffer time
+/// slices (in slot order — the fold is deterministic given `step`), the
+/// last fully computed timestep, the receiver gather rows recorded so far,
+/// and arbitrary named auxiliary payloads for application state (e.g. the
+/// RTM image accumulator).
+struct Checkpoint {
+  std::uint64_t fingerprint = 0;
+  int step = 0;  ///< last fully computed timestep
+  std::vector<grid::Grid3<real_t>> slots;
+  bool has_rec = false;
+  sparse::SparseTimeSeries rec;
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> aux;
+
+  [[nodiscard]] const std::vector<std::uint8_t>* find_aux(
+      const std::string& name) const {
+    for (const auto& [n, bytes] : aux) {
+      if (n == name) return &bytes;
+    }
+    return nullptr;
+  }
+};
+
+/// Pack a trivially copyable value as an auxiliary-blob payload.
+template <typename T>
+[[nodiscard]] std::vector<std::uint8_t> aux_pack(const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::uint8_t> b(sizeof(T));
+  std::memcpy(b.data(), &v, sizeof(T));
+  return b;
+}
+
+/// Unpack an auxiliary blob written by aux_pack. Returns nullopt on size
+/// mismatch (e.g. a checkpoint written by an incompatible build).
+template <typename T>
+[[nodiscard]] std::optional<T> aux_unpack(const std::vector<std::uint8_t>& b) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (b.size() != sizeof(T)) return std::nullopt;
+  T v{};
+  std::memcpy(&v, b.data(), sizeof(T));
+  return v;
+}
+
+/// Atomic checkpoint persistence.
+///
+/// Layout (host-endian): magic "TPCK" + version, fingerprint, step, slice
+/// geometry, slice payloads, optional gather, auxiliary blobs, and a
+/// trailing CRC-32 over everything before it. save() streams to
+/// `path + ".tmp"` and rename(2)s into place, so a kill at any instant
+/// leaves either the previous complete checkpoint or a stray temp file —
+/// never a half-written file under the live name. load() validates magic,
+/// header sanity, the declared sizes against the actual file size, and the
+/// CRC before trusting a byte of payload.
+class Checkpointer {
+ public:
+  explicit Checkpointer(std::string path) : path_(std::move(path)) {}
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] bool exists() const;
+
+  /// Atomically persist `ck`. Throws util::PreconditionError on I/O errors
+  /// (disk full, unwritable directory) — the previous checkpoint, if any,
+  /// is left intact in every failure mode.
+  void save(const Checkpoint& ck) const;
+
+  /// Load and fully validate. Throws io::CorruptFileError on a missing,
+  /// truncated, or corrupted file.
+  [[nodiscard]] Checkpoint load() const;
+
+  /// Resume helper: nullopt when no checkpoint exists; warns and returns
+  /// nullopt when the file is corrupt (a damaged checkpoint must not stop a
+  /// fresh run from starting); throws CheckpointMismatchError when the file
+  /// is valid but was written by a different configuration.
+  [[nodiscard]] std::optional<Checkpoint> try_load(
+      std::uint64_t expected_fingerprint) const;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace tempest::resilience

@@ -1,0 +1,35 @@
+#include "tempest/resilience/fault.hpp"
+
+namespace tempest::resilience::fault {
+
+Plan& plan() {
+  static Plan p;
+  return p;
+}
+
+void reset() { plan() = Plan{}; }
+
+bool consume_wavefield_poison(int step) {
+  Plan& p = plan();
+  if (p.poison_wavefield_at_step < 0 || step != p.poison_wavefield_at_step) {
+    return false;
+  }
+  p.poison_wavefield_at_step = -1;
+  return true;
+}
+
+bool consume_jit_failure() {
+  Plan& p = plan();
+  if (p.fail_jit_compiles <= 0) return false;
+  --p.fail_jit_compiles;
+  return true;
+}
+
+bool consume_checkpoint_failure() {
+  Plan& p = plan();
+  if (p.fail_checkpoint_writes <= 0) return false;
+  --p.fail_checkpoint_writes;
+  return true;
+}
+
+}  // namespace tempest::resilience::fault

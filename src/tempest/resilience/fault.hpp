@@ -1,0 +1,50 @@
+#pragma once
+
+namespace tempest::resilience::fault {
+
+/// Deterministic fault-injection hooks.
+///
+/// The resilience layer's recovery paths (NaN detection, checkpoint
+/// atomicity, JIT fallback) only matter when something goes wrong — and the
+/// conditions that go wrong in production (CFL blow-up after hours, a kill
+/// -9 mid-write, a compiler OOM) cannot be provoked reliably in a unit
+/// test. These hooks let tests arm a specific fault at a specific point;
+/// production code polls them at the instrumented sites. Every counter is
+/// one relaxed int read when disarmed, so the hooks stay compiled in.
+///
+/// The plan is process-global and not thread-safe to *arm*; arm it before
+/// starting the run under test and reset() afterwards (tests within one
+/// binary run sequentially).
+struct Plan {
+  /// Overwrite one interior wavefield value with a quiet NaN the first time
+  /// the propagator completes this timestep (-1 = disarmed). Models a
+  /// CFL-violating update poisoning the field mid-run.
+  int poison_wavefield_at_step = -1;
+
+  /// Fail the next N JIT compiler invocations with a nonzero exit status
+  /// before the real compiler runs. N == 1 models a transient failure that
+  /// a retry absorbs; a large N models a persistently broken toolchain.
+  int fail_jit_compiles = 0;
+
+  /// Abort the next N checkpoint writes after the temp file is partially
+  /// written but *before* the atomic rename — the torn-write window a kill
+  /// during save() would hit. The previous checkpoint must survive.
+  int fail_checkpoint_writes = 0;
+};
+
+[[nodiscard]] Plan& plan();
+
+/// Disarm everything (call from test teardown).
+void reset();
+
+/// Polled by the propagator after each completed barrier timestep.
+/// Consumes the armed fault: returns true exactly once.
+[[nodiscard]] bool consume_wavefield_poison(int step);
+
+/// Polled by the JIT before each compiler invocation.
+[[nodiscard]] bool consume_jit_failure();
+
+/// Polled by the Checkpointer mid-write.
+[[nodiscard]] bool consume_checkpoint_failure();
+
+}  // namespace tempest::resilience::fault

@@ -1,0 +1,72 @@
+#include "tempest/resilience/health.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace tempest::resilience {
+
+void HealthMonitor::check(const grid::Grid3<real_t>& field,
+                          std::string_view name, int step) {
+  if (!enabled()) return;
+
+  const auto& e = field.extents();
+  double max_abs = 0.0;
+  int bad_x = -1, bad_y = -1, bad_z = -1;
+  double bad_v = 0.0;
+
+  // Row-wise walk over the interior; stops recording after the first
+  // non-finite hit but still finishes the max scan (the magnitude is part
+  // of the diagnostic).
+  for (int x = 0; x < e.nx && bad_x < 0; ++x) {
+    for (int y = 0; y < e.ny && bad_x < 0; ++y) {
+      for (int z = 0; z < e.nz; ++z) {
+        const double v = static_cast<double>(field(x, y, z));
+        if (!std::isfinite(v)) {
+          bad_x = x;
+          bad_y = y;
+          bad_z = z;
+          bad_v = v;
+          break;
+        }
+        const double a = std::fabs(v);
+        if (a > max_abs) max_abs = a;
+      }
+    }
+  }
+
+  if (bad_x >= 0) {
+    std::ostringstream os;
+    os << "numerical health check failed: non-finite value ("
+       << (std::isnan(bad_v) ? "nan" : "inf") << ") in field '" << name
+       << "' at timestep " << step << ", first at grid point (" << bad_x
+       << ", " << bad_y << ", " << bad_z
+       << ") — the wavefield is corrupt; check dt against the CFL limit and "
+          "the source amplitudes";
+    throw NumericalHealthError(std::string(name), step, os.str());
+  }
+
+  if (max_abs > policy_.absolute_limit) {
+    std::ostringstream os;
+    os << "numerical health check failed: energy blow-up in field '" << name
+       << "' at timestep " << step << ": max|u| = " << max_abs
+       << " exceeds the absolute limit " << policy_.absolute_limit
+       << " — dt likely violates the CFL condition";
+    throw NumericalHealthError(std::string(name), step, os.str());
+  }
+
+  // Growth check only once the field carries signal: comparing against the
+  // all-zero state before the source ramps up would divide by zero.
+  if (last_max_ > 0.0 && max_abs > last_max_ * policy_.blowup_factor) {
+    std::ostringstream os;
+    os << "numerical health check failed: energy blow-up in field '" << name
+       << "' at timestep " << step << ": max|u| grew from " << last_max_
+       << " to " << max_abs << " since the previous check (factor "
+       << max_abs / last_max_ << " > " << policy_.blowup_factor
+       << ") — dt likely violates the CFL condition";
+    throw NumericalHealthError(std::string(name), step, os.str());
+  }
+
+  last_max_ = max_abs;
+}
+
+}  // namespace tempest::resilience

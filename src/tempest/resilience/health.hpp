@@ -1,0 +1,84 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "tempest/config.hpp"
+#include "tempest/grid/grid3.hpp"
+
+namespace tempest::resilience {
+
+/// Thrown when a wavefield fails a numerical health check: a NaN/Inf
+/// appeared, or the field amplitude is growing without bound (the signature
+/// of a CFL-violating timestep). The message names the offending field, the
+/// timestep, and — for non-finite values — the first bad grid point, so a
+/// thousand-step run that dies diagnoses itself instead of printing
+/// "nan" at the end.
+class NumericalHealthError : public std::runtime_error {
+ public:
+  NumericalHealthError(std::string field, int step, const std::string& what)
+      : std::runtime_error(what), field_(std::move(field)), step_(step) {}
+
+  [[nodiscard]] const std::string& field() const { return field_; }
+  [[nodiscard]] int step() const { return step_; }
+
+ private:
+  std::string field_;
+  int step_;
+};
+
+/// Health-monitoring knobs carried in PropagatorOptions. Disabled by
+/// default (check_every == 0): a scan touches the whole field, so the
+/// cadence is the user's cost/latency trade-off.
+struct HealthPolicy {
+  /// Scan the wavefield every N completed timesteps (0 = disabled). Under
+  /// temporal blocking the scan runs at time-band boundaries instead — the
+  /// only instants at which a whole timestep exists.
+  int check_every = 0;
+
+  /// Declare energy blow-up when max|u| grows by more than this factor
+  /// between consecutive checks (after the field is established). Stable
+  /// damped runs grow sub-linearly per step; a CFL violation grows
+  /// exponentially and crosses any such factor within a few checks.
+  double blowup_factor = 1.0e4;
+
+  /// Hard amplitude ceiling, checked regardless of growth history.
+  double absolute_limit = 1.0e30;
+
+  [[nodiscard]] bool enabled() const { return check_every > 0; }
+};
+
+/// Scans wavefields for NaN/Inf and energy blow-up. One monitor tracks one
+/// field's amplitude history across a run; reset() between runs.
+class HealthMonitor {
+ public:
+  HealthMonitor() = default;
+  explicit HealthMonitor(HealthPolicy policy) : policy_(policy) {}
+
+  [[nodiscard]] const HealthPolicy& policy() const { return policy_; }
+  [[nodiscard]] bool enabled() const { return policy_.enabled(); }
+
+  /// True when `step` is a scheduled scan point.
+  [[nodiscard]] bool due(int step) const {
+    return enabled() && step % policy_.check_every == 0;
+  }
+
+  /// Scan `field` (interior only): throws NumericalHealthError on the first
+  /// non-finite value, on max|u| exceeding the absolute limit, or on growth
+  /// beyond blowup_factor since the previous check. Cheap single pass.
+  void check(const grid::Grid3<real_t>& field, std::string_view name,
+             int step);
+
+  /// Forget the amplitude history (call when the wavefield is re-zeroed).
+  void reset() { last_max_ = 0.0; }
+
+  /// max|u| seen by the most recent check.
+  [[nodiscard]] double last_max() const { return last_max_; }
+
+ private:
+  HealthPolicy policy_{};
+  double last_max_ = 0.0;
+};
+
+}  // namespace tempest::resilience

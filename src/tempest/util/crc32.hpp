@@ -1,0 +1,50 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tempest::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+/// protecting checkpoint files against torn writes and bit rot. Table is
+/// built at compile time; the streaming Crc32 accumulator lets writers
+/// checksum a file as they emit it without a second pass.
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+}  // namespace detail
+
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      state_ = detail::kCrc32Table[(state_ ^ p[i]) & 0xFFu] ^ (state_ >> 8);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t n) {
+  Crc32 c;
+  c.update(data, n);
+  return c.value();
+}
+
+}  // namespace tempest::util

@@ -282,6 +282,54 @@ TEST(Interpreter, MatchesCompiledAcousticKernel) {
   EXPECT_LT(tg::max_abs_diff(u_interp, u_direct), 5e-4 * umax);
 }
 
+TEST(Interpreter, PreconditionErrorsPropagateThroughTheStack) {
+  // Errors raised deep inside evaluation must surface from run() as
+  // PreconditionError with their message intact, not be swallowed or
+  // rewrapped — resilient consumers catch and diagnose them.
+  const tg::Extents3 e{8, 8, 8};
+  ph::Geometry geom{e, 10.0, 4, 2};
+  const auto model = ph::make_acoustic_layered(geom);
+  dsl::Grid g{e, geom.spacing};
+  dsl::TimeFunction u("u", g, 4, 2);
+
+  // "rho" is not a model parameter; the failure happens per-point, deep in
+  // the expression evaluator, only once run() reaches it.
+  const dsl::Expr eq =
+      dsl::param("rho") * u.dt2() + dsl::param("damp") * u.dt() - u.laplace();
+  dsl::Interpreter interp(dsl::solve(eq, u.forward()), model,
+                          model.critical_dt());
+  sp::SparseTimeSeries src(sp::single_center_source(e), 4);
+  try {
+    (void)interp.run(src, sp::InterpKind::Trilinear);
+    FAIL() << "expected PreconditionError";
+  } catch (const tempest::util::PreconditionError& err) {
+    EXPECT_NE(std::string(err.what()).find("unknown parameter: rho"),
+              std::string::npos)
+        << err.what();
+  }
+}
+
+TEST(Operator, RejectsTooShortGatherThroughTheFacade) {
+  // The propagator's rec->nt() >= nt precondition must propagate through
+  // the Operator facade unchanged.
+  const tg::Extents3 e{12, 10, 8};
+  ph::Geometry geom{e, 10.0, 4, 2};
+  const auto model = ph::make_acoustic_layered(geom);
+  const int nt = 8;
+  sp::SparseTimeSeries src(sp::single_center_source(e, 0.4), nt);
+  src.broadcast_signature(sp::ricker(nt, model.critical_dt(), 0.02));
+  sp::SparseTimeSeries short_rec(sp::receiver_line(e, 2), 2);
+
+  dsl::Grid g{e, geom.spacing};
+  dsl::TimeFunction u("u", g, 4, 2);
+  dsl::SparseTimeFunction s("src", src.coords(), nt);
+  dsl::SparseTimeFunction d("rec", short_rec.coords(), nt);
+  dsl::Operator op({acoustic_eq(u)}, {s.inject(u, dsl::param("dt2_over_m"))},
+                   {d.interpolate(u)}, {});
+  EXPECT_THROW(op.apply(model, src, &short_rec),
+               tempest::util::PreconditionError);
+}
+
 TEST(Interpreter, RejectsNonLinearAndWrongShapes) {
   const tg::Extents3 e{8, 8, 8};
   ph::Geometry geom{e, 10.0, 4, 2};

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -17,9 +19,12 @@ namespace {
 /// Temp path helper with cleanup.
 class TempFile {
  public:
+  // ctest runs each TEST as its own process, so the counter alone is not
+  // unique — qualify with the pid.
   explicit TempFile(const char* suffix)
       : path_(std::string("/tmp/tempest_io_test_") +
-              std::to_string(counter_++) + suffix) {}
+              std::to_string(::getpid()) + "_" + std::to_string(counter_++) +
+              suffix) {}
   ~TempFile() { std::remove(path_.c_str()); }
   [[nodiscard]] const std::string& path() const { return path_; }
 
@@ -77,6 +82,85 @@ TEST(IoField, RejectsWrongMagicAndTruncation) {
     os << content;
   }
   EXPECT_THROW((void)io::load_field(file.path()),
+               tempest::util::PreconditionError);
+}
+
+TEST(IoField, CorruptionReportsTypedDescriptiveErrors) {
+  TempFile file(".tpf");
+  const auto f = random_field({8, 8, 8}, 2, 7);
+  io::save_field(file.path(), f);
+
+  // Truncated payload: the declared size no longer matches the file.
+  std::string bytes;
+  {
+    std::ifstream is(file.path(), std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(is)),
+                 std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream os(file.path(), std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 64));
+  }
+  try {
+    (void)io::load_field(file.path());
+    FAIL() << "truncated field must be rejected";
+  } catch (const io::CorruptFileError& err) {
+    const std::string msg = err.what();
+    EXPECT_EQ(err.path(), file.path());
+    EXPECT_NE(msg.find(file.path()), std::string::npos) << msg;
+    EXPECT_NE(msg.find("declares"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("truncated or corrupted"), std::string::npos) << msg;
+  }
+
+  // Wrong magic names the format, not just "bad file".
+  {
+    std::ofstream os(file.path(), std::ios::binary | std::ios::trunc);
+    os << "XXXXgarbage that is long enough to clear the header check......";
+  }
+  try {
+    (void)io::load_field(file.path());
+    FAIL() << "bad magic must be rejected";
+  } catch (const io::CorruptFileError& err) {
+    EXPECT_NE(std::string(err.what()).find("bad magic"), std::string::npos);
+  }
+}
+
+TEST(IoField, ImplausibleHeaderRejectedBeforeAllocation) {
+  TempFile file(".tpf");
+  // Hand-craft a header declaring absurd extents; without the sanity bound
+  // this would attempt a terabyte allocation before any size check.
+  {
+    std::ofstream os(file.path(), std::ios::binary);
+    const std::uint32_t magic = 0x54504631;  // "TPF1"
+    const std::int32_t nx = 1 << 24, ny = 1 << 24, nz = 1 << 24, halo = 2;
+    os.write(reinterpret_cast<const char*>(&magic), 4);
+    os.write(reinterpret_cast<const char*>(&nx), 4);
+    os.write(reinterpret_cast<const char*>(&ny), 4);
+    os.write(reinterpret_cast<const char*>(&nz), 4);
+    os.write(reinterpret_cast<const char*>(&halo), 4);
+  }
+  try {
+    (void)io::load_field(file.path());
+    FAIL() << "implausible header must be rejected";
+  } catch (const io::CorruptFileError& err) {
+    EXPECT_NE(std::string(err.what()).find("implausible field header"),
+              std::string::npos);
+  }
+}
+
+TEST(IoGather, SizeMismatchAndCorruptErrorsAreTyped) {
+  TempFile file(".tpg");
+  sp::SparseTimeSeries g({{1.5, 2.25, 3.125}, {9.75, 8.5, 7.0625}}, 6);
+  io::save_gather(file.path(), g);
+  // Append junk: the file is now larger than the header declares.
+  {
+    std::ofstream os(file.path(), std::ios::binary | std::ios::app);
+    os << "trailing junk";
+  }
+  EXPECT_THROW((void)io::load_gather(file.path()), io::CorruptFileError);
+  // CorruptFileError IS-A PreconditionError, so existing catch sites and
+  // tests keep working unchanged.
+  EXPECT_THROW((void)io::load_gather(file.path()),
                tempest::util::PreconditionError);
 }
 

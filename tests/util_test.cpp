@@ -24,6 +24,36 @@ TEST(Require, ThrowsOnViolation) {
   }
 }
 
+TEST(Require, MessageNamesExpressionAndLocation) {
+  // The diagnostic must be self-contained: expression text, source
+  // file:line, and — for the _MSG form — the caller's detail after a dash.
+  try {
+    TEMPEST_REQUIRE(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const tu::PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("precondition failed: (2 + 2 == 5)"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("util_test.cpp:"), std::string::npos) << msg;
+  }
+  try {
+    TEMPEST_REQUIRE_MSG(1 > 3, "tile wider than the domain");
+    FAIL() << "should have thrown";
+  } catch (const tu::PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("(1 > 3)"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("— tile wider than the domain"), std::string::npos)
+        << msg;
+  }
+}
+
+TEST(Require, IsACatchableLogicError) {
+  // Consumers that cannot include tempest headers still catch std::.
+  EXPECT_THROW(TEMPEST_REQUIRE(false), std::logic_error);
+  EXPECT_THROW(TEMPEST_REQUIRE_MSG(false, "x"), std::exception);
+}
+
 TEST(AlignedVector, StorageIsAligned) {
   tu::aligned_vector<float> v(1000, 1.0f);
   EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % tu::kAlignment, 0u);
