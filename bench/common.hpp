@@ -10,6 +10,8 @@
 //   --reps=N     best-of-N timing repetitions (default 1..3)
 //   --csv        emit CSV instead of the ASCII table
 //   --full       paper-scale run (512^3 grids, full time ranges)
+//   --trace=F    write a Chrome trace_event JSON of the run to F
+//   --metrics=F  dump tempest::trace counters to F (CSV or JSON by ext.)
 //
 // The harnesses print the *rows of the paper's table or the series of the
 // paper's figure*; EXPERIMENTS.md records how the shapes compare.
@@ -26,6 +28,7 @@
 #include "tempest/physics/tti.hpp"
 #include "tempest/sparse/survey.hpp"
 #include "tempest/sparse/wavelet.hpp"
+#include "tempest/trace/trace.hpp"
 #include "tempest/util/cli.hpp"
 #include "tempest/util/table.hpp"
 
@@ -43,6 +46,8 @@ struct BaseConfig {
   bool csv = false;
   bool full = false;
   int nbl = 10;
+  std::string trace_path;
+  std::string metrics_path;
 
   static BaseConfig parse(const util::Cli& cli, int default_size) {
     BaseConfig c;
@@ -51,6 +56,8 @@ struct BaseConfig {
         cli.get_int("size", c.full ? 512 : default_size));
     c.reps = static_cast<int>(cli.get_int("reps", 1));
     c.csv = cli.get_flag("csv");
+    c.trace_path = cli.get("trace", "");
+    c.metrics_path = cli.get("metrics", "");
     return c;
   }
 

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   using namespace bench;
   const util::Cli cli(argc, argv);
   const BaseConfig cfg = BaseConfig::parse(cli, /*default_size=*/256);
+  const trace::Session trace_session(cfg.trace_path, cfg.metrics_path);
   const int so = 4;
   const int nt = steps_for_kernel("acoustic", cfg.full,
                                   cli.get_int("steps", 0));

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   using namespace bench;
   const util::Cli cli(argc, argv);
   const BaseConfig cfg = BaseConfig::parse(cli, /*default_size=*/256);
+  const trace::Session trace_session(cfg.trace_path, cfg.metrics_path);
   const auto so_list = cli.get_int_list("so", {4, 8, 12});
   const int sim_size = static_cast<int>(cli.get_int("sim-size", 48));
   const int sim_steps = static_cast<int>(cli.get_int("sim-steps", 8));

@@ -67,6 +67,7 @@ Row run_kernel(const std::string& name, const Model& model, int so, int nt,
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const BaseConfig cfg = BaseConfig::parse(cli, /*default_size=*/256);
+  const trace::Session trace_session(cfg.trace_path, cfg.metrics_path);
   const auto so_list = cli.get_int_list("so", {4, 8, 12});
   std::stringstream kernels_ss(
       cli.get("kernels", "acoustic,elastic,tti"));

@@ -46,6 +46,7 @@ tempest::autotune::SweepResult tune(const Model& model, int nt,
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const BaseConfig cfg = BaseConfig::parse(cli, /*default_size=*/192);
+  const trace::Session trace_session(cfg.trace_path, cfg.metrics_path);
   const auto so_list = cli.get_int_list("so", {4, 8, 12});
 
   tempest::autotune::CandidateSpace space;

@@ -18,6 +18,12 @@
 // Build & run:  ./build/examples/rtm [--size=112] [--steps=220]
 //               [--stride=4] [--out=rtm_image.csv]
 //               [--checkpoint=rtm.tpck] [--ckpt-every=50]
+//               [--trace=rtm_trace.json] [--metrics=rtm_metrics.csv]
+//
+// --trace writes a Chrome trace_event JSON (load in Perfetto or
+// chrome://tracing) with per-timestep injection/stencil/interpolation
+// spans; --metrics dumps the tempest::trace counters (CSV or JSON by
+// extension).
 //
 // With --checkpoint the adjoint/imaging pass — the long tail of the run —
 // checkpoints its wavefield state and the partial image every --ckpt-every
@@ -37,6 +43,7 @@
 #include "tempest/resilience/checkpoint.hpp"
 #include "tempest/sparse/survey.hpp"
 #include "tempest/sparse/wavelet.hpp"
+#include "tempest/trace/trace.hpp"
 #include "tempest/util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -50,6 +57,8 @@ int main(int argc, char** argv) {
   const std::string out = cli.get("out", "rtm_image.csv");
   const std::string ckpt_path = cli.get("checkpoint", "");
   const int ckpt_every = static_cast<int>(cli.get_int("ckpt-every", 50));
+  const trace::Session trace_session(cli.get("trace", ""),
+                                     cli.get("metrics", ""));
 
   const grid::Extents3 e{n, n, n};
   physics::Geometry geom{e, 10.0, 4, 10};

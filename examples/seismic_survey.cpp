@@ -9,6 +9,10 @@
 // Build & run:  ./build/examples/seismic_survey [--size=160] [--steps=160]
 //               [--shots=3] [--out=gather.csv]
 //               [--checkpoint=survey.tpck] [--ckpt-every=40]
+//               [--trace=survey_trace.json] [--metrics=survey_metrics.csv]
+//
+// --trace writes a Chrome trace_event JSON (Perfetto / chrome://tracing);
+// --metrics dumps the tempest::trace counters (CSV or JSON by extension).
 //
 // With --checkpoint the baseline pass of every shot checkpoints its full
 // state every --ckpt-every steps; an interrupted run restarted with the
@@ -25,6 +29,7 @@
 #include "tempest/resilience/checkpoint.hpp"
 #include "tempest/sparse/survey.hpp"
 #include "tempest/sparse/wavelet.hpp"
+#include "tempest/trace/trace.hpp"
 #include "tempest/util/cli.hpp"
 
 namespace {
@@ -50,6 +55,8 @@ int main(int argc, char** argv) {
   const std::string out = cli.get("out", "gather.csv");
   const std::string ckpt_path = cli.get("checkpoint", "");
   const int ckpt_every = static_cast<int>(cli.get_int("ckpt-every", 40));
+  const trace::Session trace_session(cli.get("trace", ""),
+                                     cli.get("metrics", ""));
 
   physics::Geometry geom{{n, n, n}, 10.0, 8, 10};
   const physics::AcousticModel model =

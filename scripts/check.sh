@@ -1,20 +1,30 @@
 #!/usr/bin/env sh
 # Tier-1 verification: build + full test suite under the default (Release)
 # preset, then again under the asan preset (-fsanitize=address,undefined).
-# Usage:  scripts/check.sh [--skip-asan]
+# Usage:  scripts/check.sh [--fast | --skip-asan]
+#   --fast       build the default preset and run only the `unit`-labelled
+#                tests (the PR fast lane); implies no asan pass
+#   --skip-asan  full default-preset suite, skip the sanitizer pass
 set -eu
 
 cd "$(dirname "$0")/.."
 
 run_preset() {
   preset="$1"
+  shift
   echo "==> configure (${preset})"
   cmake --preset "${preset}"
   echo "==> build (${preset})"
   cmake --build --preset "${preset}" -j "$(nproc)"
   echo "==> test (${preset})"
-  ctest --preset "${preset}" -j "$(nproc)"
+  ctest --preset "${preset}" -j "$(nproc)" "$@"
 }
+
+if [ "${1:-}" = "--fast" ]; then
+  run_preset default -L unit
+  echo "==> fast checks passed"
+  exit 0
+fi
 
 run_preset default
 

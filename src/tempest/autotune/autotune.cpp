@@ -5,6 +5,7 @@
 #include <limits>
 #include <string>
 
+#include "tempest/trace/trace.hpp"
 #include "tempest/util/error.hpp"
 #include "tempest/util/log.hpp"
 
@@ -52,6 +53,8 @@ SweepResult sweep(const std::vector<core::TileSpec>& specs,
   for (const core::TileSpec& spec : specs) {
     Candidate cand{spec, std::numeric_limits<double>::infinity()};
     for (int rep = 0; rep < repeats && !cand.failed; ++rep) {
+      TEMPEST_TRACE_SPAN_ARG("autotune.trial", "autotune", spec.tile_x);
+      TEMPEST_TRACE_COUNT(AutotuneTrials, 1);
       double t = 0.0;
       try {
         t = measure(spec);

@@ -15,6 +15,7 @@
 
 #include "tempest/dsl/interpreter.hpp"
 #include "tempest/resilience/fault.hpp"
+#include "tempest/trace/trace.hpp"
 #include "tempest/util/error.hpp"
 #include "tempest/util/log.hpp"
 
@@ -147,6 +148,8 @@ CommandResult run_command(const std::string& cmd, int timeout_ms) {
 JitModule::JitModule(const std::string& c_source,
                      const std::string& symbol_name,
                      const std::string& extra_flags) {
+  TEMPEST_TRACE_SPAN("jit.compile", "codegen");
+  TEMPEST_TRACE_COUNT(JitCompiles, 1);
   char c_path[] = "/tmp/tempest_jit_XXXXXX.c";
   const int fd = ::mkstemps(c_path, 2);
   TEMPEST_REQUIRE_MSG(fd >= 0, "cannot create temporary source file");
@@ -174,16 +177,19 @@ JitModule::JitModule(const std::string& c_source,
   TEMPEST_REQUIRE_MSG(res.status == 0,
                       "generated code failed to compile:\n" + res.output);
 
-  handle_ = ::dlopen(so_path_.c_str(), RTLD_NOW | RTLD_LOCAL);
-  TEMPEST_REQUIRE_MSG(handle_ != nullptr,
-                      std::string("dlopen failed: ") + ::dlerror());
-  sym_ = ::dlsym(handle_, symbol_name.c_str());
-  if (sym_ == nullptr) {
-    ::dlclose(handle_);
-    handle_ = nullptr;
-    TEMPEST_REQUIRE_MSG(false,
-                        "symbol not found in generated module: " +
-                            symbol_name);
+  {
+    TEMPEST_TRACE_SPAN("jit.load", "codegen");
+    handle_ = ::dlopen(so_path_.c_str(), RTLD_NOW | RTLD_LOCAL);
+    TEMPEST_REQUIRE_MSG(handle_ != nullptr,
+                        std::string("dlopen failed: ") + ::dlerror());
+    sym_ = ::dlsym(handle_, symbol_name.c_str());
+    if (sym_ == nullptr) {
+      ::dlclose(handle_);
+      handle_ = nullptr;
+      TEMPEST_REQUIRE_MSG(false,
+                          "symbol not found in generated module: " +
+                              symbol_name);
+    }
   }
   // Success: the .so must outlive us while mapped; the destructor unlinks.
   so_guard.release();

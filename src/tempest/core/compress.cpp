@@ -2,12 +2,14 @@
 
 #include <algorithm>
 
+#include "tempest/trace/trace.hpp"
 #include "tempest/util/error.hpp"
 
 namespace tempest::core {
 
 CompressedSparse::CompressedSparse(const grid::Grid3<unsigned char>& mask,
                                    const grid::Grid3<int>& ids) {
+  TEMPEST_TRACE_SPAN("precompute.compress", "precompute");
   TEMPEST_REQUIRE(mask.extents() == ids.extents());
   const auto& e = mask.extents();
   nx_ = e.nx;

@@ -4,6 +4,7 @@
 
 #include "tempest/core/wavefront.hpp"
 #include "tempest/grid/blocks.hpp"
+#include "tempest/trace/trace.hpp"
 #include "tempest/util/error.hpp"
 
 namespace tempest::core {
@@ -54,6 +55,8 @@ void run_diamond(const grid::Extents3& e, int t_begin, int t_end, int slope,
     if (xr.empty()) return;
     const grid::Box3 rect{xr, {0, e.ny}, {0, e.nz}};
     const auto blocks = grid::decompose_xy(rect, spec.block_x, spec.block_y);
+    TEMPEST_TRACE_COUNT(TilesExecuted, 1);
+    TEMPEST_TRACE_COUNT(BlocksExecuted, blocks.size());
 #pragma omp parallel for schedule(dynamic) if (parallel)
     for (std::size_t b = 0; b < blocks.size(); ++b) {
       fn(t, blocks[b]);
@@ -62,6 +65,7 @@ void run_diamond(const grid::Extents3& e, int t_begin, int t_end, int slope,
 
   for (int t0 = t_begin; t0 < t_end; t0 += spec.height) {
     const int te = std::min(t0 + spec.height, t_end);
+    TEMPEST_TRACE_SPAN_ARG("diamond.band", "schedule", te);
     // Phase 1: contracting "peak" triangles centred at c = k*W + W/2.
     for (int t = t0; t < te; ++t) {
       const int shrink = slope * (t - t0);
@@ -77,6 +81,7 @@ void run_diamond(const grid::Extents3& e, int t_begin, int t_end, int slope,
         emit_range(t, base + W - grow, base + W + grow);
       }
     }
+    TEMPEST_TRACE_COUNT(BandsExecuted, 1);
     on_band(te);
   }
 }

@@ -5,6 +5,7 @@
 #include "tempest/core/precompute.hpp"
 #include "tempest/grid/extents.hpp"
 #include "tempest/grid/grid3.hpp"
+#include "tempest/trace/trace.hpp"
 
 namespace tempest::core {
 
@@ -23,14 +24,17 @@ inline void fused_inject(grid::Grid3<real_t>& u, const CompressedSparse& cs,
                          const DecomposedSource& dcmp, int t,
                          grid::Range xr, grid::Range yr, ScaleFn&& scale) {
   if (cs.empty()) return;
+  long long updates = 0;
   for (int x = xr.lo; x < xr.hi; ++x) {
     for (int y = yr.lo; y < yr.hi; ++y) {
       for (const CompressedSparse::Entry& e : cs.entries(x, y)) {
         u(x, y, e.z) += dcmp.at(t, e.id) *
                         static_cast<real_t>(scale(x, y, e.z));
+        ++updates;
       }
     }
   }
+  TEMPEST_TRACE_COUNT(SourcesInjected, updates);
 }
 
 /// The *uncompressed* fused injection of Listing 4: the z2 loop runs over
@@ -45,16 +49,19 @@ inline void fused_inject_dense(grid::Grid3<real_t>& u,
                                grid::Range xr, grid::Range yr,
                                ScaleFn&& scale) {
   const int nz = masks.extents().nz;
+  long long updates = 0;
   for (int x = xr.lo; x < xr.hi; ++x) {
     for (int y = yr.lo; y < yr.hi; ++y) {
       for (int z = 0; z < nz; ++z) {
         if (masks.sm(x, y, z)) {
           u(x, y, z) += dcmp.at(t, masks.sid(x, y, z)) *
                         static_cast<real_t>(scale(x, y, z));
+          ++updates;
         }
       }
     }
   }
+  TEMPEST_TRACE_COUNT(SourcesInjected, updates);
 }
 
 /// Fused, compressed receiver gather over the block's columns. Receiver
@@ -65,12 +72,14 @@ inline void fused_gather(const grid::Grid3<real_t>& u,
                          const DecomposedReceivers& dr, real_t* rec_step,
                          grid::Range xr, grid::Range yr) {
   if (cs.empty()) return;
+  long long applications = 0;
   for (int x = xr.lo; x < xr.hi; ++x) {
     for (int y = yr.lo; y < yr.hi; ++y) {
       for (const CompressedSparse::Entry& e : cs.entries(x, y)) {
         const real_t value = u(x, y, e.z);
         const int begin = dr.offsets[static_cast<std::size_t>(e.id)];
         const int end = dr.offsets[static_cast<std::size_t>(e.id) + 1];
+        applications += end - begin;
         for (int k = begin; k < end; ++k) {
           const DecomposedReceivers::Pair& pr =
               dr.pairs[static_cast<std::size_t>(k)];
@@ -81,6 +90,7 @@ inline void fused_gather(const grid::Grid3<real_t>& u,
       }
     }
   }
+  TEMPEST_TRACE_COUNT(ReceiversInterpolated, applications);
 }
 
 }  // namespace tempest::core

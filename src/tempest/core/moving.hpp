@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "tempest/core/precompute.hpp"
+#include "tempest/trace/trace.hpp"
 
 namespace tempest::core {
 
@@ -73,6 +74,7 @@ class MovingSources {
 template <typename ScaleFn>
 void inject_moving(grid::Grid3<real_t>& u, const MovingSources& src, int t,
                    sparse::InterpKind kind, ScaleFn&& scale) {
+  long long updates = 0;
   for (int s = 0; s < src.nsrc(); ++s) {
     const real_t amp = src.amplitude(t, s);
     for (const sparse::SupportPoint& p :
@@ -80,8 +82,10 @@ void inject_moving(grid::Grid3<real_t>& u, const MovingSources& src, int t,
                          u.extents())) {
       u(p.x, p.y, p.z) += static_cast<real_t>(p.w) * amp *
                           static_cast<real_t>(scale(p.x, p.y, p.z));
+      ++updates;
     }
   }
+  TEMPEST_TRACE_COUNT(SourcesInjected, updates);
 }
 
 }  // namespace tempest::core

@@ -1,5 +1,6 @@
 #include "tempest/core/precompute.hpp"
 
+#include "tempest/trace/trace.hpp"
 #include "tempest/util/error.hpp"
 
 namespace tempest::core {
@@ -7,6 +8,7 @@ namespace tempest::core {
 SourceMasks build_source_masks(const grid::Extents3& extents,
                                const sparse::SparseTimeSeries& src,
                                sparse::InterpKind kind) {
+  TEMPEST_TRACE_SPAN("precompute.masks", "precompute");
   // Step 1 (Listing 2): unit-amplitude injection over an empty grid. Using
   // amplitude 1 instead of the real wavelet sample makes the probe
   // independent of whether the wavelet happens to be zero at the first
@@ -36,6 +38,7 @@ SourceMasks build_source_masks(const grid::Extents3& extents,
 DecomposedSource decompose_sources(const SourceMasks& masks,
                                    const sparse::SparseTimeSeries& src,
                                    sparse::InterpKind kind) {
+  TEMPEST_TRACE_SPAN("precompute.decompose", "precompute");
   DecomposedSource dcmp(src.nt(), masks.npts);
   // Listing 3: indirect through SID and scatter every source's wavelet into
   // its per-affected-point wavefields.
@@ -56,6 +59,7 @@ DecomposedSource decompose_sources(const SourceMasks& masks,
 DecomposedReceivers decompose_receivers(const grid::Extents3& extents,
                                         const sparse::SparseTimeSeries& rec,
                                         sparse::InterpKind kind) {
+  TEMPEST_TRACE_SPAN("precompute.receivers", "precompute");
   DecomposedReceivers out{grid::Grid3<unsigned char>(extents, 0, 0),
                           grid::Grid3<int>(extents, 0, -1),
                           0,

@@ -5,6 +5,7 @@
 
 #include "tempest/grid/blocks.hpp"
 #include "tempest/grid/extents.hpp"
+#include "tempest/trace/trace.hpp"
 #include "tempest/util/error.hpp"
 
 namespace tempest::core {
@@ -58,6 +59,8 @@ void run_spaceblocked(const grid::Extents3& e, int t_begin, int t_end,
   const auto blocks =
       grid::decompose_xy(grid::Box3::whole(e), spec.block_x, spec.block_y);
   for (int t = t_begin; t < t_end; ++t) {
+    TEMPEST_TRACE_SPAN_ARG("step", "schedule", t);
+    TEMPEST_TRACE_COUNT(BlocksExecuted, blocks.size());
 #pragma omp parallel for schedule(dynamic) if (parallel)
     for (std::size_t b = 0; b < blocks.size(); ++b) {
       fn(t, blocks[b]);
@@ -83,6 +86,7 @@ void run_wavefront(const grid::Extents3& e, int t_begin, int t_end, int slope,
   TEMPEST_REQUIRE_MSG(slope >= 0, "skew slope must be non-negative");
   for (int tt = t_begin; tt < t_end; tt += spec.tile_t) {
     const int te = std::min(tt + spec.tile_t, t_end);
+    TEMPEST_TRACE_SPAN_ARG("wavefront.band", "schedule", te);
     // Skewed coordinates of points alive in this time band span
     // [slope*tt, extent + slope*(te-1)). Tile origins snap to multiples of
     // the tile size so tile boundaries are stable across bands.
@@ -93,6 +97,7 @@ void run_wavefront(const grid::Extents3& e, int t_begin, int t_end, int slope,
 
     for (int xs = xs_begin; xs < xs_end; xs += spec.tile_x) {
       for (int ys = ys_begin; ys < ys_end; ys += spec.tile_y) {
+        bool tile_did_work = false;
         for (int t = tt; t < te; ++t) {
           const grid::Range xr = grid::intersect(
               grid::Range{xs - slope * t, xs + spec.tile_x - slope * t},
@@ -101,17 +106,21 @@ void run_wavefront(const grid::Extents3& e, int t_begin, int t_end, int slope,
               grid::Range{ys - slope * t, ys + spec.tile_y - slope * t},
               grid::Range{0, e.ny});
           if (xr.empty() || yr.empty()) continue;
+          tile_did_work = true;
 
           const grid::Box3 rect{xr, yr, {0, e.nz}};
           const auto blocks =
               grid::decompose_xy(rect, spec.block_x, spec.block_y);
+          TEMPEST_TRACE_COUNT(BlocksExecuted, blocks.size());
 #pragma omp parallel for schedule(dynamic) if (parallel)
           for (std::size_t b = 0; b < blocks.size(); ++b) {
             fn(t, blocks[b]);
           }
         }
+        if (tile_did_work) TEMPEST_TRACE_COUNT(TilesExecuted, 1);
       }
     }
+    TEMPEST_TRACE_COUNT(BandsExecuted, 1);
     on_band(te);
   }
 }

@@ -12,6 +12,7 @@
 #include "tempest/resilience/fault.hpp"
 #include "tempest/sparse/operators.hpp"
 #include "tempest/stencil/coefficients.hpp"
+#include "tempest/trace/trace.hpp"
 #include "tempest/util/error.hpp"
 #include "tempest/util/timer.hpp"
 
@@ -220,6 +221,12 @@ RunStats AcousticPropagator::run_from(int t_begin, Schedule sched,
 
   // One block of one timestep: the unit handed to both schedules.
   auto stencil_block = [&](int t, const grid::Box3& box) {
+    TEMPEST_TRACE_COUNT(CellsUpdated, box.volume());
+    TEMPEST_TRACE_COUNT(
+        HaloCellsTouched,
+        2 * radius *
+            (box.x.length() * box.y.length() + box.y.length() * box.z.length() +
+             box.x.length() * box.z.length()));
     real_t* un = u_.at(t + 1).origin();
     const real_t* uc = u_.at(t).origin();
     const real_t* up = u_.at(t - 1).origin();
@@ -271,10 +278,17 @@ RunStats AcousticPropagator::run_from(int t_begin, Schedule sched,
     stats.precompute_seconds = pre.seconds();
 
     auto fused_block = [&](int t, const grid::Box3& box) {
-      stencil_block(t, box);
-      core::fused_inject(u_.at(t + 1), cs_src, dcmp, t, box.x, box.y,
-                         inj_scale);
+      {
+        TEMPEST_TRACE_SPAN_ARG("stencil", "compute", t);
+        stencil_block(t, box);
+      }
+      {
+        TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
+        core::fused_inject(u_.at(t + 1), cs_src, dcmp, t, box.x, box.y,
+                           inj_scale);
+      }
       if (rec != nullptr && !cs_rec.empty()) {
+        TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
         core::fused_gather(u_.at(t + 1), cs_rec, drec, rec->step(t).data(),
                            box.x, box.y);
       }
@@ -316,12 +330,20 @@ RunStats AcousticPropagator::run_from(int t_begin, Schedule sched,
     const auto blocks = grid::decompose_xy(
         grid::Box3::whole(e), opts_.tiles.block_x, opts_.tiles.block_y);
     for (int t = t_begin; t < nt; ++t) {
+      {
+        TEMPEST_TRACE_SPAN_ARG("stencil", "compute", t);
+        TEMPEST_TRACE_COUNT(BlocksExecuted, blocks.size());
 #pragma omp parallel for schedule(dynamic)
-      for (std::size_t b = 0; b < blocks.size(); ++b) {
-        stencil_block(t, blocks[b]);
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+          stencil_block(t, blocks[b]);
+        }
       }
-      sparse::inject_cached(u_.at(t + 1), src, t, src_cache, inj_scale);
+      {
+        TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
+        sparse::inject_cached(u_.at(t + 1), src, t, src_cache, inj_scale);
+      }
       if (rec != nullptr && rec->npoints() > 0) {
+        TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
         sparse::interpolate_cached(u_.at(t + 1), *rec, t, rec_cache);
       }
       health_point(t + 1, /*cadence_gated=*/true);
@@ -334,9 +356,17 @@ RunStats AcousticPropagator::run_from(int t_begin, Schedule sched,
   // --- Reference: unblocked sweep + naive (uncached) sparse operators. ---
   util::Timer timer;
   for (int t = t_begin; t < nt; ++t) {
-    stencil_block(t, grid::Box3::whole(e));
-    sparse::inject(u_.at(t + 1), src, t, opts_.interp, inj_scale);
+    {
+      TEMPEST_TRACE_SPAN_ARG("stencil", "compute", t);
+      TEMPEST_TRACE_COUNT(BlocksExecuted, 1);
+      stencil_block(t, grid::Box3::whole(e));
+    }
+    {
+      TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
+      sparse::inject(u_.at(t + 1), src, t, opts_.interp, inj_scale);
+    }
     if (rec != nullptr && rec->npoints() > 0) {
+      TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
       sparse::interpolate(u_.at(t + 1), *rec, t, opts_.interp);
     }
     health_point(t + 1, /*cadence_gated=*/true);

@@ -8,6 +8,7 @@
 #include "tempest/core/wavefront.hpp"
 #include "tempest/sparse/operators.hpp"
 #include "tempest/stencil/coefficients.hpp"
+#include "tempest/trace/trace.hpp"
 #include "tempest/util/error.hpp"
 #include "tempest/util/timer.hpp"
 
@@ -280,6 +281,12 @@ RunStats ElasticPropagator::run(Schedule sched,
   // per half-step == the paper's shifted wavefront angle for staggered
   // multi-grid updates).
   auto half_block = [&](int h, const grid::Box3& box) {
+    TEMPEST_TRACE_COUNT(CellsUpdated, box.volume());
+    TEMPEST_TRACE_COUNT(
+        HaloCellsTouched,
+        2 * radius *
+            (box.x.length() * box.y.length() + box.y.length() * box.z.length() +
+             box.x.length() * box.z.length()));
     if ((h & 1) == 0) {
       dispatch_radius(
           radius, [&] { v_block<1>(f, sx, sy, box, w.data(), inv_h, dt); },
@@ -327,16 +334,23 @@ RunStats ElasticPropagator::run(Schedule sched,
     util::Timer timer;
     core::run_wavefront(
         e, 0, 2 * nt, radius, half_spec, [&](int h, const grid::Box3& box) {
-          half_block(h, box);
+          {
+            TEMPEST_TRACE_SPAN_ARG("stencil", "compute", h);
+            half_block(h, box);
+          }
           if ((h & 1) == 1) {
             const int t = h / 2;
-            core::fused_inject(txx_, cs_src, dcmp, t, box.x, box.y,
-                               inj_scale);
-            core::fused_inject(tyy_, cs_src, dcmp, t, box.x, box.y,
-                               inj_scale);
-            core::fused_inject(tzz_, cs_src, dcmp, t, box.x, box.y,
-                               inj_scale);
+            {
+              TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
+              core::fused_inject(txx_, cs_src, dcmp, t, box.x, box.y,
+                                 inj_scale);
+              core::fused_inject(tyy_, cs_src, dcmp, t, box.x, box.y,
+                                 inj_scale);
+              core::fused_inject(tzz_, cs_src, dcmp, t, box.x, box.y,
+                                 inj_scale);
+            }
             if (rec != nullptr && !cs_rec.empty()) {
+              TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
               core::fused_gather(vz_, cs_rec, drec, rec->step(t).data(),
                                  box.x, box.y);
             }
@@ -356,18 +370,26 @@ RunStats ElasticPropagator::run(Schedule sched,
     const auto blocks = grid::decompose_xy(
         grid::Box3::whole(e), opts_.tiles.block_x, opts_.tiles.block_y);
     for (int t = 0; t < nt; ++t) {
+      {
+        TEMPEST_TRACE_SPAN_ARG("stencil", "compute", t);
+        TEMPEST_TRACE_COUNT(BlocksExecuted, 2 * blocks.size());
 #pragma omp parallel for schedule(dynamic)
-      for (std::size_t b = 0; b < blocks.size(); ++b) {
-        half_block(2 * t, blocks[b]);
-      }
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+          half_block(2 * t, blocks[b]);
+        }
 #pragma omp parallel for schedule(dynamic)
-      for (std::size_t b = 0; b < blocks.size(); ++b) {
-        half_block(2 * t + 1, blocks[b]);
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+          half_block(2 * t + 1, blocks[b]);
+        }
       }
-      sparse::inject_cached(txx_, src, t, src_cache, inj_scale);
-      sparse::inject_cached(tyy_, src, t, src_cache, inj_scale);
-      sparse::inject_cached(tzz_, src, t, src_cache, inj_scale);
+      {
+        TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
+        sparse::inject_cached(txx_, src, t, src_cache, inj_scale);
+        sparse::inject_cached(tyy_, src, t, src_cache, inj_scale);
+        sparse::inject_cached(tzz_, src, t, src_cache, inj_scale);
+      }
       if (rec != nullptr && rec->npoints() > 0) {
+        TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
         sparse::interpolate_cached(vz_, *rec, t, rec_cache);
       }
     }
@@ -377,12 +399,20 @@ RunStats ElasticPropagator::run(Schedule sched,
 
   util::Timer timer;
   for (int t = 0; t < nt; ++t) {
-    half_block(2 * t, grid::Box3::whole(e));
-    half_block(2 * t + 1, grid::Box3::whole(e));
-    sparse::inject(txx_, src, t, opts_.interp, inj_scale);
-    sparse::inject(tyy_, src, t, opts_.interp, inj_scale);
-    sparse::inject(tzz_, src, t, opts_.interp, inj_scale);
+    {
+      TEMPEST_TRACE_SPAN_ARG("stencil", "compute", t);
+      TEMPEST_TRACE_COUNT(BlocksExecuted, 2);
+      half_block(2 * t, grid::Box3::whole(e));
+      half_block(2 * t + 1, grid::Box3::whole(e));
+    }
+    {
+      TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
+      sparse::inject(txx_, src, t, opts_.interp, inj_scale);
+      sparse::inject(tyy_, src, t, opts_.interp, inj_scale);
+      sparse::inject(tzz_, src, t, opts_.interp, inj_scale);
+    }
     if (rec != nullptr && rec->npoints() > 0) {
+      TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
       sparse::interpolate(vz_, *rec, t, opts_.interp);
     }
   }

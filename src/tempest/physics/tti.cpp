@@ -8,6 +8,7 @@
 #include "tempest/core/precompute.hpp"
 #include "tempest/sparse/operators.hpp"
 #include "tempest/stencil/coefficients.hpp"
+#include "tempest/trace/trace.hpp"
 #include "tempest/util/error.hpp"
 #include "tempest/util/timer.hpp"
 
@@ -274,6 +275,12 @@ RunStats TTIPropagator::run(Schedule sched,
   };
 
   auto stencil_block = [&](int t, const grid::Box3& box) {
+    TEMPEST_TRACE_COUNT(CellsUpdated, box.volume());
+    TEMPEST_TRACE_COUNT(
+        HaloCellsTouched,
+        2 * radius *
+            (box.x.length() * box.y.length() + box.y.length() * box.z.length() +
+             box.x.length() * box.z.length()));
     real_t* pn = p_.at(t + 1).origin();
     const real_t* pc = p_.at(t).origin();
     const real_t* pp = p_.at(t - 1).origin();
@@ -327,12 +334,19 @@ RunStats TTIPropagator::run(Schedule sched,
     util::Timer timer;
     core::run_wavefront(
         e, 1, nt, radius, opts_.tiles, [&](int t, const grid::Box3& box) {
-          stencil_block(t, box);
-          core::fused_inject(p_.at(t + 1), cs_src, dcmp, t, box.x, box.y,
-                             inj_scale);
-          core::fused_inject(q_.at(t + 1), cs_src, dcmp, t, box.x, box.y,
-                             inj_scale);
+          {
+            TEMPEST_TRACE_SPAN_ARG("stencil", "compute", t);
+            stencil_block(t, box);
+          }
+          {
+            TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
+            core::fused_inject(p_.at(t + 1), cs_src, dcmp, t, box.x, box.y,
+                               inj_scale);
+            core::fused_inject(q_.at(t + 1), cs_src, dcmp, t, box.x, box.y,
+                               inj_scale);
+          }
           if (rec != nullptr && !cs_rec.empty()) {
+            TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
             core::fused_gather(p_.at(t + 1), cs_rec, drec,
                                rec->step(t).data(), box.x, box.y);
           }
@@ -351,13 +365,21 @@ RunStats TTIPropagator::run(Schedule sched,
     const auto blocks = grid::decompose_xy(
         grid::Box3::whole(e), opts_.tiles.block_x, opts_.tiles.block_y);
     for (int t = 1; t < nt; ++t) {
+      {
+        TEMPEST_TRACE_SPAN_ARG("stencil", "compute", t);
+        TEMPEST_TRACE_COUNT(BlocksExecuted, blocks.size());
 #pragma omp parallel for schedule(dynamic)
-      for (std::size_t b = 0; b < blocks.size(); ++b) {
-        stencil_block(t, blocks[b]);
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+          stencil_block(t, blocks[b]);
+        }
       }
-      sparse::inject_cached(p_.at(t + 1), src, t, src_cache, inj_scale);
-      sparse::inject_cached(q_.at(t + 1), src, t, src_cache, inj_scale);
+      {
+        TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
+        sparse::inject_cached(p_.at(t + 1), src, t, src_cache, inj_scale);
+        sparse::inject_cached(q_.at(t + 1), src, t, src_cache, inj_scale);
+      }
       if (rec != nullptr && rec->npoints() > 0) {
+        TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
         sparse::interpolate_cached(p_.at(t + 1), *rec, t, rec_cache);
       }
     }
@@ -367,10 +389,18 @@ RunStats TTIPropagator::run(Schedule sched,
 
   util::Timer timer;
   for (int t = 1; t < nt; ++t) {
-    stencil_block(t, grid::Box3::whole(e));
-    sparse::inject(p_.at(t + 1), src, t, opts_.interp, inj_scale);
-    sparse::inject(q_.at(t + 1), src, t, opts_.interp, inj_scale);
+    {
+      TEMPEST_TRACE_SPAN_ARG("stencil", "compute", t);
+      TEMPEST_TRACE_COUNT(BlocksExecuted, 1);
+      stencil_block(t, grid::Box3::whole(e));
+    }
+    {
+      TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
+      sparse::inject(p_.at(t + 1), src, t, opts_.interp, inj_scale);
+      sparse::inject(q_.at(t + 1), src, t, opts_.interp, inj_scale);
+    }
     if (rec != nullptr && rec->npoints() > 0) {
+      TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
       sparse::interpolate(p_.at(t + 1), *rec, t, opts_.interp);
     }
   }

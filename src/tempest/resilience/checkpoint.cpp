@@ -8,6 +8,7 @@
 
 #include "tempest/io/io.hpp"
 #include "tempest/resilience/fault.hpp"
+#include "tempest/trace/trace.hpp"
 #include "tempest/util/crc32.hpp"
 #include "tempest/util/error.hpp"
 #include "tempest/util/log.hpp"
@@ -88,6 +89,7 @@ bool Checkpointer::exists() const {
 }
 
 void Checkpointer::save(const Checkpoint& ck) const {
+  TEMPEST_TRACE_SPAN("checkpoint.save", "resilience");
   TEMPEST_REQUIRE_MSG(!ck.slots.empty(), "checkpoint carries no time slices");
   const auto& e0 = ck.slots.front().extents();
   const int halo0 = ck.slots.front().halo();
@@ -156,6 +158,13 @@ void Checkpointer::save(const Checkpoint& ck) const {
 
   TEMPEST_REQUIRE_MSG(std::rename(tmp.c_str(), path_.c_str()) == 0,
                       "cannot move checkpoint into place: " + path_);
+#if !defined(TEMPEST_TRACE_DISABLED)
+  if (trace::enabled()) {
+    std::error_code size_ec;
+    const auto written = std::filesystem::file_size(path_, size_ec);
+    if (!size_ec) TEMPEST_TRACE_COUNT(CheckpointBytes, written);
+  }
+#endif
 }
 
 Checkpoint Checkpointer::load() const {

@@ -4,13 +4,16 @@ namespace tempest::sparse {
 
 void interpolate(const grid::Grid3<real_t>& u, SparseTimeSeries& rec, int t,
                  InterpKind kind) {
+  long long applications = 0;
   for (int r = 0; r < rec.npoints(); ++r) {
     double acc = 0.0;
     for (const SupportPoint& p : support(rec.coord(r), kind, u.extents())) {
       acc += p.w * static_cast<double>(u(p.x, p.y, p.z));
+      ++applications;
     }
     rec.at(t, r) = static_cast<real_t>(acc);
   }
+  TEMPEST_TRACE_COUNT(ReceiversInterpolated, applications);
 }
 
 SupportCache::SupportCache(const SparseTimeSeries& series, InterpKind kind,
@@ -23,14 +26,17 @@ SupportCache::SupportCache(const SparseTimeSeries& series, InterpKind kind,
 
 void interpolate_cached(const grid::Grid3<real_t>& u, SparseTimeSeries& rec,
                         int t, const SupportCache& cache) {
+  long long applications = 0;
   for (int r = 0; r < rec.npoints(); ++r) {
     double acc = 0.0;
     for (const SupportPoint& p :
          cache.per_point[static_cast<std::size_t>(r)]) {
       acc += p.w * static_cast<double>(u(p.x, p.y, p.z));
+      ++applications;
     }
     rec.at(t, r) = static_cast<real_t>(acc);
   }
+  TEMPEST_TRACE_COUNT(ReceiversInterpolated, applications);
 }
 
 }  // namespace tempest::sparse

@@ -4,6 +4,7 @@
 #include "tempest/grid/grid3.hpp"
 #include "tempest/sparse/interp.hpp"
 #include "tempest/sparse/series.hpp"
+#include "tempest/trace/trace.hpp"
 
 namespace tempest::sparse {
 
@@ -20,13 +21,16 @@ namespace tempest::sparse {
 template <typename ScaleFn>
 void inject(grid::Grid3<real_t>& u, const SparseTimeSeries& src, int t,
             InterpKind kind, ScaleFn&& scale) {
+  long long updates = 0;
   for (int s = 0; s < src.npoints(); ++s) {
     const real_t amp = src.at(t, s);
     for (const SupportPoint& p : support(src.coord(s), kind, u.extents())) {
       u(p.x, p.y, p.z) += static_cast<real_t>(p.w) * amp *
                           static_cast<real_t>(scale(p.x, p.y, p.z));
+      ++updates;
     }
   }
+  TEMPEST_TRACE_COUNT(SourcesInjected, updates);
 }
 
 /// Gather field values at timestep `t` into the receiver series:
@@ -50,14 +54,17 @@ struct SupportCache {
 template <typename ScaleFn>
 void inject_cached(grid::Grid3<real_t>& u, const SparseTimeSeries& src, int t,
                    const SupportCache& cache, ScaleFn&& scale) {
+  long long updates = 0;
   for (int s = 0; s < src.npoints(); ++s) {
     const real_t amp = src.at(t, s);
     for (const SupportPoint& p :
          cache.per_point[static_cast<std::size_t>(s)]) {
       u(p.x, p.y, p.z) += static_cast<real_t>(p.w) * amp *
                           static_cast<real_t>(scale(p.x, p.y, p.z));
+      ++updates;
     }
   }
+  TEMPEST_TRACE_COUNT(SourcesInjected, updates);
 }
 
 /// interpolate() through a prebuilt cache.

@@ -1,0 +1,295 @@
+#include "tempest/trace/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace tempest::trace {
+
+namespace {
+
+/// Per-thread buffer: counter accumulators plus completed spans. The
+/// recording thread is the only writer of `events`; `mu` serialises those
+/// writes against the serial-phase sinks that drain them. Counters are
+/// relaxed atomics so the sinks can read them without the lock.
+struct ThreadState {
+  std::array<std::atomic<long long>, kNumCounters> counters{};
+  std::vector<Event> events;
+  std::mutex mu;
+  int tid = 0;
+};
+
+/// Registry of every thread that ever traced. States are shared_ptr so a
+/// thread exiting does not invalidate its (still unread) buffer.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadState>> states;
+  int next_tid = 0;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+ThreadState& local_state() {
+  thread_local std::shared_ptr<ThreadState> state = [] {
+    auto s = std::make_shared<ThreadState>();
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    s->tid = r.next_tid++;
+    r.states.push_back(s);
+    return s;
+  }();
+  return *state;
+}
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::int64_t> g_epoch_ns{0};
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t now_ns() { return steady_ns() - g_epoch_ns.load(std::memory_order_relaxed); }
+
+/// JSON string escape for names (call-site literals, but keep it correct).
+void write_json_string(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Per-span-name aggregate used by the flat metrics sinks.
+struct SpanAggregate {
+  long long count = 0;
+  std::int64_t total_ns = 0;
+};
+
+std::map<std::string, SpanAggregate> aggregate_spans() {
+  std::map<std::string, SpanAggregate> agg;
+  for (const Event& e : events()) {
+    SpanAggregate& a = agg[e.name];
+    a.count += 1;
+    a.total_ns += e.dur_ns;
+  }
+  return agg;
+}
+
+}  // namespace
+
+const char* to_string(Counter c) {
+  switch (c) {
+    case Counter::CellsUpdated: return "cells_updated";
+    case Counter::SourcesInjected: return "sources_injected";
+    case Counter::ReceiversInterpolated: return "receivers_interpolated";
+    case Counter::BlocksExecuted: return "blocks_executed";
+    case Counter::TilesExecuted: return "tiles_executed";
+    case Counter::BandsExecuted: return "bands_executed";
+    case Counter::HaloCellsTouched: return "halo_cells_touched";
+    case Counter::CheckpointBytes: return "checkpoint_bytes";
+    case Counter::AutotuneTrials: return "autotune_trials";
+    case Counter::JitCompiles: return "jit_compiles";
+  }
+  return "?";
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void count(Counter c, long long delta) {
+  if (!enabled() || delta == 0) return;
+  local_state().counters[static_cast<std::size_t>(c)].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+long long value(Counter c) {
+  long long total = 0;
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& s : r.states) {
+    total += s->counters[static_cast<std::size_t>(c)].load(
+        std::memory_order_relaxed);
+  }
+  return total;
+}
+
+CounterSnapshot snapshot() {
+  CounterSnapshot out{};
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& s : r.states) {
+    for (int c = 0; c < kNumCounters; ++c) {
+      out[static_cast<std::size_t>(c)] +=
+          s->counters[static_cast<std::size_t>(c)].load(
+              std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void reset() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& s : r.states) {
+    const std::lock_guard<std::mutex> state_lock(s->mu);
+    for (auto& c : s->counters) c.store(0, std::memory_order_relaxed);
+    s->events.clear();
+  }
+  g_epoch_ns.store(steady_ns(), std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* cat)
+    : name_(name), cat_(cat), start_ns_(0), arg_(0), has_arg_(false),
+      active_(enabled()) {
+  if (active_) start_ns_ = now_ns();
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* cat, std::int64_t arg)
+    : name_(name), cat_(cat), start_ns_(0), arg_(arg), has_arg_(true),
+      active_(enabled()) {
+  if (active_) start_ns_ = now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const std::int64_t end = now_ns();
+  ThreadState& s = local_state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.events.push_back(Event{name_, cat_, s.tid, start_ns_, end - start_ns_,
+                           arg_, has_arg_});
+}
+
+std::vector<Event> events() {
+  std::vector<Event> out;
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& s : r.states) {
+    const std::lock_guard<std::mutex> state_lock(s->mu);
+    out.insert(out.end(), s->events.begin(), s->events.end());
+  }
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    return a.ts_ns != b.ts_ns ? a.ts_ns < b.ts_ns : a.tid < b.tid;
+  });
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":";
+    write_json_string(os, e.name);
+    os << ",\"cat\":";
+    write_json_string(os, e.cat);
+    // Chrome trace timestamps are microseconds; keep ns precision via the
+    // fractional part.
+    os << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+       << ",\"ts\":" << static_cast<double>(e.ts_ns) / 1e3
+       << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1e3;
+    if (e.has_arg) os << ",\"args\":{\"t\":" << e.arg << "}";
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  const CounterSnapshot counters = snapshot();
+  for (int c = 0; c < kNumCounters; ++c) {
+    if (c != 0) os << ",";
+    write_json_string(os, to_string(static_cast<Counter>(c)));
+    os << ":" << counters[static_cast<std::size_t>(c)];
+  }
+  os << "}}\n";
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return static_cast<bool>(os);
+}
+
+void write_metrics_csv(std::ostream& os) {
+  os << "kind,name,value\n";
+  const CounterSnapshot counters = snapshot();
+  for (int c = 0; c < kNumCounters; ++c) {
+    os << "counter," << to_string(static_cast<Counter>(c)) << ","
+       << counters[static_cast<std::size_t>(c)] << "\n";
+  }
+  for (const auto& [name, a] : aggregate_spans()) {
+    os << "span_count," << name << "," << a.count << "\n";
+    os << "span_ms," << name << ","
+       << static_cast<double>(a.total_ns) / 1e6 << "\n";
+  }
+}
+
+void write_metrics_json(std::ostream& os) {
+  os << "{\"counters\":{";
+  const CounterSnapshot counters = snapshot();
+  for (int c = 0; c < kNumCounters; ++c) {
+    if (c != 0) os << ",";
+    write_json_string(os, to_string(static_cast<Counter>(c)));
+    os << ":" << counters[static_cast<std::size_t>(c)];
+  }
+  os << "},\"spans\":{";
+  bool first = true;
+  for (const auto& [name, a] : aggregate_spans()) {
+    if (!first) os << ",";
+    first = false;
+    write_json_string(os, name.c_str());
+    os << ":{\"count\":" << a.count
+       << ",\"total_ms\":" << static_cast<double>(a.total_ns) / 1e6 << "}";
+  }
+  os << "}}\n";
+}
+
+bool write_metrics(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    write_metrics_csv(os);
+  } else {
+    write_metrics_json(os);
+  }
+  return static_cast<bool>(os);
+}
+
+Session::Session(std::string trace_path, std::string metrics_path)
+    : trace_path_(std::move(trace_path)),
+      metrics_path_(std::move(metrics_path)) {
+  if (!trace_path_.empty() || !metrics_path_.empty()) {
+    reset();
+    set_enabled(true);
+  }
+}
+
+Session::~Session() {
+  if (!trace_path_.empty()) write_chrome_trace(trace_path_);
+  if (!metrics_path_.empty()) write_metrics(metrics_path_);
+}
+
+}  // namespace tempest::trace

@@ -1,0 +1,378 @@
+// tempest::trace unit tests: counter/span semantics, the disabled-mode
+// no-op guarantee, sink well-formedness (a real JSON parse of the Chrome
+// trace, not a substring grep), and a generous overhead regression bound.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tempest/physics/acoustic.hpp"
+#include "tempest/sparse/survey.hpp"
+#include "tempest/sparse/wavelet.hpp"
+#include "tempest/trace/trace.hpp"
+
+namespace tr = tempest::trace;
+
+namespace {
+
+/// Minimal recursive-descent JSON reader — just enough structure to prove
+/// the Chrome-trace sink emits something a real tracer will load. Values
+/// are kept only where the assertions need them.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string text) : s_(std::move(text)) {}
+
+  /// Parses the whole document; returns false on any syntax error.
+  bool parse() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+  /// Every string that appeared as the value of key `k` somewhere.
+  [[nodiscard]] std::vector<std::string> strings_for(
+      const std::string& k) const {
+    auto it = by_key_.find(k);
+    return it == by_key_.end() ? std::vector<std::string>{} : it->second;
+  }
+
+  [[nodiscard]] int objects_in_array(const std::string& key) const {
+    auto it = array_sizes_.find(key);
+    return it == array_sizes_.end() ? -1 : it->second;
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array("");
+      case '"': { std::string out; return string(&out); }
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == '"') {
+        std::string val;
+        if (!string(&val)) return false;
+        by_key_[key].push_back(val);
+      } else if (pos_ < s_.size() && s_[pos_] == '[') {
+        if (!array(key)) return false;
+      } else {
+        if (!value()) return false;
+      }
+      skip_ws();
+      if (consume(',')) continue;
+      return consume('}');
+    }
+  }
+
+  bool array(const std::string& key) {
+    if (!consume('[')) return false;
+    skip_ws();
+    int n = 0;
+    if (!consume(']')) {
+      while (true) {
+        skip_ws();
+        if (!value()) return false;
+        ++n;
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(']')) break;
+        return false;
+      }
+    }
+    if (!key.empty()) array_sizes_[key] = n;
+    return true;
+  }
+
+  bool string(std::string* out) {
+    if (!consume('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      out->push_back(s_[pos_++]);
+    }
+    return consume('"');
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string s_;
+  std::size_t pos_ = 0;
+  std::map<std::string, std::vector<std::string>> by_key_;
+  std::map<std::string, int> array_sizes_;
+};
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+/// A small traced acoustic run exercising every per-timestep phase.
+void traced_acoustic_run() {
+  using namespace tempest;
+  const grid::Extents3 e{18, 16, 14};
+  const int nt = 10;
+  physics::Geometry g{e, 10.0, 4, /*nbl=*/4};
+  const physics::AcousticModel model =
+      physics::make_acoustic_layered(g, 1.5, 3.0, 3);
+  sparse::SparseTimeSeries src(sparse::single_center_source(e, 0.4), nt);
+  src.broadcast_signature(sparse::ricker(nt, model.critical_dt(), 0.015));
+  sparse::SparseTimeSeries rec(sparse::receiver_line(e, 4, 0.15, 3), nt);
+
+  physics::PropagatorOptions opts;
+  opts.tiles = core::TileSpec{4, 8, 8, 4, 4};
+  physics::AcousticPropagator prop(model, opts);
+  prop.run(physics::Schedule::Wavefront, src, &rec);
+  prop.run(physics::Schedule::SpaceBlocked, src, &rec);
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tr::set_enabled(false);
+    tr::reset();
+  }
+  void TearDown() override {
+    tr::set_enabled(false);
+    tr::reset();
+  }
+};
+
+}  // namespace
+
+TEST_F(TraceTest, CountersAccumulateAndSnapshot) {
+  tr::set_enabled(true);
+  tr::count(tr::Counter::CellsUpdated, 10);
+  tr::count(tr::Counter::CellsUpdated, 32);
+  tr::count(tr::Counter::CheckpointBytes, 7);
+  EXPECT_EQ(tr::value(tr::Counter::CellsUpdated), 42);
+  EXPECT_EQ(tr::value(tr::Counter::CheckpointBytes), 7);
+  EXPECT_EQ(tr::value(tr::Counter::JitCompiles), 0);
+
+  const tr::CounterSnapshot snap = tr::snapshot();
+  EXPECT_EQ(snap[static_cast<int>(tr::Counter::CellsUpdated)], 42);
+
+  tr::reset();
+  EXPECT_EQ(tr::value(tr::Counter::CellsUpdated), 0);
+}
+
+TEST_F(TraceTest, DisabledModeIsSemanticallyInert) {
+  ASSERT_FALSE(tr::enabled());
+  tr::count(tr::Counter::CellsUpdated, 1000);
+  {
+    tr::ScopedSpan span("ignored", "test");
+  }
+  EXPECT_EQ(tr::value(tr::Counter::CellsUpdated), 0);
+  EXPECT_TRUE(tr::events().empty());
+}
+
+TEST_F(TraceTest, SpanRecordsNameCategoryAndArg) {
+  tr::set_enabled(true);
+  {
+    tr::ScopedSpan span("phase", "compute", 17);
+  }
+  const std::vector<tr::Event> ev = tr::events();
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_STREQ(ev[0].name, "phase");
+  EXPECT_STREQ(ev[0].cat, "compute");
+  EXPECT_TRUE(ev[0].has_arg);
+  EXPECT_EQ(ev[0].arg, 17);
+  EXPECT_GE(ev[0].dur_ns, 0);
+}
+
+TEST_F(TraceTest, EventsAreSortedByStartAcrossSpans) {
+  tr::set_enabled(true);
+  for (int i = 0; i < 8; ++i) {
+    tr::ScopedSpan span("tick", "test", i);
+  }
+  const std::vector<tr::Event> ev = tr::events();
+  ASSERT_EQ(ev.size(), 8u);
+  for (std::size_t i = 1; i < ev.size(); ++i) {
+    EXPECT_LE(ev[i - 1].ts_ns, ev[i].ts_ns);
+  }
+}
+
+TEST_F(TraceTest, CounterNamesAreUniqueAndNonEmpty) {
+  std::vector<std::string> names;
+  for (int c = 0; c < tr::kNumCounters; ++c) {
+    names.emplace_back(tr::to_string(static_cast<tr::Counter>(c)));
+    EXPECT_FALSE(names.back().empty());
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+#if !defined(TEMPEST_TRACE_DISABLED)
+
+// Golden-structure test: the Chrome trace of a real instrumented run must
+// parse as JSON and carry the per-timestep phase spans the ISSUE promises.
+TEST_F(TraceTest, ChromeTraceOfInstrumentedRunParsesAndHasPhaseSpans) {
+  tr::set_enabled(true);
+  tr::reset();
+  traced_acoustic_run();
+  tr::set_enabled(false);
+
+  std::ostringstream os;
+  tr::write_chrome_trace(os);
+  const std::string json = os.str();
+
+  JsonReader reader(json);
+  ASSERT_TRUE(reader.parse()) << "Chrome trace is not valid JSON:\n"
+                              << json.substr(0, 400);
+
+  const std::vector<std::string> names = reader.strings_for("name");
+  for (const char* want :
+       {"stencil", "inject", "interp", "wavefront.band"}) {
+    EXPECT_TRUE(contains(names, want)) << "missing span name " << want;
+  }
+  // Complete events only, and at least one per recorded span name.
+  const std::vector<std::string> phases = reader.strings_for("ph");
+  ASSERT_FALSE(phases.empty());
+  for (const std::string& ph : phases) EXPECT_EQ(ph, "X");
+  EXPECT_EQ(reader.objects_in_array("traceEvents"),
+            static_cast<int>(phases.size()));
+}
+
+TEST_F(TraceTest, MetricsSinksCarryEveryCounter) {
+  tr::set_enabled(true);
+  tr::count(tr::Counter::CellsUpdated, 123);
+  {
+    tr::ScopedSpan span("phase", "compute");
+  }
+  tr::set_enabled(false);
+
+  std::ostringstream csv;
+  tr::write_metrics_csv(csv);
+  const std::string csv_text = csv.str();
+  for (int c = 0; c < tr::kNumCounters; ++c) {
+    EXPECT_NE(csv_text.find(tr::to_string(static_cast<tr::Counter>(c))),
+              std::string::npos);
+  }
+  EXPECT_NE(csv_text.find("counter,cells_updated,123"), std::string::npos);
+  EXPECT_NE(csv_text.find("span_count,phase,1"), std::string::npos);
+
+  std::ostringstream js;
+  tr::write_metrics_json(js);
+  JsonReader reader(js.str());
+  EXPECT_TRUE(reader.parse()) << js.str();
+}
+
+TEST_F(TraceTest, SessionWritesBothSinksOnDestruction) {
+  const std::string trace_path = ::testing::TempDir() + "trace_test_out.json";
+  const std::string metrics_path = ::testing::TempDir() + "trace_test_out.csv";
+  {
+    tr::Session session(trace_path, metrics_path);
+    tr::count(tr::Counter::CellsUpdated, 5);
+    tr::ScopedSpan span("phase", "compute");
+  }
+  std::ifstream tf(trace_path);
+  ASSERT_TRUE(tf.is_open());
+  std::stringstream trace_text;
+  trace_text << tf.rdbuf();
+  JsonReader reader(trace_text.str());
+  EXPECT_TRUE(reader.parse());
+
+  std::ifstream mf(metrics_path);
+  ASSERT_TRUE(mf.is_open());
+  std::string metrics_text((std::istreambuf_iterator<char>(mf)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_NE(metrics_text.find("cells_updated"), std::string::npos);
+
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+// Overhead regression: disabled-mode instrumentation is one relaxed load +
+// branch per call site. The bounds are deliberately generous (orders of
+// magnitude above the expected cost) — they catch accidental heavy-weight
+// regressions (a lock or an allocation on the disabled path), not cycle
+// drift between CI machines.
+TEST_F(TraceTest, DisabledModeOverheadIsBounded) {
+  ASSERT_FALSE(tr::enabled());
+  constexpr int kIters = 1'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    TEMPEST_TRACE_COUNT(CellsUpdated, i);
+    TEMPEST_TRACE_SPAN("noop", "test");
+  }
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_EQ(tr::value(tr::Counter::CellsUpdated), 0);
+  EXPECT_LT(ms, 1000.0) << "disabled-mode instrumentation cost exploded";
+}
+
+TEST_F(TraceTest, EnabledCounterOverheadIsBounded) {
+  tr::set_enabled(true);
+  constexpr int kIters = 1'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    TEMPEST_TRACE_COUNT(CellsUpdated, 1);
+  }
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_EQ(tr::value(tr::Counter::CellsUpdated), kIters);
+  EXPECT_LT(ms, 2000.0) << "enabled-mode counter cost exploded";
+}
+
+#endif  // !defined(TEMPEST_TRACE_DISABLED)
