@@ -7,11 +7,18 @@
 //                the paper's 512)
 //   --steps=N    timestep count (default: scaled-down; --full selects the
 //                paper's CFL-derived counts: 228/436/587)
-//   --reps=N     best-of-N timing repetitions (default 1..3)
+//   --reps=N     timing repetitions (default 1..3); every rep is actually
+//                run and recorded — tables report the min, stderr notes the
+//                median, and --json captures the full rep list
 //   --csv        emit CSV instead of the ASCII table
 //   --full       paper-scale run (512^3 grids, full time ranges)
 //   --trace=F    write a Chrome trace_event JSON of the run to F
 //   --metrics=F  dump tempest::trace counters to F (CSV or JSON by ext.)
+//   --json[=F]   machine-readable BENCH_<name>.json (see session.hpp):
+//                config, env fingerprint, per-rep times, trace counters,
+//                PMU samples, derived rates, validation verdicts
+//   --recalibrate  (fig11) ignore the cached machine ceilings in
+//                .tempest_ceilings.json and re-run calibration
 //
 // The harnesses print the *rows of the paper's table or the series of the
 // paper's figure*; EXPERIMENTS.md records how the shapes compare.
@@ -31,6 +38,8 @@
 #include "tempest/trace/trace.hpp"
 #include "tempest/util/cli.hpp"
 #include "tempest/util/table.hpp"
+
+#include "session.hpp"
 
 namespace bench {
 
@@ -103,17 +112,20 @@ inline sparse::SparseTimeSeries make_receivers(const grid::Extents3& e,
   return sparse::SparseTimeSeries(sparse::receiver_line(e, n), nt);
 }
 
-/// Best-of-N wall time for one schedule of any propagator type.
+/// Measure one (propagator, schedule) case: run *every* repetition (the
+/// legacy best_of() short-circuited bookkeeping and lost the rep list),
+/// record each rep's wall time plus trace-counter and PMU deltas into the
+/// session's case list, and return the recorded CaseResult. Headline
+/// number is min_s(); median_s() and the full rep vector ride in --json.
 template <typename Propagator>
-physics::RunStats best_of(Propagator& prop, physics::Schedule sched,
-                          const sparse::SparseTimeSeries& src,
-                          sparse::SparseTimeSeries* rec, int reps) {
-  physics::RunStats best{};
-  for (int i = 0; i < std::max(1, reps); ++i) {
-    const physics::RunStats s = prop.run(sched, src, rec);
-    if (best.seconds == 0.0 || s.seconds < best.seconds) best = s;
-  }
-  return best;
+CaseResult& measure(Session& session, std::string name,
+                    std::map<std::string, std::string> tags,
+                    Propagator& prop, physics::Schedule sched,
+                    const sparse::SparseTimeSeries& src,
+                    sparse::SparseTimeSeries* rec, int reps) {
+  CaseResult c = measure_case(session, std::move(name), std::move(tags),
+                              reps, [&] { return prop.run(sched, src, rec); });
+  return session.add_case(std::move(c));
 }
 
 inline void emit(const util::Table& table, bool csv) {

@@ -10,6 +10,7 @@
 //
 // Usage: fig10_sources [--size=160] [--steps=N] [--counts=1,4,16,64,256,1024]
 //                      [--reps=2] [--tiles=8,64,64] [--csv] [--full]
+//                      [--json[=BENCH_fig10_sources.json]]
 
 #include "common.hpp"
 #include "tempest/core/precompute.hpp"
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   using namespace bench;
   const util::Cli cli(argc, argv);
   const BaseConfig cfg = BaseConfig::parse(cli, /*default_size=*/256);
+  Session session("fig10_sources", cli);
   const trace::Session trace_session(cfg.trace_path, cfg.metrics_path);
   const int so = 4;
   const int nt = steps_for_kernel("acoustic", cfg.full,
@@ -27,6 +29,11 @@ int main(int argc, char** argv) {
   core::TileSpec tiles{static_cast<int>(t[0]),
                        static_cast<int>(t.size() > 1 ? t[1] : 64),
                        static_cast<int>(t.size() > 2 ? t[2] : 64), 8, 8};
+
+  session.add_config("size", cfg.size);
+  session.add_config("steps", nt);
+  session.add_config("reps", cfg.reps);
+  session.add_config("full", cfg.full);
 
   physics::Geometry geom{cfg.extents(), 10.0, so, cfg.nbl};
   const auto model = physics::make_acoustic_layered(geom);
@@ -55,13 +62,24 @@ int main(int argc, char** argv) {
       const auto masks = core::build_source_masks(
           geom.extents, src, sparse::InterpKind::Trilinear);
 
-      const physics::RunStats base =
-          best_of(prop, physics::Schedule::SpaceBlocked, src, &rec, cfg.reps);
-      const physics::RunStats wave =
-          best_of(prop, physics::Schedule::Wavefront, src, &rec, cfg.reps);
+      const std::string n_s = std::to_string(n);
+      const CaseResult& base_c = measure(
+          session, std::string(geometry) + "_n" + n_s + "_base",
+          {{"geometry", geometry}, {"n_sources", n_s},
+           {"schedule", "space_blocked"}},
+          prop, physics::Schedule::SpaceBlocked, src, &rec, cfg.reps);
+      const CaseResult& wave_c = measure(
+          session, std::string(geometry) + "_n" + n_s + "_wtb",
+          {{"geometry", geometry}, {"n_sources", n_s},
+           {"schedule", "wavefront"}},
+          prop, physics::Schedule::Wavefront, src, &rec, cfg.reps);
+      const physics::RunStats base = best_stats(base_c);
+      const physics::RunStats wave = best_stats(wave_c);
       std::cerr << "  " << geometry << " n=" << n << " npts=" << masks.npts
                 << ": " << base.gpoints_per_s() << " -> "
-                << wave.gpoints_per_s() << " GPts/s\n";
+                << wave.gpoints_per_s() << " GPts/s (wtb min "
+                << wave_c.min_s() << "s, median " << wave_c.median_s()
+                << "s)\n";
 
       table.add_row({geometry, std::to_string(n), std::to_string(masks.npts),
                      util::Table::num(base.gpoints_per_s(), 4),

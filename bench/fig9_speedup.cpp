@@ -9,7 +9,7 @@
 //
 // Usage: fig9_speedup [--size=160] [--steps=N] [--so=4,8,12] [--reps=2]
 //                     [--kernels=acoustic,elastic,tti] [--tiles=tt,tx,ty]
-//                     [--csv] [--full]
+//                     [--csv] [--full] [--json[=BENCH_fig9_speedup.json]]
 
 #include <sstream>
 
@@ -41,8 +41,8 @@ core::TileSpec tiles_for(const util::Cli& cli, const std::string& kernel,
 }
 
 template <typename Model, typename Propagator>
-Row run_kernel(const std::string& name, const Model& model, int so, int nt,
-               const core::TileSpec& tiles, int reps) {
+Row run_kernel(Session& session, const std::string& name, const Model& model,
+               int so, int nt, const core::TileSpec& tiles, int reps) {
   physics::PropagatorOptions opts;
   opts.tiles = tiles;
   Propagator prop(model, opts);
@@ -51,15 +51,25 @@ Row run_kernel(const std::string& name, const Model& model, int so, int nt,
       make_source(model.geom.extents, nt, prop.dt());
   sparse::SparseTimeSeries rec = make_receivers(model.geom.extents, nt);
 
-  const physics::RunStats base =
-      best_of(prop, physics::Schedule::SpaceBlocked, src, &rec, reps);
-  const physics::RunStats wave =
-      best_of(prop, physics::Schedule::Wavefront, src, &rec, reps);
+  const std::string so_s = std::to_string(so);
+  const CaseResult& base =
+      measure(session, name + "_so" + so_s + "_base",
+              {{"kernel", name}, {"so", so_s}, {"schedule", "space_blocked"}},
+              prop, physics::Schedule::SpaceBlocked, src, &rec, reps);
+  const CaseResult& wave =
+      measure(session, name + "_so" + so_s + "_wtb",
+              {{"kernel", name}, {"so", so_s}, {"schedule", "wavefront"}},
+              prop, physics::Schedule::Wavefront, src, &rec, reps);
+  const physics::RunStats base_s = best_stats(base);
+  const physics::RunStats wave_s = best_stats(wave);
   std::cerr << "  " << name << " O(" << (name == "elastic" ? 1 : 2) << ','
-            << so << "): base " << base.gpoints_per_s() << " GPts/s, wtb "
-            << wave.gpoints_per_s() << " GPts/s\n";
-  return Row{name, so, base.gpoints_per_s(), wave.gpoints_per_s(),
-             wave.precompute_seconds};
+            << so << "): base " << base_s.gpoints_per_s()
+            << " GPts/s (min " << base.min_s() << "s, median "
+            << base.median_s() << "s), wtb " << wave_s.gpoints_per_s()
+            << " GPts/s (min " << wave.min_s() << "s, median "
+            << wave.median_s() << "s)\n";
+  return Row{name, so, base_s.gpoints_per_s(), wave_s.gpoints_per_s(),
+             wave_s.precompute_seconds};
 }
 
 }  // namespace
@@ -67,10 +77,15 @@ Row run_kernel(const std::string& name, const Model& model, int so, int nt,
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const BaseConfig cfg = BaseConfig::parse(cli, /*default_size=*/256);
+  Session session("fig9_speedup", cli);
   const trace::Session trace_session(cfg.trace_path, cfg.metrics_path);
   const auto so_list = cli.get_int_list("so", {4, 8, 12});
   std::stringstream kernels_ss(
       cli.get("kernels", "acoustic,elastic,tti"));
+  session.add_config("size", cfg.size);
+  session.add_config("reps", cfg.reps);
+  session.add_config("full", cfg.full);
+  session.add_config("kernels", cli.get("kernels", "acoustic,elastic,tti"));
 
   util::Table table({"kernel", "space_order", "baseline_gpts", "wtb_gpts",
                      "speedup", "precompute_s"});
@@ -88,15 +103,18 @@ int main(int argc, char** argv) {
       if (kernel == "acoustic") {
         const auto model = physics::make_acoustic_layered(geom);
         row = run_kernel<physics::AcousticModel, physics::AcousticPropagator>(
-            kernel, model, static_cast<int>(so), nt, tiles, cfg.reps);
+            session, kernel, model, static_cast<int>(so), nt, tiles,
+            cfg.reps);
       } else if (kernel == "elastic") {
         const auto model = physics::make_elastic_layered(geom);
         row = run_kernel<physics::ElasticModel, physics::ElasticPropagator>(
-            kernel, model, static_cast<int>(so), nt, tiles, cfg.reps);
+            session, kernel, model, static_cast<int>(so), nt, tiles,
+            cfg.reps);
       } else if (kernel == "tti") {
         const auto model = physics::make_tti_layered(geom);
         row = run_kernel<physics::TTIModel, physics::TTIPropagator>(
-            kernel, model, static_cast<int>(so), nt, tiles, cfg.reps);
+            session, kernel, model, static_cast<int>(so), nt, tiles,
+            cfg.reps);
       } else {
         std::cerr << "unknown kernel: " << kernel << "\n";
         return 1;

@@ -1,0 +1,117 @@
+#pragma once
+
+// Shared main() for the google-benchmark micro suites (micro_stencil,
+// micro_precompute, micro_injection, micro_wavefront). Adds three things
+// on top of BENCHMARK_MAIN():
+//
+//   * a bench::Session, so `--json[=FILE]` emits BENCH_<name>.json with
+//     every run's per-iteration time and user counters next to the normal
+//     console table (the tempest flag is stripped before google-benchmark
+//     sees argv — it would otherwise abort on an unknown flag);
+//   * TEMPEST_MICRO_SIZE / TEMPEST_MICRO_STEPS env overrides, so CI can
+//     run the suites at smoke-test sizes without a recompile;
+//   * a process-scope PMU window around the whole suite (rides in the
+//     session's pmu.process_delta).
+//
+// Usage in a suite:
+//   BENCHMARK(...);
+//   TEMPEST_MICRO_MAIN("micro_stencil")
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "session.hpp"
+
+namespace bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long n = std::strtol(v, nullptr, 10);
+  return n > 0 ? static_cast<int>(n) : fallback;
+}
+
+/// Grid extent for a micro suite, overridable via TEMPEST_MICRO_SIZE.
+inline int micro_size(int fallback) {
+  return env_int("TEMPEST_MICRO_SIZE", fallback);
+}
+
+/// Timestep count for a micro suite, overridable via TEMPEST_MICRO_STEPS.
+inline int micro_steps(int fallback) {
+  return env_int("TEMPEST_MICRO_STEPS", fallback);
+}
+
+namespace detail {
+
+/// Console reporter that also records every run into the Session.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(Session* session) : session_(session) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      BenchmarkRun r;
+      r.name = run.benchmark_name();
+      r.iterations = static_cast<long long>(run.iterations);
+      r.real_s = run.iterations > 0
+                     ? run.real_accumulated_time /
+                           static_cast<double>(run.iterations)
+                     : 0.0;
+      for (const auto& [name, counter] : run.counters) {
+        r.counters[name] = counter.value;
+      }
+      session_->add_benchmark_run(std::move(r));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  Session* session_;
+};
+
+}  // namespace detail
+
+/// Replacement for BENCHMARK_MAIN()'s body; see file comment.
+inline int micro_main(int argc, char** argv, const std::string& name) {
+  // Partition argv: tempest-owned flags stay out of google-benchmark's
+  // parser (it rejects flags it does not know).
+  std::vector<char*> bm_argv;
+  std::vector<const char*> own_argv;
+  bm_argv.push_back(argv[0]);
+  own_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json", 0) == 0) {
+      own_argv.push_back(argv[i]);
+    } else {
+      bm_argv.push_back(argv[i]);
+    }
+  }
+  const tempest::util::Cli cli(static_cast<int>(own_argv.size()),
+                               own_argv.data());
+
+  Session session(name, cli);
+  session.add_config("micro_size_env", env_int("TEMPEST_MICRO_SIZE", 0));
+  session.add_config("micro_steps_env", env_int("TEMPEST_MICRO_STEPS", 0));
+
+  int bm_argc = static_cast<int>(bm_argv.size());
+  benchmark::Initialize(&bm_argc, bm_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bm_argc, bm_argv.data())) {
+    return 1;
+  }
+  detail::CaptureReporter reporter(&session);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench
+
+#define TEMPEST_MICRO_MAIN(name)                   \
+  int main(int argc, char** argv) {                \
+    return bench::micro_main(argc, argv, (name));  \
+  }

@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
 #include "tempest/core/compress.hpp"
 #include "tempest/core/fused.hpp"
 #include "tempest/core/precompute.hpp"
@@ -18,9 +19,9 @@ namespace {
 
 using namespace tempest;
 
-constexpr int kSize = 128;
-constexpr grid::Extents3 kE{kSize, kSize, kSize};
-constexpr int kNt = 8;
+const int kSize = bench::micro_size(128);
+const grid::Extents3 kE{kSize, kSize, kSize};
+const int kNt = bench::micro_steps(8);
 
 sparse::SparseTimeSeries make_sources(int n) {
   sparse::SparseTimeSeries src(sparse::dense_volume(kE, n, 11), kNt);
@@ -97,4 +98,4 @@ BENCHMARK(BM_InjectCached)->Arg(1)->Arg(64)->Arg(1024)->Unit(benchmark::kMicrose
 BENCHMARK(BM_InjectFusedDense)->Arg(1)->Arg(64)->Arg(1024)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_InjectFusedCompressed)->Arg(1)->Arg(64)->Arg(1024)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+TEMPEST_MICRO_MAIN("micro_injection")

@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "micro_common.hpp"
 #include "tempest/core/compress.hpp"
 #include "tempest/core/precompute.hpp"
 #include "tempest/sparse/survey.hpp"
@@ -15,11 +18,18 @@ namespace {
 
 using namespace tempest;
 
+// TEMPEST_MICRO_SIZE caps the swept grid edges (CI smoke runs); unset, the
+// Args below run as written.
+int capped(benchmark::State& state, int idx = 0) {
+  return std::min(static_cast<int>(state.range(idx)),
+                  bench::micro_size(1 << 20));
+}
+
 void BM_FullPipeline(benchmark::State& state) {
-  const int size = static_cast<int>(state.range(0));
+  const int size = capped(state);
   const int n_src = static_cast<int>(state.range(1));
   const grid::Extents3 e{size, size, size};
-  const int nt = 228;  // the paper's acoustic step count
+  const int nt = bench::micro_steps(228);  // the paper's acoustic step count
   sparse::SparseTimeSeries src(sparse::dense_volume(e, n_src, 7), nt);
   src.broadcast_signature(sparse::ricker(nt, 1.0, 0.010));
 
@@ -37,10 +47,11 @@ void BM_FullPipeline(benchmark::State& state) {
 }
 
 void BM_ReceiverPipeline(benchmark::State& state) {
-  const int size = static_cast<int>(state.range(0));
+  const int size = capped(state);
   const int n_rec = static_cast<int>(state.range(1));
   const grid::Extents3 e{size, size, size};
-  sparse::SparseTimeSeries rec(sparse::receiver_line(e, n_rec), 228);
+  sparse::SparseTimeSeries rec(sparse::receiver_line(e, n_rec),
+                               bench::micro_steps(228));
   for (auto _ : state) {
     const auto dr =
         core::decompose_receivers(e, rec, sparse::InterpKind::Trilinear);
@@ -64,4 +75,4 @@ BENCHMARK(BM_ReceiverPipeline)
     ->Args({160, 1024})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+TEMPEST_MICRO_MAIN("micro_precompute")

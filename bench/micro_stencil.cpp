@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
 #include "tempest/physics/acoustic.hpp"
 #include "tempest/physics/elastic.hpp"
 #include "tempest/physics/tti.hpp"
@@ -15,8 +16,8 @@ namespace {
 
 using namespace tempest;
 
-constexpr int kSize = 96;
-constexpr int kSteps = 4;
+const int kSize = bench::micro_size(96);
+const int kSteps = bench::micro_steps(4);
 
 template <typename Model, typename Propagator>
 void run_case(benchmark::State& state, Model (*make)(const physics::Geometry&,
@@ -63,4 +64,4 @@ BENCHMARK(BM_AcousticSweep)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMilliseco
 BENCHMARK(BM_ElasticSweep)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond)->Iterations(2);
 BENCHMARK(BM_TTISweep)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond)->Iterations(2);
 
-BENCHMARK_MAIN();
+TEMPEST_MICRO_MAIN("micro_stencil")

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
 #include "tempest/physics/acoustic.hpp"
 #include "tempest/sparse/survey.hpp"
 #include "tempest/sparse/wavelet.hpp"
@@ -14,8 +15,8 @@ namespace {
 
 using namespace tempest;
 
-constexpr int kSize = 256;
-constexpr int kSteps = 16;
+const int kSize = bench::micro_size(256);
+const int kSteps = bench::micro_steps(16);
 
 void BM_WavefrontTiles(benchmark::State& state) {
   const int tile_t = static_cast<int>(state.range(0));
@@ -101,4 +102,4 @@ BENCHMARK(BM_DiamondTiles)
     ->Iterations(2);
 BENCHMARK(BM_SpaceBlockedReference)->Unit(benchmark::kMillisecond)->Iterations(2);
 
-BENCHMARK_MAIN();
+TEMPEST_MICRO_MAIN("micro_wavefront")

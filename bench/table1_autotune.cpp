@@ -11,6 +11,7 @@
 //                        [--kernels=acoustic,elastic,tti]
 //                        [--tiles=32,64,128,256] [--blocks=4,8,16]
 //                        [--tile-t=8] [--full-sweep] [--csv] [--full]
+//                        [--json[=BENCH_table1_autotune.json]]
 
 #include <sstream>
 
@@ -46,8 +47,12 @@ tempest::autotune::SweepResult tune(const Model& model, int nt,
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const BaseConfig cfg = BaseConfig::parse(cli, /*default_size=*/192);
+  Session session("table1_autotune", cli);
   const trace::Session trace_session(cfg.trace_path, cfg.metrics_path);
   const auto so_list = cli.get_int_list("so", {4, 8, 12});
+  session.add_config("size", cfg.size);
+  session.add_config("reps", cfg.reps);
+  session.add_config("full_sweep", cli.get_flag("full-sweep"));
 
   tempest::autotune::CandidateSpace space;
   space.symmetric = !cli.get_flag("full-sweep");
@@ -91,6 +96,27 @@ int main(int argc, char** argv) {
       std::cerr << "  " << label << " -> tile " << b.tile_x << 'x' << b.tile_y
                 << " block " << b.block_x << 'x' << b.block_y << " ("
                 << result.best.seconds << " s)\n";
+
+      // Record the winning shape (and the PMU evidence for *why* it won:
+      // the best candidate should carry the lowest LLC-miss traffic).
+      CaseResult c;
+      c.name = label;
+      c.tags = {{"kernel", kernel},
+                {"so", std::to_string(so)},
+                {"tile_x", std::to_string(b.tile_x)},
+                {"tile_y", std::to_string(b.tile_y)},
+                {"block_x", std::to_string(b.block_x)},
+                {"block_y", std::to_string(b.block_y)},
+                {"tile_t", std::to_string(b.tile_t)}};
+      c.rep_seconds.push_back(result.best.seconds);
+      c.pmu = result.best.pmu;
+      c.derived["candidates_evaluated"] =
+          static_cast<double>(result.evaluated.size());
+      if (c.pmu.valid(tempest::perf::pmu::Event::LlcMisses)) {
+        c.derived["best_llc_misses"] = static_cast<double>(
+            c.pmu[tempest::perf::pmu::Event::LlcMisses]);
+      }
+      session.add_case(std::move(c));
       table.add_row({label, std::to_string(b.tile_x),
                      std::to_string(b.tile_y), std::to_string(b.block_x),
                      std::to_string(b.block_y), std::to_string(b.tile_t),

@@ -19,11 +19,15 @@
 //               [--stride=4] [--out=rtm_image.csv]
 //               [--checkpoint=rtm.tpck] [--ckpt-every=50]
 //               [--trace=rtm_trace.json] [--metrics=rtm_metrics.csv]
+//               [--pmu]
 //
 // --trace writes a Chrome trace_event JSON (load in Perfetto or
 // chrome://tracing) with per-timestep injection/stencil/interpolation
 // spans; --metrics dumps the tempest::trace counters (CSV or JSON by
-// extension).
+// extension). --pmu enriches every traced span with hardware-counter
+// deltas (cycles, cache misses, ...) where the kernel allows
+// perf_event_open, and prints a whole-run counter summary; on machines
+// without a PMU it degrades to a one-line notice.
 //
 // With --checkpoint the adjoint/imaging pass — the long tail of the run —
 // checkpoints its wavefield state and the partial image every --ckpt-every
@@ -39,6 +43,7 @@
 #include <vector>
 
 #include "tempest/io/io.hpp"
+#include "tempest/perf/pmu.hpp"
 #include "tempest/physics/acoustic.hpp"
 #include "tempest/resilience/checkpoint.hpp"
 #include "tempest/sparse/survey.hpp"
@@ -59,6 +64,18 @@ int main(int argc, char** argv) {
   const int ckpt_every = static_cast<int>(cli.get_int("ckpt-every", 50));
   const trace::Session trace_session(cli.get("trace", ""),
                                      cli.get("metrics", ""));
+  const bool use_pmu = cli.get_flag("pmu");
+  std::optional<perf::pmu::PmuRegion> pmu_run;
+  if (use_pmu) {
+    const perf::pmu::Availability& avail = perf::pmu::availability();
+    if (!avail.any) {
+      std::cout << "PMU unavailable (" << avail.reason
+                << "); continuing without hardware counters\n";
+    } else {
+      perf::pmu::enable_span_enrichment();
+      pmu_run.emplace();  // whole-run window over this thread's counters
+    }
+  }
 
   const grid::Extents3 e{n, n, n};
   physics::Geometry geom{e, 10.0, 4, 10};
@@ -213,5 +230,22 @@ int main(int argc, char** argv) {
   });
   io::save_slice_csv(out, image_f, e.ny / 2);
   std::cout << "image slice written to " << out << "\n";
+
+  if (pmu_run) {
+    const perf::pmu::Sample s = pmu_run->delta();
+    std::cout << "\nwhole-run hardware counters:\n";
+    for (int i = 0; i < perf::pmu::kNumEvents; ++i) {
+      const auto ev = static_cast<perf::pmu::Event>(i);
+      if (s.valid(ev)) {
+        std::cout << "  " << perf::pmu::to_string(ev) << ": " << s[ev]
+                  << "\n";
+      }
+    }
+    if (s.valid(perf::pmu::Event::Cycles) &&
+        s.valid(perf::pmu::Event::Instructions)) {
+      std::cout << "  ipc: " << s.ipc() << "\n";
+    }
+    perf::pmu::disable_span_enrichment();
+  }
   return 0;
 }

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files emitted by the bench harnesses.
+
+Stdlib-only schema check for the "tempest-bench-v1" documents that
+bench::Session (bench/session.hpp) writes. Used by scripts/check.sh
+--bench and the CI perf-smoke job, on machines with or without a
+hardware PMU: PMU-less runs are *valid* as long as they say so
+(pmu.available/hardware flags + a captured reason) and still carry
+timings and modelled numbers.
+
+Usage: bench_check.py FILE [FILE...]
+Exit 0 when every file validates; 1 with per-file diagnostics otherwise.
+"""
+
+import json
+import sys
+
+SCHEMA = "tempest-bench-v1"
+VERDICTS = {"pass", "warn", "fail", "unavailable"}
+
+
+def fail(errors, msg):
+    errors.append(msg)
+
+
+def check_number(errors, obj, key, where, minimum=None):
+    v = obj.get(key)
+    if not isinstance(v, (int, float)) or isinstance(v, bool):
+        fail(errors, f"{where}.{key}: expected a number, got {v!r}")
+        return None
+    if minimum is not None and v < minimum:
+        fail(errors, f"{where}.{key}: {v} < {minimum}")
+    return v
+
+
+def check_case(errors, case, i):
+    where = f"cases[{i}]"
+    if not isinstance(case.get("name"), str) or not case["name"]:
+        fail(errors, f"{where}: missing name")
+        where = f"cases[{i}]"
+    else:
+        where = f"cases[{case['name']!r}]"
+    reps = case.get("reps_s")
+    if not isinstance(reps, list) or not reps:
+        fail(errors, f"{where}.reps_s: expected a non-empty list")
+        reps = []
+    for r in reps:
+        if not isinstance(r, (int, float)) or r < 0:
+            fail(errors, f"{where}.reps_s: bad entry {r!r}")
+    min_s = check_number(errors, case, "min_s", where, minimum=0.0)
+    median_s = check_number(errors, case, "median_s", where, minimum=0.0)
+    if reps and min_s is not None and abs(min_s - min(reps)) > 1e-12:
+        fail(errors, f"{where}: min_s {min_s} != min(reps_s) {min(reps)}")
+    if (min_s is not None and median_s is not None
+            and median_s + 1e-12 < min_s):
+        fail(errors, f"{where}: median_s {median_s} < min_s {min_s}")
+    check_number(errors, case, "point_updates", where, minimum=0)
+    if not isinstance(case.get("counters"), dict):
+        fail(errors, f"{where}.counters: expected an object")
+    check_pmu_sample(errors, case.get("pmu"), f"{where}.pmu")
+    if not isinstance(case.get("derived"), dict):
+        fail(errors, f"{where}.derived: expected an object")
+
+
+def check_pmu_sample(errors, sample, where):
+    if not isinstance(sample, dict):
+        fail(errors, f"{where}: expected an object")
+        return
+    mask = sample.get("valid_mask")
+    if not isinstance(mask, int) or mask < 0:
+        fail(errors, f"{where}.valid_mask: expected a non-negative int")
+        return
+    values = sample.get("values")
+    if not isinstance(values, dict):
+        fail(errors, f"{where}.values: expected an object")
+        return
+    n_valid = bin(mask).count("1")
+    if len(values) != n_valid:
+        fail(errors, f"{where}: valid_mask has {n_valid} bits set "
+                     f"but values has {len(values)} entries")
+    for name, v in values.items():
+        if not isinstance(v, int) or v < 0:
+            fail(errors, f"{where}.values.{name}: expected a "
+                         f"non-negative count, got {v!r}")
+
+
+def check_validation(errors, v, i):
+    where = f"validation[{i}]"
+    if not isinstance(v.get("name"), str):
+        fail(errors, f"{where}: missing name")
+    verdict = v.get("verdict")
+    if verdict not in VERDICTS:
+        fail(errors, f"{where}.verdict: {verdict!r} not in {VERDICTS}")
+    check_number(errors, v, "predicted_bytes", where, minimum=0.0)
+    check_number(errors, v, "measured_bytes", where, minimum=0.0)
+    # A real verdict must rest on a real measurement.
+    if verdict in ("pass", "warn") and v.get("measured_bytes", 0) <= 0:
+        fail(errors, f"{where}: verdict {verdict} with no measured bytes")
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"unreadable: {e}"]
+
+    if doc.get("schema") != SCHEMA:
+        fail(errors, f"schema: expected {SCHEMA!r}, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("name"), str) or not doc["name"]:
+        fail(errors, "name: missing")
+    if not isinstance(doc.get("timestamp"), str):
+        fail(errors, "timestamp: missing")
+
+    env = doc.get("env")
+    if not isinstance(env, dict) or not isinstance(
+            env.get("fingerprint"), str):
+        fail(errors, "env.fingerprint: missing")
+
+    pmu = doc.get("pmu")
+    if not isinstance(pmu, dict):
+        fail(errors, "pmu: expected an object")
+    else:
+        for key in ("available", "hardware"):
+            if not isinstance(pmu.get(key), bool):
+                fail(errors, f"pmu.{key}: expected a bool")
+        if not isinstance(pmu.get("reason"), str):
+            fail(errors, "pmu.reason: expected a string")
+        # Degraded runs must be *observable*: no hardware => a reason.
+        if pmu.get("hardware") is False and not pmu.get("reason"):
+            fail(errors, "pmu: hardware unavailable but no reason captured")
+        check_pmu_sample(errors, pmu.get("process_delta"),
+                         "pmu.process_delta")
+
+    if not isinstance(doc.get("config"), dict):
+        fail(errors, "config: expected an object")
+
+    cases = doc.get("cases")
+    if not isinstance(cases, list):
+        fail(errors, "cases: expected a list")
+        cases = []
+    for i, case in enumerate(cases):
+        check_case(errors, case, i)
+
+    validations = doc.get("validation")
+    if not isinstance(validations, list):
+        fail(errors, "validation: expected a list")
+        validations = []
+    for i, v in enumerate(validations):
+        check_validation(errors, v, i)
+    # Without a hardware PMU every traffic verdict must be unavailable —
+    # a pass/fail claimed off zeroed samples would be silent garbage.
+    if isinstance(pmu, dict) and pmu.get("hardware") is False:
+        for i, v in enumerate(validations):
+            if v.get("verdict") not in ("unavailable",):
+                fail(errors, f"validation[{i}]: verdict {v.get('verdict')!r}"
+                             " without a hardware PMU")
+
+    runs = doc.get("benchmark_runs", [])
+    if not isinstance(runs, list):
+        fail(errors, "benchmark_runs: expected a list")
+        runs = []
+    for i, run in enumerate(runs):
+        where = f"benchmark_runs[{i}]"
+        if not isinstance(run.get("name"), str):
+            fail(errors, f"{where}.name: missing")
+        check_number(errors, run, "real_s", where, minimum=0.0)
+        check_number(errors, run, "iterations", where, minimum=1)
+
+    if "roofline" in doc:
+        roof = doc["roofline"]
+        ceilings = roof.get("ceilings") if isinstance(roof, dict) else None
+        if not isinstance(ceilings, dict):
+            fail(errors, "roofline.ceilings: expected an object")
+        else:
+            for key in ("peak_gflops", "l1_gbps", "l2_gbps", "l3_gbps",
+                        "dram_gbps"):
+                check_number(errors, ceilings, key, "roofline.ceilings",
+                             minimum=1e-9)
+        points = roof.get("points") if isinstance(roof, dict) else None
+        if not isinstance(points, list):
+            fail(errors, "roofline.points: expected a list")
+        else:
+            for i, p in enumerate(points):
+                check_number(errors, p, "ai", f"roofline.points[{i}]",
+                             minimum=0.0)
+                check_number(errors, p, "gflops", f"roofline.points[{i}]",
+                             minimum=0.0)
+
+    if not cases and not runs:
+        fail(errors, "document has neither cases nor benchmark_runs")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bad = 0
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            bad += 1
+            print(f"FAIL {path}")
+            for e in errors:
+                print(f"  - {e}")
+        else:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+            hw = doc.get("pmu", {}).get("hardware")
+            n = len(doc.get("cases", [])) + len(doc.get(
+                "benchmark_runs", []))
+            print(f"OK   {path} ({n} entries, hardware PMU: {hw})")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,13 +1,49 @@
 #!/usr/bin/env sh
 # Tier-1 verification: build + full test suite under the default (Release)
 # preset, then again under the asan preset (-fsanitize=address,undefined).
-# Usage:  scripts/check.sh [--fast | --skip-asan]
+# Usage:  scripts/check.sh [--fast | --skip-asan | --bench]
 #   --fast       build the default preset and run only the `unit`-labelled
 #                tests (the PR fast lane); implies no asan pass
 #   --skip-asan  full default-preset suite, skip the sanitizer pass
+#   --bench      build the default preset, run the bench harnesses at
+#                smoke-test sizes with --json, and schema-check the
+#                emitted BENCH_*.json (works on PMU-less machines)
 set -eu
 
 cd "$(dirname "$0")/.."
+
+run_bench_smoke() {
+  echo "==> configure (default)"
+  cmake --preset default
+  echo "==> build (default)"
+  cmake --build --preset default -j "$(nproc)"
+  echo "==> bench smoke (tiny sizes, --json)"
+  out=build/bench_smoke
+  mkdir -p "${out}"
+  ( cd "${out}" &&
+    ../bench/fig11_roofline --size=48 --steps=4 --so=4 --sim-size=24 \
+      --sim-steps=2 --reps=2 --json=BENCH_fig11_roofline.json >/dev/null &&
+    ../bench/fig9_speedup --size=40 --steps=3 --so=4 --kernels=acoustic \
+      --reps=2 --json=BENCH_fig9_speedup.json >/dev/null &&
+    TEMPEST_MICRO_SIZE=32 TEMPEST_MICRO_STEPS=2 \
+      ../bench/micro_stencil --json=BENCH_micro_stencil.json >/dev/null &&
+    TEMPEST_MICRO_SIZE=48 TEMPEST_MICRO_STEPS=4 \
+      ../bench/micro_injection --json=BENCH_micro_injection.json \
+      >/dev/null &&
+    TEMPEST_MICRO_SIZE=48 TEMPEST_MICRO_STEPS=4 \
+      ../bench/micro_precompute --json=BENCH_micro_precompute.json \
+      >/dev/null &&
+    TEMPEST_MICRO_SIZE=48 TEMPEST_MICRO_STEPS=2 \
+      ../bench/micro_wavefront --json=BENCH_micro_wavefront.json \
+      >/dev/null )
+  if command -v python3 >/dev/null 2>&1; then
+    echo "==> validate BENCH_*.json"
+    python3 scripts/bench_check.py "${out}"/BENCH_*.json
+  else
+    echo "==> python3 not found; skipping JSON schema validation"
+  fi
+  echo "==> bench smoke passed"
+}
 
 run_preset() {
   preset="$1"
@@ -19,6 +55,11 @@ run_preset() {
   echo "==> test (${preset})"
   ctest --preset "${preset}" -j "$(nproc)" "$@"
 }
+
+if [ "${1:-}" = "--bench" ]; then
+  run_bench_smoke
+  exit 0
+fi
 
 if [ "${1:-}" = "--fast" ]; then
   run_preset default -L unit

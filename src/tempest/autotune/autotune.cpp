@@ -51,10 +51,13 @@ SweepResult sweep(const std::vector<core::TileSpec>& specs,
   bool found_healthy = false;
   std::string first_error;
   for (const core::TileSpec& spec : specs) {
-    Candidate cand{spec, std::numeric_limits<double>::infinity()};
+    Candidate cand;
+    cand.spec = spec;
+    cand.seconds = std::numeric_limits<double>::infinity();
     for (int rep = 0; rep < repeats && !cand.failed; ++rep) {
       TEMPEST_TRACE_SPAN_ARG("autotune.trial", "autotune", spec.tile_x);
       TEMPEST_TRACE_COUNT(AutotuneTrials, 1);
+      const perf::pmu::PmuRegion pmu_region;
       double t = 0.0;
       try {
         t = measure(spec);
@@ -62,6 +65,12 @@ SweepResult sweep(const std::vector<core::TileSpec>& specs,
         cand.failed = true;
         cand.error = e.what();
         break;
+      }
+      const perf::pmu::Sample d = pmu_region.delta();
+      cand.pmu.valid_mask = d.valid_mask;
+      for (int i = 0; i < perf::pmu::kNumEvents; ++i) {
+        cand.pmu.value[static_cast<std::size_t>(i)] +=
+            d.value[static_cast<std::size_t>(i)];
       }
       if (!std::isfinite(t) || t < 0.0) {
         cand.failed = true;

@@ -6,6 +6,7 @@
 
 #include "tempest/core/wavefront.hpp"
 #include "tempest/grid/extents.hpp"
+#include "tempest/perf/pmu.hpp"
 
 namespace tempest::autotune {
 
@@ -15,6 +16,11 @@ struct Candidate {
   double seconds = 0.0;  ///< measured propagation wall time
   bool failed = false;   ///< trial threw, or timed non-finite/negative
   std::string error;     ///< why it failed (exception message or diagnosis)
+  /// Hardware-counter delta accumulated over this candidate's trial reps
+  /// (zeroed-but-flagged when the PMU is unavailable). Explains *why* a
+  /// tile shape wins — e.g. the best shape should show the lowest
+  /// LLC-miss traffic per trial, the mechanism Table I rests on.
+  perf::pmu::Sample pmu{};
 };
 
 /// Outcome of a sweep: every evaluated candidate plus the fastest one.

@@ -1,6 +1,10 @@
 #include "tempest/perf/calibrate.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
 #include <vector>
 
 #ifdef _OPENMP
@@ -9,6 +13,8 @@
 
 #include "tempest/util/align.hpp"
 #include "tempest/util/error.hpp"
+#include "tempest/util/json.hpp"
+#include "tempest/util/log.hpp"
 #include "tempest/util/timer.hpp"
 
 namespace tempest::perf {
@@ -97,6 +103,117 @@ MachineCeilings calibrate(bool quick) {
   m.l2_gbps = triad_bandwidth_gbps(128 * 1024, reps);
   m.l3_gbps = triad_bandwidth_gbps(4 * 1024 * 1024, reps);
   m.dram_gbps = triad_bandwidth_gbps(256ull * 1024 * 1024, reps);
+  return m;
+}
+
+namespace {
+
+/// First "model name" line of /proc/cpuinfo, or a portable fallback.
+std::string cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const std::size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::size_t begin = colon + 1;
+        while (begin < line.size() && line[begin] == ' ') ++begin;
+        return line.substr(begin);
+      }
+    }
+  }
+  return "unknown-cpu";
+}
+
+/// Extract the number following "key": in a flat JSON object written by
+/// the JsonWriter below. Good enough for our own file; any malformed
+/// content fails the fingerprint check and triggers recalibration.
+bool scan_number(const std::string& text, const std::string& key,
+                 double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const char* start = text.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = v;
+  return true;
+}
+
+bool scan_string(const std::string& text, const std::string& key,
+                 std::string* out) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = text.find('"', begin);
+  if (end == std::string::npos) return false;
+  *out = text.substr(begin, end - begin);
+  return true;
+}
+
+}  // namespace
+
+std::string host_fingerprint() {
+  int omp_threads = 1;
+#ifdef _OPENMP
+  omp_threads = omp_get_max_threads();
+#endif
+  std::ostringstream os;
+  os << cpu_model() << " | cpus=" << std::thread::hardware_concurrency()
+     << " | omp=" << omp_threads;
+  return os.str();
+}
+
+MachineCeilings load_or_calibrate(bool quick, bool force,
+                                  const std::string& path) {
+  const std::string fp = host_fingerprint();
+  if (!force) {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const std::string text = ss.str();
+      std::string cached_fp;
+      double cached_quick = 1.0;
+      MachineCeilings m;
+      const bool ok =
+          scan_string(text, "fingerprint", &cached_fp) && cached_fp == fp &&
+          scan_number(text, "quick", &cached_quick) &&
+          // A quick-mode cache must not serve a full-precision request.
+          (quick || cached_quick == 0.0) &&
+          scan_number(text, "peak_gflops", &m.peak_gflops) &&
+          scan_number(text, "l1_gbps", &m.l1_gbps) &&
+          scan_number(text, "l2_gbps", &m.l2_gbps) &&
+          scan_number(text, "l3_gbps", &m.l3_gbps) &&
+          scan_number(text, "dram_gbps", &m.dram_gbps) && m.peak_gflops > 0 &&
+          m.l1_gbps > 0 && m.l2_gbps > 0 && m.l3_gbps > 0 && m.dram_gbps > 0;
+      if (ok) {
+        util::info("calibrate: reusing cached machine ceilings from " + path);
+        return m;
+      }
+    }
+  }
+
+  const MachineCeilings m = calibrate(quick);
+  std::ofstream out(path);
+  if (out) {
+    util::JsonWriter w(out);
+    w.begin_object();
+    w.field("schema", "tempest-ceilings-v1");
+    w.field("fingerprint", fp);
+    w.field("quick", quick ? 1 : 0);
+    w.field("peak_gflops", m.peak_gflops);
+    w.field("l1_gbps", m.l1_gbps);
+    w.field("l2_gbps", m.l2_gbps);
+    w.field("l3_gbps", m.l3_gbps);
+    w.field("dram_gbps", m.dram_gbps);
+    w.end_object();
+  } else {
+    util::warn("calibrate: could not persist ceilings to " + path +
+               " (continuing uncached)");
+  }
   return m;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 namespace tempest::perf {
 
@@ -26,5 +27,21 @@ struct MachineCeilings {
 
 /// Single-precision FMA throughput (GFLOP/s).
 [[nodiscard]] double fma_peak_gflops(int repetitions);
+
+/// Stable identifier of the machine the ceilings were measured on: CPU
+/// model string, logical CPU count, and the OpenMP thread budget (thread
+/// count changes the triad/FMA ceilings, so it keys the cache too).
+[[nodiscard]] std::string host_fingerprint();
+
+/// Cached calibration: reuse the ceilings persisted at `path` when they
+/// were measured on this host (fingerprint match) at sufficient quality
+/// (a full calibration serves quick requests, never the reverse);
+/// otherwise run calibrate() and persist the result. `force` always
+/// recalibrates (the bench drivers' --recalibrate flag). A stale,
+/// corrupt, or unwritable cache file degrades to calibrating in-process —
+/// the cache is an optimisation, never a failure source.
+[[nodiscard]] MachineCeilings load_or_calibrate(
+    bool quick = false, bool force = false,
+    const std::string& path = ".tempest_ceilings.json");
 
 }  // namespace tempest::perf

@@ -1,0 +1,72 @@
+#include "tempest/perf/report.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace tempest::perf {
+
+DerivedRates derive_rates(long long point_updates, double flops_per_point,
+                          double seconds, const pmu::Sample& sample) {
+  DerivedRates r;
+  r.seconds = seconds;
+  if (seconds <= 0.0) return r;
+  const double flops = static_cast<double>(point_updates) * flops_per_point;
+  r.model_gflops = flops / seconds / 1e9;
+  r.ipc = sample.ipc();
+  const double dram = sample.dram_bytes();
+  const double l2 = sample.l2_bytes();
+  if (sample.valid(pmu::Event::LlcMisses)) {
+    r.measured_dram_gbps = dram / seconds / 1e9;
+    if (dram > 0.0) r.measured_ai = flops / dram;
+    r.pmu_hardware = true;
+  }
+  if (sample.valid(pmu::Event::L1dMisses)) {
+    r.measured_l2_gbps = l2 / seconds / 1e9;
+    r.pmu_hardware = true;
+  }
+  return r;
+}
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Pass: return "pass";
+    case Verdict::Warn: return "warn";
+    case Verdict::Fail: return "fail";
+    case Verdict::Unavailable: return "unavailable";
+  }
+  return "?";
+}
+
+TrafficValidation validate_traffic(std::string name, double predicted_bytes,
+                                   double measured_bytes, bool measured_valid,
+                                   double warn_ratio, double fail_ratio) {
+  TrafficValidation v;
+  v.name = std::move(name);
+  v.predicted_bytes = predicted_bytes;
+  v.measured_bytes = measured_bytes;
+  v.warn_ratio = warn_ratio;
+  v.fail_ratio = fail_ratio;
+  if (!measured_valid) {
+    v.verdict = Verdict::Unavailable;
+    return v;
+  }
+  v.ratio = predicted_bytes > 0.0 ? measured_bytes / predicted_bytes : 0.0;
+  if (v.ratio <= 0.0) {
+    // A valid PMU that measured zero traffic against a non-zero model is
+    // a disagreement, not a skip.
+    v.verdict = predicted_bytes > 0.0 ? Verdict::Fail : Verdict::Pass;
+    return v;
+  }
+  // Symmetric in direction: 4x too much and 4x too little are equally off.
+  const double folded = v.ratio >= 1.0 ? v.ratio : 1.0 / v.ratio;
+  if (folded <= warn_ratio) {
+    v.verdict = Verdict::Pass;
+  } else if (folded <= fail_ratio) {
+    v.verdict = Verdict::Warn;
+  } else {
+    v.verdict = Verdict::Fail;
+  }
+  return v;
+}
+
+}  // namespace tempest::perf

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+
+#include "tempest/perf/pmu.hpp"
+
+namespace tempest::perf {
+
+/// Derived performance quantities for one measured kernel run, combining
+/// the three measurement sources this repo has:
+///   * exact work accounting (trace counters / RunStats point updates)
+///     x the analytic per-point flop formulas in perf/metrics.hpp
+///     -> model GFLOP/s (the paper's Fig. 9/11 y-axis);
+///   * wall-clock seconds;
+///   * PMU samples -> measured bandwidth, measured arithmetic intensity,
+///     IPC. Fields stay zero (and pmu_hardware false) when the hardware
+///     PMU is unavailable, so consumers can always print them and readers
+///     can always tell modelled from measured.
+struct DerivedRates {
+  double seconds = 0.0;
+  double model_gflops = 0.0;        ///< points x flops_pp / seconds
+  double measured_dram_gbps = 0.0;  ///< LLC-miss line traffic / seconds
+  double measured_l2_gbps = 0.0;    ///< L1d-miss line traffic / seconds
+  double measured_ai = 0.0;         ///< model flops / measured DRAM bytes
+  double ipc = 0.0;
+  bool pmu_hardware = false;  ///< the measured_* fields are real
+};
+
+[[nodiscard]] DerivedRates derive_rates(long long point_updates,
+                                        double flops_per_point,
+                                        double seconds,
+                                        const pmu::Sample& sample);
+
+/// Verdict of one model-vs-measured comparison.
+enum class Verdict {
+  Pass,         ///< measured within the expected band of the model
+  Warn,         ///< off by more than warn_ratio but plausibly explainable
+  Fail,         ///< model and machine disagree; one of them is wrong
+  Unavailable,  ///< no hardware PMU: nothing to compare against
+};
+[[nodiscard]] const char* to_string(Verdict v);
+
+/// One cache-model validation: the cachesim-predicted byte traffic at a
+/// hierarchy boundary vs the PMU-measured miss x line-size traffic over
+/// the same work. This is the check the paper performs implicitly by
+/// *measuring* Fig. 11's traffic instead of simulating it — here both
+/// exist, so they can be held against each other.
+///
+/// Tolerances are deliberately loose ratios: the simulator replays a
+/// single-thread LRU idealisation (no prefetcher, no write-back counts,
+/// no speculative fills), so factor-level agreement is the realistic
+/// target and an order-of-magnitude gap is the genuine red flag.
+struct TrafficValidation {
+  std::string name;             ///< e.g. "acoustic-so4-wtb/dram"
+  double predicted_bytes = 0.0;
+  double measured_bytes = 0.0;
+  double ratio = 0.0;           ///< measured / predicted
+  double warn_ratio = 2.0;      ///< |log-ratio| beyond this: Warn
+  double fail_ratio = 8.0;      ///< beyond this: Fail
+  Verdict verdict = Verdict::Unavailable;
+};
+
+/// Compare predicted vs measured traffic. `measured_valid` is false when
+/// the PMU could not supply the measurement (verdict Unavailable).
+[[nodiscard]] TrafficValidation validate_traffic(std::string name,
+                                                 double predicted_bytes,
+                                                 double measured_bytes,
+                                                 bool measured_valid,
+                                                 double warn_ratio = 2.0,
+                                                 double fail_ratio = 8.0);
+
+}  // namespace tempest::perf

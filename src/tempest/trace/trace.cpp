@@ -50,6 +50,7 @@ ThreadState& local_state() {
 
 std::atomic<bool> g_enabled{false};
 std::atomic<std::int64_t> g_epoch_ns{0};
+std::atomic<const SpanEnricher*> g_enricher{nullptr};
 
 std::int64_t steady_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -85,6 +86,9 @@ void write_json_string(std::ostream& os, const char* s) {
 struct SpanAggregate {
   long long count = 0;
   std::int64_t total_ns = 0;
+  int n_slots = 0;  ///< >0 when at least one span carried enrichment
+  const char* const* slot_names = nullptr;
+  std::array<std::int64_t, kMaxSpanSlots> slots{};
 };
 
 std::map<std::string, SpanAggregate> aggregate_spans() {
@@ -93,8 +97,23 @@ std::map<std::string, SpanAggregate> aggregate_spans() {
     SpanAggregate& a = agg[e.name];
     a.count += 1;
     a.total_ns += e.dur_ns;
+    if (e.n_slots > 0) {
+      a.n_slots = e.n_slots;
+      a.slot_names = e.slot_names;
+      for (int i = 0; i < e.n_slots; ++i) {
+        a.slots[static_cast<std::size_t>(i)] +=
+            e.slots[static_cast<std::size_t>(i)];
+      }
+    }
   }
   return agg;
+}
+
+bool any_enriched(const std::map<std::string, SpanAggregate>& agg) {
+  for (const auto& [name, a] : agg) {
+    if (a.n_slots > 0) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -164,22 +183,50 @@ void reset() {
 ScopedSpan::ScopedSpan(const char* name, const char* cat)
     : name_(name), cat_(cat), start_ns_(0), arg_(0), has_arg_(false),
       active_(enabled()) {
-  if (active_) start_ns_ = now_ns();
+  if (active_) {
+    enricher_ = g_enricher.load(std::memory_order_acquire);
+    if (enricher_ != nullptr) enricher_->sample(slot_start_.data());
+    start_ns_ = now_ns();
+  }
 }
 
 ScopedSpan::ScopedSpan(const char* name, const char* cat, std::int64_t arg)
     : name_(name), cat_(cat), start_ns_(0), arg_(arg), has_arg_(true),
       active_(enabled()) {
-  if (active_) start_ns_ = now_ns();
+  if (active_) {
+    enricher_ = g_enricher.load(std::memory_order_acquire);
+    if (enricher_ != nullptr) enricher_->sample(slot_start_.data());
+    start_ns_ = now_ns();
+  }
 }
 
 ScopedSpan::~ScopedSpan() {
   if (!active_) return;
   const std::int64_t end = now_ns();
+  Event ev{name_, cat_, 0, start_ns_, end - start_ns_, arg_, has_arg_};
+  if (enricher_ != nullptr) {
+    std::array<std::int64_t, kMaxSpanSlots> now{};
+    enricher_->sample(now.data());
+    ev.n_slots = std::min(enricher_->n_slots, kMaxSpanSlots);
+    ev.slot_names = enricher_->slot_names;
+    for (int i = 0; i < ev.n_slots; ++i) {
+      ev.slots[static_cast<std::size_t>(i)] =
+          std::max<std::int64_t>(0, now[static_cast<std::size_t>(i)] -
+                                        slot_start_[static_cast<std::size_t>(i)]);
+    }
+  }
   ThreadState& s = local_state();
   const std::lock_guard<std::mutex> lock(s.mu);
-  s.events.push_back(Event{name_, cat_, s.tid, start_ns_, end - start_ns_,
-                           arg_, has_arg_});
+  ev.tid = s.tid;
+  s.events.push_back(ev);
+}
+
+void set_span_enricher(const SpanEnricher* enricher) {
+  g_enricher.store(enricher, std::memory_order_release);
+}
+
+const SpanEnricher* span_enricher() {
+  return g_enricher.load(std::memory_order_acquire);
 }
 
 std::vector<Event> events() {
@@ -211,7 +258,21 @@ void write_chrome_trace(std::ostream& os) {
     os << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
        << ",\"ts\":" << static_cast<double>(e.ts_ns) / 1e3
        << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1e3;
-    if (e.has_arg) os << ",\"args\":{\"t\":" << e.arg << "}";
+    if (e.has_arg || e.n_slots > 0) {
+      os << ",\"args\":{";
+      bool first_arg = true;
+      if (e.has_arg) {
+        os << "\"t\":" << e.arg;
+        first_arg = false;
+      }
+      for (int i = 0; i < e.n_slots; ++i) {
+        if (!first_arg) os << ",";
+        first_arg = false;
+        write_json_string(os, e.slot_names[i]);
+        os << ":" << e.slots[static_cast<std::size_t>(i)];
+      }
+      os << "}";
+    }
     os << "}";
   }
   os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{";
@@ -232,21 +293,32 @@ bool write_chrome_trace(const std::string& path) {
 }
 
 void write_metrics_csv(std::ostream& os) {
+  const std::map<std::string, SpanAggregate> agg = aggregate_spans();
   os << "kind,name,value\n";
+  // Schema marker only in v2 (enriched) mode: the v1 byte stream is a
+  // golden-test contract.
+  if (any_enriched(agg)) os << "schema,version,2\n";
   const CounterSnapshot counters = snapshot();
   for (int c = 0; c < kNumCounters; ++c) {
     os << "counter," << to_string(static_cast<Counter>(c)) << ","
        << counters[static_cast<std::size_t>(c)] << "\n";
   }
-  for (const auto& [name, a] : aggregate_spans()) {
+  for (const auto& [name, a] : agg) {
     os << "span_count," << name << "," << a.count << "\n";
     os << "span_ms," << name << ","
        << static_cast<double>(a.total_ns) / 1e6 << "\n";
+    for (int i = 0; i < a.n_slots; ++i) {
+      os << "span_pmu_" << a.slot_names[i] << "," << name << ","
+         << a.slots[static_cast<std::size_t>(i)] << "\n";
+    }
   }
 }
 
 void write_metrics_json(std::ostream& os) {
-  os << "{\"counters\":{";
+  const std::map<std::string, SpanAggregate> agg = aggregate_spans();
+  os << "{";
+  if (any_enriched(agg)) os << "\"schema_version\":2,";
+  os << "\"counters\":{";
   const CounterSnapshot counters = snapshot();
   for (int c = 0; c < kNumCounters; ++c) {
     if (c != 0) os << ",";
@@ -255,12 +327,22 @@ void write_metrics_json(std::ostream& os) {
   }
   os << "},\"spans\":{";
   bool first = true;
-  for (const auto& [name, a] : aggregate_spans()) {
+  for (const auto& [name, a] : agg) {
     if (!first) os << ",";
     first = false;
     write_json_string(os, name.c_str());
     os << ":{\"count\":" << a.count
-       << ",\"total_ms\":" << static_cast<double>(a.total_ns) / 1e6 << "}";
+       << ",\"total_ms\":" << static_cast<double>(a.total_ns) / 1e6;
+    if (a.n_slots > 0) {
+      os << ",\"pmu\":{";
+      for (int i = 0; i < a.n_slots; ++i) {
+        if (i != 0) os << ",";
+        write_json_string(os, a.slot_names[i]);
+        os << ":" << a.slots[static_cast<std::size_t>(i)];
+      }
+      os << "}";
+    }
+    os << "}";
   }
   os << "}}\n";
 }

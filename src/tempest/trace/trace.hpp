@@ -84,6 +84,23 @@ using CounterSnapshot = std::array<long long, kNumCounters>;
 /// restart the trace clock.
 void reset();
 
+/// Optional span enrichment: an installed enricher is sampled at span
+/// start and end, and the per-slot deltas ride in the recorded Event (and
+/// from there into the sinks). The sampler runs on the span's thread —
+/// tempest::perf::pmu uses this to attach per-thread hardware-counter
+/// deltas to every instrumented span. slot_names/sample must have static
+/// storage duration; install/clear from serial code only.
+inline constexpr int kMaxSpanSlots = 12;
+struct SpanEnricher {
+  int n_slots = 0;                          ///< <= kMaxSpanSlots
+  const char* const* slot_names = nullptr;  ///< n_slots entries
+  void (*sample)(std::int64_t out[]) = nullptr;  ///< cumulative values
+};
+
+/// Install (or clear, with nullptr) the span enrichment hook.
+void set_span_enricher(const SpanEnricher* enricher);
+[[nodiscard]] const SpanEnricher* span_enricher();
+
 /// One completed span. Names/categories are string literals at the call
 /// sites (never freed, never copied on the hot path).
 struct Event {
@@ -94,6 +111,9 @@ struct Event {
   std::int64_t dur_ns;   ///< duration in ns
   std::int64_t arg;      ///< optional argument (timestep, band end, ...)
   bool has_arg;
+  int n_slots = 0;       ///< enrichment slot count (0: not enriched)
+  const char* const* slot_names = nullptr;  ///< static storage
+  std::array<std::int64_t, kMaxSpanSlots> slots{};  ///< per-slot deltas
 };
 
 /// RAII span: records [construction, destruction) under `name` when tracing
@@ -113,6 +133,8 @@ class ScopedSpan {
   std::int64_t arg_;
   bool has_arg_;
   bool active_;
+  const SpanEnricher* enricher_ = nullptr;  ///< non-null: sampled at start
+  std::array<std::int64_t, kMaxSpanSlots> slot_start_{};
 };
 
 /// Snapshot of every span recorded since the last reset(), across all
@@ -125,7 +147,11 @@ void write_chrome_trace(std::ostream& os);
 bool write_chrome_trace(const std::string& path);
 
 /// Flat metrics: every counter total plus per-span-name count/total-ms
-/// aggregates, as CSV (`kind,name,value` rows) or a JSON object.
+/// aggregates, as CSV (`kind,name,value` rows) or a JSON object. When any
+/// recorded span carries enrichment slots the sinks emit schema v2: a
+/// `schema_version` marker plus per-span-name per-slot totals (CSV rows
+/// `span_pmu_<slot>,<span>,<total>`, JSON `"pmu"` objects). With no
+/// enrichment the output is byte-identical to the v1 schema.
 void write_metrics_csv(std::ostream& os);
 void write_metrics_json(std::ostream& os);
 bool write_metrics(const std::string& path);  ///< .csv -> CSV, else JSON

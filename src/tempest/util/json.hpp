@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tempest::util {
+
+/// Minimal streaming JSON writer for the machine-readable sinks
+/// (BENCH_*.json, .tempest_ceilings.json). Emits syntactically valid JSON
+/// by construction: commas and indentation are managed by the begin/end
+/// scoping calls, strings are escaped, and non-finite doubles — which JSON
+/// cannot represent — are written as null so downstream parsers never see
+/// a bare `nan`.
+///
+/// Usage:
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.field("schema", "tempest-bench-v1");
+///   w.key("cases"); w.begin_array(); ... w.end_array();
+///   w.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent = 2)
+      : os_(os), indent_(indent) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(std::string_view k) {
+    separate();
+    write_string(k);
+    os_ << ": ";
+    pending_value_ = true;
+  }
+
+  void value(std::string_view v) {
+    separate();
+    write_string(v);
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    separate();
+    os_ << (v ? "true" : "false");
+  }
+  void value(double v) {
+    separate();
+    if (std::isfinite(v)) {
+      // max_digits10 round-trips; trailing-zero noise is acceptable in a
+      // machine-readable sink.
+      const int prec = 17;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+      os_ << buf;
+    } else {
+      os_ << "null";
+    }
+  }
+  void value(long long v) {
+    separate();
+    os_ << v;
+  }
+  void value(unsigned long long v) {
+    separate();
+    os_ << v;
+  }
+  void value(int v) { value(static_cast<long long>(v)); }
+  void value(long v) { value(static_cast<long long>(v)); }
+  void value(std::uint32_t v) { value(static_cast<long long>(v)); }
+  void null() {
+    separate();
+    os_ << "null";
+  }
+
+  template <typename T>
+  void field(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void open(char c) {
+    separate();
+    os_ << c;
+    stack_.push_back(false);
+  }
+
+  void close(char c) {
+    const bool had_items = !stack_.empty() && stack_.back();
+    if (!stack_.empty()) stack_.pop_back();
+    if (had_items) {
+      os_ << '\n';
+      write_indent();
+    }
+    os_ << c;
+    if (stack_.empty()) os_ << '\n';
+  }
+
+  /// Emit the comma/newline/indent owed before the next item at this level.
+  void separate() {
+    if (pending_value_) {
+      // Directly after key(): no comma, the key already separated.
+      pending_value_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    if (stack_.back()) os_ << ',';
+    stack_.back() = true;
+    os_ << '\n';
+    write_indent();
+  }
+
+  void write_indent() {
+    for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_); ++i)
+      os_ << ' ';
+  }
+
+  void write_string(std::string_view s) {
+    os_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\t': os_ << "\\t"; break;
+        case '\r': os_ << "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            os_ << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+                << "0123456789abcdef"[c & 0xf];
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<bool> stack_;  ///< one entry per open scope: "has items"
+  bool pending_value_ = false;
+};
+
+}  // namespace tempest::util
