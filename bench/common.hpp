@@ -33,6 +33,7 @@
 #include "tempest/physics/elastic.hpp"
 #include "tempest/physics/model.hpp"
 #include "tempest/physics/tti.hpp"
+#include "tempest/physics/vti.hpp"
 #include "tempest/sparse/survey.hpp"
 #include "tempest/sparse/wavelet.hpp"
 #include "tempest/trace/trace.hpp"
@@ -80,7 +81,7 @@ inline int steps_for_kernel(const std::string& kernel, bool full,
   if (requested > 0) return static_cast<int>(requested);
   if (kernel == "acoustic") return full ? 228 : 24;
   if (kernel == "elastic") return full ? 436 : 16;
-  return full ? 587 : 12;  // tti
+  return full ? 587 : 12;  // tti / vti
 }
 
 /// Tuned tile/block defaults per (kernel, space order) — this machine's

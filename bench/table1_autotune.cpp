@@ -8,10 +8,14 @@
 // --full-sweep enumerates asymmetric shapes exactly as the paper did.
 //
 // Usage: table1_autotune [--size=128] [--steps=N] [--so=4,8,12]
-//                        [--kernels=acoustic,elastic,tti]
+//                        [--kernels=acoustic,elastic,tti,vti]
+//                        [--schedule=wavefront|diamond]
 //                        [--tiles=32,64,128,256] [--blocks=4,8,16]
 //                        [--tile-t=8] [--full-sweep] [--csv] [--full]
 //                        [--json[=BENCH_table1_autotune.json]]
+//
+// --schedule picks which temporally blocked schedule the trial entry runs
+// (both route through the same engine, so the same tile space applies).
 
 #include <sstream>
 
@@ -25,7 +29,7 @@ using namespace bench;
 template <typename Model, typename Propagator>
 tempest::autotune::SweepResult tune(const Model& model, int nt,
                                     const std::vector<core::TileSpec>& specs,
-                                    int reps) {
+                                    int reps, physics::Schedule sched) {
   physics::PropagatorOptions opts;
   Propagator prop(model, opts);
   sparse::SparseTimeSeries src =
@@ -37,7 +41,7 @@ tempest::autotune::SweepResult tune(const Model& model, int nt,
         physics::PropagatorOptions o;
         o.tiles = spec;
         Propagator p(model, o);
-        return p.run(physics::Schedule::Wavefront, src, nullptr).seconds;
+        return p.run(sched, src, nullptr).seconds;
       },
       reps);
 }
@@ -53,6 +57,9 @@ int main(int argc, char** argv) {
   session.add_config("size", cfg.size);
   session.add_config("reps", cfg.reps);
   session.add_config("full_sweep", cli.get_flag("full-sweep"));
+  const physics::Schedule sched =
+      physics::schedule_from_string(cli.get("schedule", "wavefront"));
+  session.add_config("schedule", std::string(physics::to_string(sched)));
 
   tempest::autotune::CandidateSpace space;
   space.symmetric = !cli.get_flag("full-sweep");
@@ -75,22 +82,30 @@ int main(int argc, char** argv) {
     for (long so : so_list) {
       const int nt = steps_for_kernel(kernel, cfg.full,
                                       cli.get_int("steps", 0));
-      physics::Geometry geom{cfg.extents(), kernel == "tti" ? 20.0 : 10.0,
-                             static_cast<int>(so), cfg.nbl};
+      physics::Geometry geom{
+          cfg.extents(), (kernel == "tti" || kernel == "vti") ? 20.0 : 10.0,
+          static_cast<int>(so), cfg.nbl};
       tempest::autotune::SweepResult result;
       std::string label;
       if (kernel == "acoustic") {
         label = "Acoustic O(2," + std::to_string(so) + ")";
         result = tune<physics::AcousticModel, physics::AcousticPropagator>(
-            physics::make_acoustic_layered(geom), nt, specs, cfg.reps);
+            physics::make_acoustic_layered(geom), nt, specs, cfg.reps, sched);
       } else if (kernel == "elastic") {
         label = "Elastic O(1," + std::to_string(so) + ")";
         result = tune<physics::ElasticModel, physics::ElasticPropagator>(
-            physics::make_elastic_layered(geom), nt, specs, cfg.reps);
+            physics::make_elastic_layered(geom), nt, specs, cfg.reps, sched);
+      } else if (kernel == "vti") {
+        label = "VTI O(2," + std::to_string(so) + ")";
+        physics::TTIModel model = physics::make_tti_layered(geom);
+        model.theta.fill(0.0f);
+        model.phi.fill(0.0f);
+        result = tune<physics::TTIModel, physics::VTIPropagator>(
+            model, nt, specs, cfg.reps, sched);
       } else {
         label = "TTI O(2," + std::to_string(so) + ")";
         result = tune<physics::TTIModel, physics::TTIPropagator>(
-            physics::make_tti_layered(geom), nt, specs, cfg.reps);
+            physics::make_tti_layered(geom), nt, specs, cfg.reps, sched);
       }
       const core::TileSpec& b = result.best.spec;
       std::cerr << "  " << label << " -> tile " << b.tile_x << 'x' << b.tile_y

@@ -1,15 +1,22 @@
 // Seismic survey: a multi-shot forward-modelling run, the workload that
 // motivates the paper (the forward half of FWI/RTM). For each shot position
-// the acoustic wavefield is propagated through a layered subsurface model
-// and recorded on a receiver carpet; the example runs every shot twice —
-// spatially-blocked baseline and wave-front temporal blocking — verifies the
-// gathers agree, reports the speed-up, and writes the final shot gather as
-// CSV for plotting.
+// the wavefield is propagated through a layered subsurface model and
+// recorded on a receiver carpet; the example runs every shot twice —
+// spatially-blocked baseline and a temporally blocked schedule — verifies
+// the gathers agree, reports the speed-up, and writes the final shot gather
+// as CSV for plotting.
 //
 // Build & run:  ./build/examples/seismic_survey [--size=160] [--steps=160]
-//               [--shots=3] [--out=gather.csv]
+//               [--shots=3] [--physics=acoustic|tti|vti|elastic]
+//               [--schedule=wavefront|diamond] [--out=gather.csv]
 //               [--checkpoint=survey.tpck] [--ckpt-every=40]
 //               [--trace=survey_trace.json] [--metrics=survey_metrics.csv]
+//
+// --physics picks the propagator; the whole shot loop is generic over the
+// uniform propagator surface (run/run_from/capture/restore), so every
+// physics gets the same baseline-vs-temporal-blocking comparison and the
+// same mid-shot resume. --schedule picks the temporally blocked schedule
+// compared against the baseline (any schedule is legal for any physics).
 //
 // --trace writes a Chrome trace_event JSON (Perfetto / chrome://tracing);
 // --metrics dumps the tempest::trace counters (CSV or JSON by extension).
@@ -23,9 +30,13 @@
 #include <cstdint>
 #include <iostream>
 #include <optional>
+#include <string>
 
 #include "tempest/io/io.hpp"
 #include "tempest/physics/acoustic.hpp"
+#include "tempest/physics/elastic.hpp"
+#include "tempest/physics/tti.hpp"
+#include "tempest/physics/vti.hpp"
 #include "tempest/resilience/checkpoint.hpp"
 #include "tempest/sparse/survey.hpp"
 #include "tempest/sparse/wavelet.hpp"
@@ -34,54 +45,52 @@
 
 namespace {
 
+using namespace tempest;
+
 /// Cross-shot progress carried in the checkpoint's auxiliary blob: which
 /// shot the checkpointed propagator state belongs to, plus the totals
 /// accumulated over the shots already finished.
 struct SurveyState {
   std::int32_t shot = 0;
   double total_base = 0.0;
-  double total_wave = 0.0;
+  double total_tb = 0.0;
   double worst_mismatch = 0.0;
 };
 
-}  // namespace
+struct SurveyConfig {
+  int n = 0;
+  int nt = 0;
+  int n_shots = 0;
+  int ckpt_every = 0;
+  physics::Schedule tb_sched = physics::Schedule::Wavefront;
+  std::string out;
+  std::string ckpt_path;
+  std::uint64_t fingerprint = 0;
+};
 
-int main(int argc, char** argv) {
-  using namespace tempest;
-  const util::Cli cli(argc, argv);
-  const int n = static_cast<int>(cli.get_int("size", 160));
-  const int nt = static_cast<int>(cli.get_int("steps", 160));
-  const int n_shots = static_cast<int>(cli.get_int("shots", 3));
-  const std::string out = cli.get("out", "gather.csv");
-  const std::string ckpt_path = cli.get("checkpoint", "");
-  const int ckpt_every = static_cast<int>(cli.get_int("ckpt-every", 40));
-  const trace::Session trace_session(cli.get("trace", ""),
-                                     cli.get("metrics", ""));
-
-  physics::Geometry geom{{n, n, n}, 10.0, 8, 10};
-  const physics::AcousticModel model =
-      physics::make_acoustic_layered(geom, 1.5, 4.0, 6);
+/// The shot loop, generic over the uniform propagator surface: any physics
+/// whose propagator provides run/run_from/capture/restore slots in here.
+template <typename Propagator, typename Model>
+int run_survey(const Model& model, const physics::Geometry& geom,
+               const SurveyConfig& cfg) {
+  const int n = cfg.n;
+  const int nt = cfg.nt;
   const double dt = model.critical_dt();
   const auto wavelet = sparse::ricker(nt, dt, 0.008);
 
   physics::PropagatorOptions opts;
   opts.tiles = core::TileSpec{8, 64, 64, 8, 8};
-  physics::AcousticPropagator prop(model, opts);
+  Propagator prop(model, opts);
 
   const sparse::CoordList rec_coords =
       sparse::receiver_carpet(geom.extents, 16, 8);
-  std::cout << n_shots << " shots, " << rec_coords.size()
+  std::cout << cfg.n_shots << " shots, " << rec_coords.size()
             << " receivers, grid " << n << "^3, " << nt << " steps of "
             << dt << " ms\n\n";
 
-  // Everything a resumed run must reproduce bitwise goes into the
-  // fingerprint; a checkpoint from different flags is rejected, not
-  // silently resumed.
-  resilience::Fingerprint fpb;
-  fpb.add(n).add(nt).add(n_shots).add(geom.space_order).add(dt);
-  const std::uint64_t fp = fpb.value();
+  const std::uint64_t fp = cfg.fingerprint;
   std::optional<resilience::Checkpointer> ckpt;
-  if (!ckpt_path.empty()) ckpt.emplace(ckpt_path);
+  if (!cfg.ckpt_path.empty()) ckpt.emplace(cfg.ckpt_path);
 
   SurveyState state;
   std::optional<resilience::Checkpoint> resume;
@@ -91,7 +100,7 @@ int main(int argc, char** argv) {
       if (const auto* blob = resume->find_aux("survey-state")) {
         if (const auto s = resilience::aux_unpack<SurveyState>(*blob)) {
           state = *s;
-          std::cout << "resuming from " << ckpt_path << ": shot "
+          std::cout << "resuming from " << cfg.ckpt_path << ": shot "
                     << state.shot << ", step " << resume->step << "\n";
         } else {
           resume.reset();
@@ -104,9 +113,9 @@ int main(int argc, char** argv) {
 
   sparse::SparseTimeSeries last_gather(rec_coords, nt);
 
-  for (int shot = state.shot; shot < n_shots; ++shot) {
+  for (int shot = state.shot; shot < cfg.n_shots; ++shot) {
     // Shots march along x at 1/4 .. 3/4 of the line, off-the-grid.
-    const double fx = 0.25 + 0.5 * shot / std::max(1, n_shots - 1);
+    const double fx = 0.25 + 0.5 * shot / std::max(1, cfg.n_shots - 1);
     sparse::SparseTimeSeries src(
         {{fx * (n - 1) + 0.37, 0.5 * (n - 1) + 0.61, 0.1 * (n - 1) + 0.43}},
         nt);
@@ -115,10 +124,10 @@ int main(int argc, char** argv) {
     sparse::SparseTimeSeries gather_base(rec_coords, nt);
     // Checkpoint during the baseline (barrier) pass: capture at a completed
     // timestep, with the shot/totals state riding along as an aux blob. The
-    // WTB pass is re-run from scratch on resume — it has no global
-    // per-timestep barrier to checkpoint at (the point of the paper).
+    // temporally blocked pass is re-run from scratch on resume — it has no
+    // global per-timestep barrier to checkpoint at (the point of the paper).
     const auto save_ckpt = [&](int t_done) {
-      if (!ckpt || ckpt_every <= 0 || t_done % ckpt_every != 0 ||
+      if (!ckpt || cfg.ckpt_every <= 0 || t_done % cfg.ckpt_every != 0 ||
           t_done >= nt) {
         return;
       }
@@ -142,9 +151,8 @@ int main(int argc, char** argv) {
                       save_ckpt);
     }
 
-    sparse::SparseTimeSeries gather_wave(rec_coords, nt);
-    const physics::RunStats wave =
-        prop.run(physics::Schedule::Wavefront, src, &gather_wave);
+    sparse::SparseTimeSeries gather_tb(rec_coords, nt);
+    const physics::RunStats tb = prop.run(cfg.tb_sched, src, &gather_tb);
 
     // The two schedules must record the same physics.
     double scale = 1e-20, diff = 0.0;
@@ -154,30 +162,88 @@ int main(int argc, char** argv) {
                          std::fabs(static_cast<double>(gather_base.at(t, r))));
         diff = std::max(diff,
                         std::fabs(static_cast<double>(gather_base.at(t, r)) -
-                                  static_cast<double>(gather_wave.at(t, r))));
+                                  static_cast<double>(gather_tb.at(t, r))));
       }
     }
     state.worst_mismatch = std::max(state.worst_mismatch, diff / scale);
     state.total_base += base.seconds;
-    state.total_wave += wave.seconds;
+    state.total_tb += tb.seconds;
     state.shot = shot + 1;
     std::cout << "shot " << shot << " @ x=" << fx * (n - 1)
-              << ": baseline " << base.seconds << " s, WTB " << wave.seconds
-              << " s (speed-up " << base.seconds / wave.seconds
+              << ": baseline " << base.seconds << " s, "
+              << physics::to_string(cfg.tb_sched) << " " << tb.seconds
+              << " s (speed-up " << base.seconds / tb.seconds
               << "x), gather rel-diff " << diff / scale << "\n";
-    last_gather = gather_wave;
+    last_gather = gather_tb;
   }
 
-  std::cout << "\nsurvey total: baseline " << state.total_base << " s, WTB "
-            << state.total_wave << " s -> speed-up "
-            << state.total_base / state.total_wave
+  std::cout << "\nsurvey total: baseline " << state.total_base << " s, "
+            << physics::to_string(cfg.tb_sched) << " " << state.total_tb
+            << " s -> speed-up " << state.total_base / state.total_tb
             << "x; worst gather mismatch " << state.worst_mismatch
             << " (relative)\n";
 
-  io::save_gather_csv(out, last_gather, dt);
-  io::save_gather(out + ".tpg", last_gather);
-  std::cout << "last shot gather written to " << out << " (+ binary .tpg)\n";
+  io::save_gather_csv(cfg.out, last_gather, dt);
+  io::save_gather(cfg.out + ".tpg", last_gather);
+  std::cout << "last shot gather written to " << cfg.out
+            << " (+ binary .tpg)\n";
   // The survey finished: a stale checkpoint must not shadow the next run.
   if (ckpt && ckpt->exists()) std::remove(ckpt->path().c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  SurveyConfig cfg;
+  cfg.n = static_cast<int>(cli.get_int("size", 160));
+  cfg.nt = static_cast<int>(cli.get_int("steps", 160));
+  cfg.n_shots = static_cast<int>(cli.get_int("shots", 3));
+  cfg.out = cli.get("out", "gather.csv");
+  cfg.ckpt_path = cli.get("checkpoint", "");
+  cfg.ckpt_every = static_cast<int>(cli.get_int("ckpt-every", 40));
+  cfg.tb_sched = physics::schedule_from_string(cli.get("schedule", "wavefront"));
+  const std::string phys = cli.get("physics", "acoustic");
+  const trace::Session trace_session(cli.get("trace", ""),
+                                     cli.get("metrics", ""));
+
+  physics::Geometry geom{{cfg.n, cfg.n, cfg.n}, 10.0, 8, 10};
+
+  // Everything a resumed run must reproduce bitwise goes into the
+  // fingerprint; a checkpoint from different flags (or a different physics)
+  // is rejected, not silently resumed.
+  resilience::Fingerprint fpb;
+  for (const char c : phys) fpb.add(static_cast<int>(c));
+  fpb.add(cfg.n).add(cfg.nt).add(cfg.n_shots).add(geom.space_order);
+
+  if (phys == "acoustic") {
+    const physics::AcousticModel model =
+        physics::make_acoustic_layered(geom, 1.5, 4.0, 6);
+    fpb.add(model.critical_dt());
+    cfg.fingerprint = fpb.value();
+    return run_survey<physics::AcousticPropagator>(model, geom, cfg);
+  }
+  if (phys == "tti" || phys == "vti") {
+    physics::TTIModel model = physics::make_tti_layered(geom, 1.5, 4.0, 6);
+    if (phys == "vti") {
+      model.theta.fill(0.0f);  // untilted: a genuine VTI medium
+      model.phi.fill(0.0f);
+    }
+    fpb.add(model.critical_dt());
+    cfg.fingerprint = fpb.value();
+    return phys == "vti"
+               ? run_survey<physics::VTIPropagator>(model, geom, cfg)
+               : run_survey<physics::TTIPropagator>(model, geom, cfg);
+  }
+  if (phys == "elastic") {
+    const physics::ElasticModel model =
+        physics::make_elastic_layered(geom, 1.5, 4.0, 6);
+    fpb.add(model.critical_dt());
+    cfg.fingerprint = fpb.value();
+    return run_survey<physics::ElasticPropagator>(model, geom, cfg);
+  }
+  std::cerr << "unknown --physics '" << phys
+            << "' (expected acoustic, tti, vti or elastic)\n";
+  return 1;
 }

@@ -1,13 +1,16 @@
 #!/usr/bin/env sh
 # Tier-1 verification: build + full test suite under the default (Release)
 # preset, then again under the asan preset (-fsanitize=address,undefined).
-# Usage:  scripts/check.sh [--fast | --skip-asan | --bench]
+# Usage:  scripts/check.sh [--fast | --skip-asan | --bench | --tidy]
 #   --fast       build the default preset and run only the `unit`-labelled
 #                tests (the PR fast lane); implies no asan pass
 #   --skip-asan  full default-preset suite, skip the sanitizer pass
 #   --bench      build the default preset, run the bench harnesses at
 #                smoke-test sizes with --json, and schema-check the
 #                emitted BENCH_*.json (works on PMU-less machines)
+#   --tidy       run clang-tidy (bugprone + performance, see .clang-tidy)
+#                over the engine and physics layers; skips gracefully when
+#                clang-tidy is not installed
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -56,8 +59,29 @@ run_preset() {
   ctest --preset "${preset}" -j "$(nproc)" "$@"
 }
 
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> clang-tidy not installed; skipping static analysis"
+    exit 0
+  fi
+  echo "==> configure (default, compile-commands export)"
+  cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  echo "==> clang-tidy (src/tempest/core + src/tempest/physics)"
+  # The schedule-execution engine and the kernels it drives are the layers
+  # this PR-lane gate covers; .clang-tidy scopes the checks and pulls the
+  # matching headers in via HeaderFilterRegex.
+  clang-tidy -p build \
+    src/tempest/core/*.cpp src/tempest/physics/*.cpp
+  echo "==> tidy passed"
+}
+
 if [ "${1:-}" = "--bench" ]; then
   run_bench_smoke
+  exit 0
+fi
+
+if [ "${1:-}" = "--tidy" ]; then
+  run_tidy
   exit 0
 fi
 

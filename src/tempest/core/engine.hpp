@@ -1,0 +1,424 @@
+#pragma once
+
+// The schedule-execution engine: one generic time-loop core shared by every
+// propagator. The paper's point (Section II.A) is that the probe -> mask ->
+// decompose sparse precompute legalises *any* temporal-blocking schedule, so
+// the schedule dispatch, the time-buffer walk, the sparse-operator wiring and
+// every cross-cutting concern (trace spans, work counters, health scans,
+// checkpoint semantics) live here exactly once. A physics module contributes
+// only a PhysicsKernel: its field set, the per-block update and the sparse
+// inject/interp bind points.
+//
+// Substep axis: a kernel declares kSubstepsPerStep (S). Second-order-in-time
+// systems (acoustic, TTI, VTI) take S = 1; the first-order elastic system
+// takes S = 2 (velocity then stress half-updates). Temporally blocked
+// schedules tile the substep axis s = S*t + sub with slope = radius per
+// substep — the paper's "shifted wave-front angle" for staggered multi-grid
+// updates — and run the sparse operators after the last substep of each
+// timestep.
+
+#include <algorithm>
+#include <array>
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tempest/config.hpp"
+#include "tempest/core/compress.hpp"
+#include "tempest/core/diamond.hpp"
+#include "tempest/core/fused.hpp"
+#include "tempest/core/precompute.hpp"
+#include "tempest/core/wavefront.hpp"
+#include "tempest/grid/blocks.hpp"
+#include "tempest/grid/grid3.hpp"
+#include "tempest/resilience/checkpoint.hpp"
+#include "tempest/resilience/fault.hpp"
+#include "tempest/resilience/health.hpp"
+#include "tempest/sparse/interp.hpp"
+#include "tempest/sparse/operators.hpp"
+#include "tempest/sparse/series.hpp"
+#include "tempest/trace/trace.hpp"
+#include "tempest/util/error.hpp"
+#include "tempest/util/timer.hpp"
+
+namespace tempest::core::engine {
+
+/// Execution schedule selector shared by all propagators.
+enum class Schedule {
+  Reference,     ///< un-blocked triple loop + naive sparse ops (validation)
+  SpaceBlocked,  ///< the paper's baseline: vectorized spatial cache blocking
+  Wavefront,     ///< the contribution: WTB with precomputed sparse operators
+  Diamond,       ///< diamond/split temporal blocking: the alternative TB
+                 ///< family the precompute scheme equally legalises
+};
+
+[[nodiscard]] constexpr const char* to_string(Schedule s) {
+  switch (s) {
+    case Schedule::Reference: return "reference";
+    case Schedule::SpaceBlocked: return "space-blocked";
+    case Schedule::Wavefront: return "wavefront";
+    case Schedule::Diamond: return "diamond";
+  }
+  return "?";
+}
+
+/// CLI-facing inverse of to_string (accepts the underscore spelling too).
+[[nodiscard]] inline Schedule schedule_from_string(const std::string& name) {
+  if (name == "reference") return Schedule::Reference;
+  if (name == "space-blocked" || name == "space_blocked" ||
+      name == "spaceblocked") {
+    return Schedule::SpaceBlocked;
+  }
+  if (name == "wavefront") return Schedule::Wavefront;
+  if (name == "diamond") return Schedule::Diamond;
+  TEMPEST_REQUIRE_MSG(false, "unknown schedule '" + name +
+                                 "' (expected reference, space-blocked, "
+                                 "wavefront or diamond)");
+  return Schedule::Reference;  // unreachable
+}
+
+/// Wall-clock and throughput accounting for one propagation run.
+struct RunStats {
+  double seconds = 0.0;             ///< time loop only
+  double precompute_seconds = 0.0;  ///< sparse-operator precompute (TB only)
+  long long point_updates = 0;      ///< grid-point updates performed
+
+  [[nodiscard]] double gpoints_per_s() const {
+    return seconds > 0.0 ? static_cast<double>(point_updates) / seconds / 1e9
+                         : 0.0;
+  }
+};
+
+/// Called after timestep `t_done` is fully computed (stencil + sparse
+/// operators). Only meaningful for schedules with a global time barrier —
+/// under temporal blocking no instant exists at which a whole timestep is
+/// complete (that is the very point of the paper), so passing a callback
+/// with Wavefront/Diamond is rejected.
+using StepCallback = std::function<void(int t_done)>;
+
+/// Propagator tuning knobs shared by all kernels.
+struct ExecutionOptions {
+  core::TileSpec tiles{};
+  sparse::InterpKind interp = sparse::InterpKind::Trilinear;
+  double dt = 0.0;  ///< timestep (ms); 0 selects the model's critical dt
+
+  /// Numerical health monitoring (NaN/Inf and energy blow-up scans).
+  /// Disabled by default; when enabled, barrier schedules scan every
+  /// `check_every` steps and temporally blocked schedules scan at time-band
+  /// boundaries — the only instants a whole timestep exists under blocking.
+  resilience::HealthPolicy health{};
+};
+
+/// A kernel's injection targets for one timestep (e.g. p and q for the
+/// coupled anisotropic systems, the three diagonal stresses for elastic).
+struct FieldRefs {
+  std::array<grid::Grid3<real_t>*, 4> field{};
+  int count = 0;
+};
+
+/// A named wavefield the health monitor scans (and the fault-injection
+/// hook poisons — always the first entry).
+struct NamedField {
+  const char* name = nullptr;
+  grid::Grid3<real_t>* field = nullptr;
+};
+
+struct HealthFields {
+  std::array<NamedField, 4> field{};
+  int count = 0;
+};
+
+/// What a physics module must provide to route through the executor. The
+/// executor owns the time loop and all bookkeeping; the kernel owns the
+/// arithmetic and knows which grid each sparse operator binds to.
+template <typename K>
+concept PhysicsKernel =
+    requires(K k, const K ck, int s, const grid::Box3& box) {
+      /// Substeps per timestep: 1 for second-order-in-time systems, 2 for
+      /// the first-order velocity–stress half-updates.
+      { K::kSubstepsPerStep } -> std::convertible_to<int>;
+      /// First computable timestep (1 when two back slices seed the scheme,
+      /// 0 for first-order systems).
+      { K::kFirstStep } -> std::convertible_to<int>;
+      { ck.extents() } -> std::convertible_to<const grid::Extents3&>;
+      { ck.radius() } -> std::convertible_to<int>;
+      /// Hot update of one space block at substep s (= S*t + sub). Emits no
+      /// counters — the executor accounts for the work.
+      k.apply(s, box);
+      /// Grids the source scatters into after timestep t's last substep.
+      { k.inject_fields(s) } -> std::same_as<FieldRefs>;
+      /// Grid receivers interpolate from after timestep t's last substep.
+      { ck.gather_field(s) } -> std::convertible_to<const grid::Grid3<real_t>&>;
+      /// Grid-point-local injection factor (Devito's `src * dt^2 / m`).
+      { ck.inject_scale(s, s, s) } -> std::convertible_to<real_t>;
+      /// Wavefields scanned after timestep t is complete.
+      { k.health_fields(s) } -> std::same_as<HealthFields>;
+    };
+
+/// The single generic time-loop core. Owns schedule dispatch, tile /
+/// wavefront / diamond iteration, the sparse precompute wiring, the
+/// canonical placement of trace spans and work counters, the HealthMonitor
+/// scan points and the run_from resume semantics — for every PhysicsKernel.
+template <PhysicsKernel Kernel>
+class ScheduleExecutor {
+ public:
+  ScheduleExecutor(Kernel& kernel, const ExecutionOptions& opts)
+      : k_(kernel), opts_(opts) {}
+
+  /// Execute timesteps [t_begin, src.nt()). State for steps < t_begin must
+  /// already be in the kernel's fields (zeroed for a fresh run, or seeded
+  /// from a checkpoint captured at t_begin). A resumed run reproduces the
+  /// uninterrupted one bitwise under the same schedule and options.
+  RunStats run_from(int t_begin, Schedule sched,
+                    const sparse::SparseTimeSeries& src,
+                    sparse::SparseTimeSeries* rec,
+                    const StepCallback& on_step) {
+    constexpr int S = Kernel::kSubstepsPerStep;
+    constexpr int first = Kernel::kFirstStep;
+    static_assert(S >= 1);
+    const int nt = src.nt();
+    TEMPEST_REQUIRE(nt >= first + 1);
+    TEMPEST_REQUIRE_MSG(t_begin >= first && t_begin < nt,
+                        "resume step outside the simulated time range");
+    TEMPEST_REQUIRE_MSG(
+        !on_step ||
+            (sched != Schedule::Wavefront && sched != Schedule::Diamond),
+        "per-timestep callbacks need a schedule with a global time barrier "
+        "(Reference or SpaceBlocked)");
+    if (rec != nullptr) {
+      TEMPEST_REQUIRE(rec->nt() >= nt);
+    }
+
+    resilience::HealthMonitor monitor(opts_.health);
+    const grid::Extents3& e = k_.extents();
+    const int radius = k_.radius();
+
+    auto inj_scale = [this](int x, int y, int z) {
+      return k_.inject_scale(x, y, z);
+    };
+
+    // Post-step resilience hook shared by all schedules: the deterministic
+    // fault-injection site first (tests arm it; disarmed it is one int
+    // compare), then the wavefield health scans. Barrier schedules gate the
+    // scan on the policy cadence; temporally blocked schedules scan at every
+    // band boundary, the only instants a whole timestep exists.
+    auto health_point = [&](int t_done, bool cadence_gated) {
+      const HealthFields hf = k_.health_fields(t_done);
+      if (resilience::fault::consume_wavefield_poison(t_done) &&
+          hf.count > 0) {
+        (*hf.field[0].field)(e.nx / 2, e.ny / 2, e.nz / 2) =
+            std::numeric_limits<real_t>::quiet_NaN();
+      }
+      if (monitor.enabled() && (!cadence_gated || monitor.due(t_done))) {
+        for (int i = 0; i < hf.count; ++i) {
+          monitor.check(*hf.field[i].field, hf.field[i].name, t_done);
+        }
+      }
+    };
+
+    // One block of one substep: the unit every schedule hands to the kernel,
+    // and the single place the stencil work counters are emitted.
+    auto substep_block = [&](int s, const grid::Box3& box) {
+      TEMPEST_TRACE_COUNT(CellsUpdated, box.volume());
+      TEMPEST_TRACE_COUNT(HaloCellsTouched,
+                          2 * radius *
+                              (box.x.length() * box.y.length() +
+                               box.y.length() * box.z.length() +
+                               box.x.length() * box.z.length()));
+      k_.apply(s, box);
+    };
+
+    RunStats stats;
+    stats.point_updates = static_cast<long long>(nt - t_begin) *
+                          static_cast<long long>(e.size());
+
+    if (sched == Schedule::Wavefront || sched == Schedule::Diamond) {
+      // --- The paper's scheme: precompute, fuse, compress, time-tile. The
+      // same precomputed structures legalise either temporal-blocking
+      // family (wave-front or diamond). ---
+      util::Timer pre;
+      const core::SourceMasks masks =
+          core::build_source_masks(e, src, opts_.interp);
+      const core::DecomposedSource dcmp =
+          core::decompose_sources(masks, src, opts_.interp);
+      const core::CompressedSparse cs_src(masks.sm, masks.sid);
+
+      core::DecomposedReceivers drec;
+      core::CompressedSparse cs_rec;
+      if (rec != nullptr && rec->npoints() > 0) {
+        drec = core::decompose_receivers(e, *rec, opts_.interp);
+        cs_rec = core::CompressedSparse(drec.rm, drec.rid);
+      }
+      stats.precompute_seconds = pre.seconds();
+
+      // Substep block + the fused sparse operators after the timestep's
+      // last substep (for S = 1 that is every substep, s == t).
+      auto fused_block = [&](int s, const grid::Box3& box) {
+        {
+          TEMPEST_TRACE_SPAN_ARG("stencil", "compute", s);
+          substep_block(s, box);
+        }
+        if ((s + 1) % S != 0) return;
+        const int t = s / S;
+        {
+          TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
+          const FieldRefs targets = k_.inject_fields(t);
+          for (int i = 0; i < targets.count; ++i) {
+            core::fused_inject(*targets.field[i], cs_src, dcmp, t, box.x,
+                               box.y, inj_scale);
+          }
+        }
+        if (rec != nullptr && !cs_rec.empty()) {
+          TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
+          core::fused_gather(k_.gather_field(t), cs_rec, drec,
+                             rec->step(t).data(), box.x, box.y);
+        }
+      };
+
+      // Completed-band hook: after substep band [.., se), every timestep
+      // < se/S is fully computed and the newest slice is fully written.
+      auto on_band = [&](int se) {
+        health_point(se / S, /*cadence_gated=*/false);
+      };
+
+      util::Timer timer;
+      if (sched == Schedule::Wavefront) {
+        // Tile the substep axis: tile_t full steps == S*tile_t substeps,
+        // skewed by `radius` grid points per substep.
+        core::TileSpec spec = opts_.tiles;
+        spec.tile_t = S * opts_.tiles.tile_t;
+        core::run_wavefront(e, S * t_begin, S * nt, radius, spec, fused_block,
+                            /*parallel=*/true, on_band);
+      } else {
+        core::DiamondSpec dspec;
+        dspec.height = S * opts_.tiles.tile_t;
+        // The x period must accommodate the band's dependency cone.
+        dspec.width = std::max(opts_.tiles.tile_x, 2 * radius * dspec.height);
+        dspec.block_x = opts_.tiles.block_x;
+        dspec.block_y = opts_.tiles.block_y;
+        core::run_diamond(e, S * t_begin, S * nt, radius, dspec, fused_block,
+                          /*parallel=*/true, on_band);
+      }
+      stats.seconds = timer.seconds();
+      return stats;
+    }
+
+    // --- Barrier schedules. SpaceBlocked is the paper's baseline: spatial
+    // blocking + per-timestep naive sparse operators through prebuilt
+    // support caches. Reference is the unblocked sweep with uncached ops. ---
+    const bool blocked = sched == Schedule::SpaceBlocked;
+    sparse::SupportCache src_cache;
+    sparse::SupportCache rec_cache;
+    if (blocked) {
+      src_cache = sparse::SupportCache(src, opts_.interp, e);
+      if (rec != nullptr && rec->npoints() > 0) {
+        rec_cache = sparse::SupportCache(*rec, opts_.interp, e);
+      }
+    }
+
+    util::Timer timer;
+    const auto blocks =
+        blocked ? grid::decompose_xy(grid::Box3::whole(e), opts_.tiles.block_x,
+                                     opts_.tiles.block_y)
+                : std::vector<grid::Box3>{grid::Box3::whole(e)};
+    for (int t = t_begin; t < nt; ++t) {
+      {
+        TEMPEST_TRACE_SPAN_ARG("stencil", "compute", t);
+        TEMPEST_TRACE_COUNT(BlocksExecuted, S * blocks.size());
+        // Substeps are dependent (stress reads the new velocity): each is a
+        // full parallel sweep of its own.
+        for (int sub = 0; sub < S; ++sub) {
+          const int s = S * t + sub;
+#pragma omp parallel for schedule(dynamic) if (blocked)
+          for (std::size_t b = 0; b < blocks.size(); ++b) {
+            substep_block(s, blocks[b]);
+          }
+        }
+      }
+      {
+        TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
+        const FieldRefs targets = k_.inject_fields(t);
+        for (int i = 0; i < targets.count; ++i) {
+          if (blocked) {
+            sparse::inject_cached(*targets.field[i], src, t, src_cache,
+                                  inj_scale);
+          } else {
+            sparse::inject(*targets.field[i], src, t, opts_.interp,
+                           inj_scale);
+          }
+        }
+      }
+      if (rec != nullptr && rec->npoints() > 0) {
+        TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
+        if (blocked) {
+          sparse::interpolate_cached(k_.gather_field(t), *rec, t, rec_cache);
+        } else {
+          sparse::interpolate(k_.gather_field(t), *rec, t, opts_.interp);
+        }
+      }
+      health_point(t + 1, /*cadence_gated=*/true);
+      if (on_step) on_step(t + 1);
+    }
+    stats.seconds = timer.seconds();
+    return stats;
+  }
+
+ private:
+  Kernel& k_;
+  const ExecutionOptions& opts_;
+};
+
+/// Snapshot the propagation state after timestep `step` completed. The
+/// slice list is the kernel's state in a fixed order (the same order
+/// restore_state expects); the checkpoint carries copies of the slices, the
+/// gather recorded so far (when `rec` is non-null) and the caller's config
+/// fingerprint. `capture()`'s step is the next `run_from()`'s `t_begin`.
+[[nodiscard]] inline resilience::Checkpoint capture_state(
+    const std::vector<const grid::Grid3<real_t>*>& slices, int step,
+    int first_step, std::uint64_t fingerprint,
+    const sparse::SparseTimeSeries* rec) {
+  TEMPEST_REQUIRE(step >= first_step);
+  resilience::Checkpoint ck;
+  ck.fingerprint = fingerprint;
+  ck.step = step;
+  ck.slots.reserve(slices.size());
+  for (const auto* slice : slices) ck.slots.push_back(*slice);
+  if (rec != nullptr) {
+    ck.has_rec = true;
+    ck.rec = *rec;
+  }
+  return ck;
+}
+
+/// Seed the kernel's state slices from a checkpoint. Throws
+/// resilience::CheckpointMismatchError when the checkpoint's slice count or
+/// grid geometry does not match.
+inline void restore_state(const std::vector<grid::Grid3<real_t>*>& slices,
+                          const resilience::Checkpoint& ck) {
+  TEMPEST_REQUIRE(!slices.empty());
+  const grid::Extents3& e = slices.front()->extents();
+  const int halo = slices.front()->halo();
+  if (ck.slots.size() != slices.size() || ck.slots.empty() ||
+      ck.slots.front().extents() != e || ck.slots.front().halo() != halo) {
+    std::ostringstream os;
+    os << "checkpoint does not fit this propagator: it holds "
+       << ck.slots.size() << " slices";
+    if (!ck.slots.empty()) {
+      const auto& ce = ck.slots.front().extents();
+      os << " of " << ce.nx << "x" << ce.ny << "x" << ce.nz << " (halo "
+         << ck.slots.front().halo() << ")";
+    }
+    os << ", this run needs " << slices.size() << " of " << e.nx << "x"
+       << e.ny << "x" << e.nz << " (halo " << halo << ")";
+    throw resilience::CheckpointMismatchError(os.str());
+  }
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    *slices[i] = ck.slots[i];
+  }
+}
+
+}  // namespace tempest::core::engine

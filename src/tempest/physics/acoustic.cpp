@@ -1,20 +1,10 @@
 #include "tempest/physics/acoustic.hpp"
 
-#include <algorithm>
-#include <limits>
-#include <sstream>
 #include <vector>
 
-#include "tempest/core/compress.hpp"
-#include "tempest/core/diamond.hpp"
-#include "tempest/core/fused.hpp"
-#include "tempest/core/precompute.hpp"
-#include "tempest/resilience/fault.hpp"
-#include "tempest/sparse/operators.hpp"
+#include "tempest/core/engine.hpp"
 #include "tempest/stencil/coefficients.hpp"
-#include "tempest/trace/trace.hpp"
 #include "tempest/util/error.hpp"
-#include "tempest/util/timer.hpp"
 
 namespace tempest::physics {
 
@@ -102,6 +92,86 @@ void update_block_generic(real_t* __restrict un, const real_t* __restrict uc,
   }
 }
 
+/// PhysicsKernel adapter for the engine: three-slot time buffer, single
+/// injection/gather field u, `dt^2 / m` injection scaling.
+class AcousticKernel {
+ public:
+  static constexpr int kSubstepsPerStep = 1;
+  static constexpr int kFirstStep = 1;
+
+  AcousticKernel(const AcousticModel& model, grid::TimeBuffer<real_t>& u,
+                 double dt)
+      : model_(model),
+        u_(u),
+        w_(folded_weights(model.geom.space_order)),
+        inv_h2_(static_cast<real_t>(
+            1.0 / (model.geom.spacing * model.geom.spacing))),
+        idt2_(static_cast<real_t>(1.0 / (dt * dt))),
+        i2dt_(static_cast<real_t>(1.0 / (2.0 * dt))),
+        dt2_(static_cast<real_t>(dt * dt)),
+        sx_(u.at(0).stride_x()),
+        sy_(u.at(0).stride_y()) {
+    TEMPEST_REQUIRE(model.m.stride_x() == sx_ && model.m.stride_y() == sy_);
+  }
+
+  [[nodiscard]] const grid::Extents3& extents() const {
+    return model_.geom.extents;
+  }
+  [[nodiscard]] int radius() const { return model_.geom.radius(); }
+
+  void apply(int t, const grid::Box3& box) {
+    real_t* un = u_.at(t + 1).origin();
+    const real_t* uc = u_.at(t).origin();
+    const real_t* up = u_.at(t - 1).origin();
+    const real_t* m = model_.m.origin();
+    const real_t* dmp = model_.damp.origin();
+    switch (radius()) {
+      case 1:
+        update_block<1>(un, uc, up, m, dmp, sx_, sy_, box, w_.data(), inv_h2_,
+                        idt2_, i2dt_);
+        break;
+      case 2:
+        update_block<2>(un, uc, up, m, dmp, sx_, sy_, box, w_.data(), inv_h2_,
+                        idt2_, i2dt_);
+        break;
+      case 4:
+        update_block<4>(un, uc, up, m, dmp, sx_, sy_, box, w_.data(), inv_h2_,
+                        idt2_, i2dt_);
+        break;
+      case 6:
+        update_block<6>(un, uc, up, m, dmp, sx_, sy_, box, w_.data(), inv_h2_,
+                        idt2_, i2dt_);
+        break;
+      default:
+        update_block_generic(un, uc, up, m, dmp, sx_, sy_, box, w_.data(),
+                             radius(), inv_h2_, idt2_, i2dt_);
+        break;
+    }
+  }
+
+  [[nodiscard]] real_t inject_scale(int x, int y, int z) const {
+    return dt2_ / model_.m(x, y, z);
+  }
+  [[nodiscard]] core::engine::FieldRefs inject_fields(int t) {
+    return {{&u_.at(t + 1)}, 1};
+  }
+  [[nodiscard]] const grid::Grid3<real_t>& gather_field(int t) const {
+    return u_.at(t + 1);
+  }
+  [[nodiscard]] core::engine::HealthFields health_fields(int t) {
+    return {{{{"u", &u_.at(t)}}}, 1};
+  }
+
+ private:
+  const AcousticModel& model_;
+  grid::TimeBuffer<real_t>& u_;
+  std::vector<real_t> w_;
+  real_t inv_h2_, idt2_, i2dt_, dt2_;
+  std::ptrdiff_t sx_, sy_;
+};
+
+static_assert(core::engine::PhysicsKernel<AcousticKernel>);
+
 }  // namespace
 
 AcousticPropagator::AcousticPropagator(const AcousticModel& model,
@@ -123,257 +193,33 @@ RunStats AcousticPropagator::run(Schedule sched,
                                  const StepCallback& on_step) {
   if (rec != nullptr) rec->zero();
   u_.fill(real_t{0});
-  return run_from(1, sched, src, rec, on_step);
-}
-
-resilience::Checkpoint AcousticPropagator::capture(
-    int step, std::uint64_t fingerprint,
-    const sparse::SparseTimeSeries* rec) const {
-  TEMPEST_REQUIRE(step >= 1);
-  resilience::Checkpoint ck;
-  ck.fingerprint = fingerprint;
-  ck.step = step;
-  ck.slots.reserve(static_cast<std::size_t>(u_.slots()));
-  for (int s = 0; s < u_.slots(); ++s) ck.slots.push_back(u_.slot(s));
-  if (rec != nullptr) {
-    ck.has_rec = true;
-    ck.rec = *rec;
-  }
-  return ck;
-}
-
-void AcousticPropagator::restore(const resilience::Checkpoint& ck) {
-  if (static_cast<int>(ck.slots.size()) != u_.slots() || ck.slots.empty() ||
-      ck.slots.front().extents() != model_.geom.extents ||
-      ck.slots.front().halo() != model_.geom.radius()) {
-    std::ostringstream os;
-    os << "checkpoint does not fit this propagator: it holds "
-       << ck.slots.size() << " slices";
-    if (!ck.slots.empty()) {
-      const auto& e = ck.slots.front().extents();
-      os << " of " << e.nx << "x" << e.ny << "x" << e.nz << " (halo "
-         << ck.slots.front().halo() << ")";
-    }
-    const auto& e = model_.geom.extents;
-    os << ", this run needs " << u_.slots() << " of " << e.nx << "x" << e.ny
-       << "x" << e.nz << " (halo " << model_.geom.radius() << ")";
-    throw resilience::CheckpointMismatchError(os.str());
-  }
-  for (int s = 0; s < u_.slots(); ++s) {
-    u_.slot(s) = ck.slots[static_cast<std::size_t>(s)];
-  }
+  return run_from(AcousticKernel::kFirstStep, sched, src, rec, on_step);
 }
 
 RunStats AcousticPropagator::run_from(int t_begin, Schedule sched,
                                       const sparse::SparseTimeSeries& src,
                                       sparse::SparseTimeSeries* rec,
                                       const StepCallback& on_step) {
-  const int nt = src.nt();
-  TEMPEST_REQUIRE(nt >= 2);
-  TEMPEST_REQUIRE_MSG(t_begin >= 1 && t_begin < nt,
-                      "resume step outside the simulated time range");
-  TEMPEST_REQUIRE_MSG(
-      !on_step ||
-          (sched != Schedule::Wavefront && sched != Schedule::Diamond),
-      "per-timestep callbacks need a schedule with a global time barrier "
-      "(Reference or SpaceBlocked)");
-  if (rec != nullptr) {
-    TEMPEST_REQUIRE(rec->nt() >= nt);
-  }
+  AcousticKernel kernel(model_, u_, dt_);
+  core::engine::ScheduleExecutor executor(kernel, opts_);
+  return executor.run_from(t_begin, sched, src, rec, on_step);
+}
 
-  resilience::HealthMonitor monitor(opts_.health);
+resilience::Checkpoint AcousticPropagator::capture(
+    int step, std::uint64_t fingerprint,
+    const sparse::SparseTimeSeries* rec) const {
+  std::vector<const grid::Grid3<real_t>*> slices;
+  slices.reserve(static_cast<std::size_t>(u_.slots()));
+  for (int s = 0; s < u_.slots(); ++s) slices.push_back(&u_.slot(s));
+  return core::engine::capture_state(slices, step, AcousticKernel::kFirstStep,
+                                     fingerprint, rec);
+}
 
-  const auto& e = model_.geom.extents;
-  const int radius = model_.geom.radius();
-  const std::vector<real_t> w = folded_weights(model_.geom.space_order);
-  const real_t inv_h2 =
-      static_cast<real_t>(1.0 / (model_.geom.spacing * model_.geom.spacing));
-  const real_t idt2 = static_cast<real_t>(1.0 / (dt_ * dt_));
-  const real_t i2dt = static_cast<real_t>(1.0 / (2.0 * dt_));
-  const real_t dt2 = static_cast<real_t>(dt_ * dt_);
-
-  const std::ptrdiff_t sx = u_.at(0).stride_x();
-  const std::ptrdiff_t sy = u_.at(0).stride_y();
-  TEMPEST_REQUIRE(model_.m.stride_x() == sx && model_.m.stride_y() == sy);
-  const real_t* m_ptr = model_.m.origin();
-  const real_t* damp_ptr = model_.damp.origin();
-
-  // Grid-point-local injection factor (Devito's `src * dt^2 / m`).
-  const auto& m_grid = model_.m;
-  auto inj_scale = [dt2, &m_grid](int x, int y, int z) {
-    return dt2 / m_grid(x, y, z);
-  };
-
-  // Post-step resilience hook shared by all schedules: the deterministic
-  // fault-injection site first (tests arm it; disarmed it is one int
-  // compare), then the wavefield health scan. Barrier schedules gate the
-  // scan on the policy cadence; temporally blocked schedules scan at every
-  // band boundary, the only instants a whole timestep exists.
-  auto health_point = [&](int t_done, bool cadence_gated) {
-    if (resilience::fault::consume_wavefield_poison(t_done)) {
-      u_.at(t_done)(e.nx / 2, e.ny / 2, e.nz / 2) =
-          std::numeric_limits<real_t>::quiet_NaN();
-    }
-    if (monitor.enabled() && (!cadence_gated || monitor.due(t_done))) {
-      monitor.check(u_.at(t_done), "u", t_done);
-    }
-  };
-
-  // One block of one timestep: the unit handed to both schedules.
-  auto stencil_block = [&](int t, const grid::Box3& box) {
-    TEMPEST_TRACE_COUNT(CellsUpdated, box.volume());
-    TEMPEST_TRACE_COUNT(
-        HaloCellsTouched,
-        2 * radius *
-            (box.x.length() * box.y.length() + box.y.length() * box.z.length() +
-             box.x.length() * box.z.length()));
-    real_t* un = u_.at(t + 1).origin();
-    const real_t* uc = u_.at(t).origin();
-    const real_t* up = u_.at(t - 1).origin();
-    switch (radius) {
-      case 1:
-        update_block<1>(un, uc, up, m_ptr, damp_ptr, sx, sy, box, w.data(),
-                        inv_h2, idt2, i2dt);
-        break;
-      case 2:
-        update_block<2>(un, uc, up, m_ptr, damp_ptr, sx, sy, box, w.data(),
-                        inv_h2, idt2, i2dt);
-        break;
-      case 4:
-        update_block<4>(un, uc, up, m_ptr, damp_ptr, sx, sy, box, w.data(),
-                        inv_h2, idt2, i2dt);
-        break;
-      case 6:
-        update_block<6>(un, uc, up, m_ptr, damp_ptr, sx, sy, box, w.data(),
-                        inv_h2, idt2, i2dt);
-        break;
-      default:
-        update_block_generic(un, uc, up, m_ptr, damp_ptr, sx, sy, box,
-                             w.data(), radius, inv_h2, idt2, i2dt);
-        break;
-    }
-  };
-
-  RunStats stats;
-  stats.point_updates =
-      static_cast<long long>(nt - t_begin) * static_cast<long long>(e.size());
-
-  if (sched == Schedule::Wavefront || sched == Schedule::Diamond) {
-    // --- The paper's scheme: precompute, fuse, compress, time-tile. The
-    // same precomputed structures legalise either temporal-blocking family
-    // (wave-front or diamond). ---
-    util::Timer pre;
-    const core::SourceMasks masks =
-        core::build_source_masks(e, src, opts_.interp);
-    const core::DecomposedSource dcmp =
-        core::decompose_sources(masks, src, opts_.interp);
-    const core::CompressedSparse cs_src(masks.sm, masks.sid);
-
-    core::DecomposedReceivers drec;
-    core::CompressedSparse cs_rec;
-    if (rec != nullptr && rec->npoints() > 0) {
-      drec = core::decompose_receivers(e, *rec, opts_.interp);
-      cs_rec = core::CompressedSparse(drec.rm, drec.rid);
-    }
-    stats.precompute_seconds = pre.seconds();
-
-    auto fused_block = [&](int t, const grid::Box3& box) {
-      {
-        TEMPEST_TRACE_SPAN_ARG("stencil", "compute", t);
-        stencil_block(t, box);
-      }
-      {
-        TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
-        core::fused_inject(u_.at(t + 1), cs_src, dcmp, t, box.x, box.y,
-                           inj_scale);
-      }
-      if (rec != nullptr && !cs_rec.empty()) {
-        TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
-        core::fused_gather(u_.at(t + 1), cs_rec, drec, rec->step(t).data(),
-                           box.x, box.y);
-      }
-    };
-
-    // Completed-band hook: timestep te-1 is the newest complete slice, and
-    // u_.at(te) is the newest fully *written* slice (ops compute t+1).
-    auto on_band = [&](int te) { health_point(te, /*cadence_gated=*/false); };
-
-    util::Timer timer;
-    if (sched == Schedule::Wavefront) {
-      core::run_wavefront(e, t_begin, nt, radius, opts_.tiles, fused_block,
-                          /*parallel=*/true, on_band);
-    } else {
-      core::DiamondSpec dspec;
-      dspec.height = opts_.tiles.tile_t;
-      // The x period must accommodate the band's dependency cone.
-      dspec.width =
-          std::max(opts_.tiles.tile_x, 2 * radius * opts_.tiles.tile_t);
-      dspec.block_x = opts_.tiles.block_x;
-      dspec.block_y = opts_.tiles.block_y;
-      core::run_diamond(e, t_begin, nt, radius, dspec, fused_block,
-                        /*parallel=*/true, on_band);
-    }
-    stats.seconds = timer.seconds();
-    return stats;
-  }
-
-  if (sched == Schedule::SpaceBlocked) {
-    // --- The paper's baseline: spatial blocking + per-timestep naive
-    // sparse operators through prebuilt support caches. ---
-    const sparse::SupportCache src_cache(src, opts_.interp, e);
-    sparse::SupportCache rec_cache;
-    if (rec != nullptr && rec->npoints() > 0) {
-      rec_cache = sparse::SupportCache(*rec, opts_.interp, e);
-    }
-
-    util::Timer timer;
-    const auto blocks = grid::decompose_xy(
-        grid::Box3::whole(e), opts_.tiles.block_x, opts_.tiles.block_y);
-    for (int t = t_begin; t < nt; ++t) {
-      {
-        TEMPEST_TRACE_SPAN_ARG("stencil", "compute", t);
-        TEMPEST_TRACE_COUNT(BlocksExecuted, blocks.size());
-#pragma omp parallel for schedule(dynamic)
-        for (std::size_t b = 0; b < blocks.size(); ++b) {
-          stencil_block(t, blocks[b]);
-        }
-      }
-      {
-        TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
-        sparse::inject_cached(u_.at(t + 1), src, t, src_cache, inj_scale);
-      }
-      if (rec != nullptr && rec->npoints() > 0) {
-        TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
-        sparse::interpolate_cached(u_.at(t + 1), *rec, t, rec_cache);
-      }
-      health_point(t + 1, /*cadence_gated=*/true);
-      if (on_step) on_step(t + 1);
-    }
-    stats.seconds = timer.seconds();
-    return stats;
-  }
-
-  // --- Reference: unblocked sweep + naive (uncached) sparse operators. ---
-  util::Timer timer;
-  for (int t = t_begin; t < nt; ++t) {
-    {
-      TEMPEST_TRACE_SPAN_ARG("stencil", "compute", t);
-      TEMPEST_TRACE_COUNT(BlocksExecuted, 1);
-      stencil_block(t, grid::Box3::whole(e));
-    }
-    {
-      TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
-      sparse::inject(u_.at(t + 1), src, t, opts_.interp, inj_scale);
-    }
-    if (rec != nullptr && rec->npoints() > 0) {
-      TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
-      sparse::interpolate(u_.at(t + 1), *rec, t, opts_.interp);
-    }
-    health_point(t + 1, /*cadence_gated=*/true);
-    if (on_step) on_step(t + 1);
-  }
-  stats.seconds = timer.seconds();
-  return stats;
+void AcousticPropagator::restore(const resilience::Checkpoint& ck) {
+  std::vector<grid::Grid3<real_t>*> slices;
+  slices.reserve(static_cast<std::size_t>(u_.slots()));
+  for (int s = 0; s < u_.slots(); ++s) slices.push_back(&u_.slot(s));
+  core::engine::restore_state(slices, ck);
 }
 
 }  // namespace tempest::physics

@@ -17,10 +17,10 @@ namespace tempest::physics {
 /// second order in time, configurable even space order, single-precision
 /// fields, absorbing sponge boundaries.
 ///
-/// Three schedules (see Schedule): an unblocked reference, the
-/// spatially-blocked vectorized baseline the paper compares against, and the
-/// wave-front temporally blocked variant enabled by the core/ precompute
-/// pipeline. All three produce the same wavefield (bit-exact for a single
+/// All four schedules (see core::engine::Schedule): an unblocked reference,
+/// the spatially-blocked vectorized baseline the paper compares against, and
+/// the wave-front and diamond temporally blocked variants enabled by the
+/// core/ precompute pipeline. All produce the same wavefield (bit-exact for a single
 /// source; to rounding when several sources share support points, since the
 /// decomposition pre-sums their contributions).
 class AcousticPropagator {
@@ -30,10 +30,8 @@ class AcousticPropagator {
   /// Called after timestep `t_done` is fully computed (stencil + sparse
   /// operators); wavefield(t_done) is then valid. Used by time-stepping
   /// consumers such as RTM snapshotting. Only meaningful for schedules with
-  /// a global time barrier — passing a callback with Schedule::Wavefront is
-  /// rejected, since under temporal blocking no instant exists at which a
-  /// whole timestep is complete (that is the very point of the paper).
-  using StepCallback = std::function<void(int t_done)>;
+  /// a global time barrier (see core::engine::StepCallback).
+  using StepCallback = physics::StepCallback;
 
   /// Propagate `src` for src.nt() timesteps, recording into `rec` if
   /// non-null (rec->nt() must be >= src.nt()). The model passed at

@@ -2,15 +2,9 @@
 
 #include <vector>
 
-#include "tempest/core/compress.hpp"
-#include "tempest/core/fused.hpp"
-#include "tempest/core/precompute.hpp"
-#include "tempest/core/wavefront.hpp"
-#include "tempest/sparse/operators.hpp"
+#include "tempest/core/engine.hpp"
 #include "tempest/stencil/coefficients.hpp"
-#include "tempest/trace/trace.hpp"
 #include "tempest/util/error.hpp"
-#include "tempest/util/timer.hpp"
 
 namespace tempest::physics {
 
@@ -220,6 +214,103 @@ void tau_block_generic(const ElasticFields& f, std::ptrdiff_t sx,
   }
 }
 
+/// PhysicsKernel adapter: two substeps per timestep (velocity then stress),
+/// first-order in time so every field is a single flat grid. The source is
+/// explosive (diagonal stresses); receivers record vz.
+class ElasticKernel {
+ public:
+  static constexpr int kSubstepsPerStep = 2;
+  static constexpr int kFirstStep = 0;
+
+  ElasticKernel(const ElasticModel& model, grid::Grid3<real_t>& vx,
+                grid::Grid3<real_t>& vy, grid::Grid3<real_t>& vz,
+                grid::Grid3<real_t>& txx, grid::Grid3<real_t>& tyy,
+                grid::Grid3<real_t>& tzz, grid::Grid3<real_t>& txy,
+                grid::Grid3<real_t>& txz, grid::Grid3<real_t>& tyz,
+                double dt)
+      : model_(model),
+        vx_(vx),
+        vy_(vy),
+        vz_(vz),
+        txx_(txx),
+        tyy_(tyy),
+        tzz_(tzz),
+        f_{vx.origin(),        vy.origin(),        vz.origin(),
+           txx.origin(),       tyy.origin(),       tzz.origin(),
+           txy.origin(),       txz.origin(),       tyz.origin(),
+           model.lam.origin(), model.mu.origin(),  model.b.origin(),
+           model.damp.origin()},
+        w_(folded_staggered(model.geom.space_order)),
+        inv_h_(static_cast<real_t>(1.0 / model.geom.spacing)),
+        dt_(static_cast<real_t>(dt)),
+        sx_(vx.stride_x()),
+        sy_(vx.stride_y()) {
+    TEMPEST_REQUIRE(model.lam.stride_x() == sx_);
+  }
+
+  [[nodiscard]] const grid::Extents3& extents() const {
+    return model_.geom.extents;
+  }
+  [[nodiscard]] int radius() const { return model_.geom.radius(); }
+
+  /// One half-step block: even substeps update v, odd update tau. The
+  /// substep index is what the temporal schedules skew over (slope = radius
+  /// per half-step == the paper's shifted wavefront angle for staggered
+  /// multi-grid updates).
+  void apply(int h, const grid::Box3& box) {
+    const real_t* w = w_.data();
+    if ((h & 1) == 0) {
+      dispatch_radius(
+          radius(),
+          [&] { v_block<1>(f_, sx_, sy_, box, w, inv_h_, dt_); },
+          [&] { v_block<2>(f_, sx_, sy_, box, w, inv_h_, dt_); },
+          [&] { v_block<4>(f_, sx_, sy_, box, w, inv_h_, dt_); },
+          [&] { v_block<6>(f_, sx_, sy_, box, w, inv_h_, dt_); },
+          [&] {
+            v_block_generic(f_, sx_, sy_, box, w, radius(), inv_h_, dt_);
+          });
+    } else {
+      dispatch_radius(
+          radius(),
+          [&] { tau_block<1>(f_, sx_, sy_, box, w, inv_h_, dt_); },
+          [&] { tau_block<2>(f_, sx_, sy_, box, w, inv_h_, dt_); },
+          [&] { tau_block<4>(f_, sx_, sy_, box, w, inv_h_, dt_); },
+          [&] { tau_block<6>(f_, sx_, sy_, box, w, inv_h_, dt_); },
+          [&] {
+            tau_block_generic(f_, sx_, sy_, box, w, radius(), inv_h_, dt_);
+          });
+    }
+  }
+
+  /// Explosive source: injected equally into the three diagonal stresses,
+  /// scaled by dt (the time integration factor of the first-order system).
+  [[nodiscard]] real_t inject_scale(int, int, int) const { return dt_; }
+  [[nodiscard]] core::engine::FieldRefs inject_fields(int) {
+    return {{&txx_, &tyy_, &tzz_}, 3};
+  }
+  [[nodiscard]] const grid::Grid3<real_t>& gather_field(int) const {
+    return vz_;
+  }
+  [[nodiscard]] core::engine::HealthFields health_fields(int) {
+    return {{{{"vx", &vx_}, {"vy", &vy_}, {"vz", &vz_}}}, 3};
+  }
+
+ private:
+  const ElasticModel& model_;
+  grid::Grid3<real_t>& vx_;
+  grid::Grid3<real_t>& vy_;
+  grid::Grid3<real_t>& vz_;
+  grid::Grid3<real_t>& txx_;
+  grid::Grid3<real_t>& tyy_;
+  grid::Grid3<real_t>& tzz_;
+  ElasticFields f_;
+  std::vector<real_t> w_;
+  real_t inv_h_, dt_;
+  std::ptrdiff_t sx_, sy_;
+};
+
+static_assert(core::engine::PhysicsKernel<ElasticKernel>);
+
 }  // namespace
 
 ElasticPropagator::ElasticPropagator(const ElasticModel& model,
@@ -243,181 +334,37 @@ ElasticPropagator::ElasticPropagator(const ElasticModel& model,
 
 RunStats ElasticPropagator::run(Schedule sched,
                                 const sparse::SparseTimeSeries& src,
-                                sparse::SparseTimeSeries* rec) {
-  const int nt = src.nt();
-  TEMPEST_REQUIRE(nt >= 1);
-  TEMPEST_REQUIRE_MSG(sched != Schedule::Diamond,
-                      "diamond tiling is implemented for the acoustic "
-                      "propagator only");
-  if (rec != nullptr) {
-    TEMPEST_REQUIRE(rec->nt() >= nt);
-    rec->zero();
-  }
+                                sparse::SparseTimeSeries* rec,
+                                const StepCallback& on_step) {
+  if (rec != nullptr) rec->zero();
   for (auto* g : {&vx_, &vy_, &vz_, &txx_, &tyy_, &tzz_, &txy_, &txz_, &tyz_})
     g->fill(real_t{0});
+  return run_from(ElasticKernel::kFirstStep, sched, src, rec, on_step);
+}
 
-  const auto& e = model_.geom.extents;
-  const int radius = model_.geom.radius();
-  const std::vector<real_t> w = folded_staggered(model_.geom.space_order);
-  const real_t inv_h = static_cast<real_t>(1.0 / model_.geom.spacing);
-  const real_t dt = static_cast<real_t>(dt_);
+RunStats ElasticPropagator::run_from(int t_begin, Schedule sched,
+                                     const sparse::SparseTimeSeries& src,
+                                     sparse::SparseTimeSeries* rec,
+                                     const StepCallback& on_step) {
+  ElasticKernel kernel(model_, vx_, vy_, vz_, txx_, tyy_, tzz_, txy_, txz_,
+                       tyz_, dt_);
+  core::engine::ScheduleExecutor executor(kernel, opts_);
+  return executor.run_from(t_begin, sched, src, rec, on_step);
+}
 
-  const std::ptrdiff_t sx = vx_.stride_x();
-  const std::ptrdiff_t sy = vx_.stride_y();
-  TEMPEST_REQUIRE(model_.lam.stride_x() == sx);
-  const ElasticFields f{
-      vx_.origin(),  vy_.origin(),        vz_.origin(),
-      txx_.origin(), tyy_.origin(),       tzz_.origin(),
-      txy_.origin(), txz_.origin(),       tyz_.origin(),
-      model_.lam.origin(), model_.mu.origin(), model_.b.origin(),
-      model_.damp.origin()};
+resilience::Checkpoint ElasticPropagator::capture(
+    int step, std::uint64_t fingerprint,
+    const sparse::SparseTimeSeries* rec) const {
+  const std::vector<const grid::Grid3<real_t>*> slices = {
+      &vx_, &vy_, &vz_, &txx_, &tyy_, &tzz_, &txy_, &txz_, &tyz_};
+  return core::engine::capture_state(slices, step, ElasticKernel::kFirstStep,
+                                     fingerprint, rec);
+}
 
-  // Explosive source: injected equally into the three diagonal stresses,
-  // scaled by dt (the time integration factor of the first-order system).
-  auto inj_scale = [dt](int, int, int) { return dt; };
-
-  // One half-step block: even half-steps update v, odd update tau. The
-  // half-step index is what the wavefront driver skews over (slope = radius
-  // per half-step == the paper's shifted wavefront angle for staggered
-  // multi-grid updates).
-  auto half_block = [&](int h, const grid::Box3& box) {
-    TEMPEST_TRACE_COUNT(CellsUpdated, box.volume());
-    TEMPEST_TRACE_COUNT(
-        HaloCellsTouched,
-        2 * radius *
-            (box.x.length() * box.y.length() + box.y.length() * box.z.length() +
-             box.x.length() * box.z.length()));
-    if ((h & 1) == 0) {
-      dispatch_radius(
-          radius, [&] { v_block<1>(f, sx, sy, box, w.data(), inv_h, dt); },
-          [&] { v_block<2>(f, sx, sy, box, w.data(), inv_h, dt); },
-          [&] { v_block<4>(f, sx, sy, box, w.data(), inv_h, dt); },
-          [&] { v_block<6>(f, sx, sy, box, w.data(), inv_h, dt); },
-          [&] {
-            v_block_generic(f, sx, sy, box, w.data(), radius, inv_h, dt);
-          });
-    } else {
-      dispatch_radius(
-          radius, [&] { tau_block<1>(f, sx, sy, box, w.data(), inv_h, dt); },
-          [&] { tau_block<2>(f, sx, sy, box, w.data(), inv_h, dt); },
-          [&] { tau_block<4>(f, sx, sy, box, w.data(), inv_h, dt); },
-          [&] { tau_block<6>(f, sx, sy, box, w.data(), inv_h, dt); },
-          [&] {
-            tau_block_generic(f, sx, sy, box, w.data(), radius, inv_h, dt);
-          });
-    }
-  };
-
-  RunStats stats;
-  stats.point_updates =
-      static_cast<long long>(nt) * static_cast<long long>(e.size());
-
-  if (sched == Schedule::Wavefront) {
-    util::Timer pre;
-    const core::SourceMasks masks =
-        core::build_source_masks(e, src, opts_.interp);
-    const core::DecomposedSource dcmp =
-        core::decompose_sources(masks, src, opts_.interp);
-    const core::CompressedSparse cs_src(masks.sm, masks.sid);
-    core::DecomposedReceivers drec;
-    core::CompressedSparse cs_rec;
-    if (rec != nullptr && rec->npoints() > 0) {
-      drec = core::decompose_receivers(e, *rec, opts_.interp);
-      cs_rec = core::CompressedSparse(drec.rm, drec.rid);
-    }
-    stats.precompute_seconds = pre.seconds();
-
-    // Tile the half-step axis: tile_t full steps == 2*tile_t half-steps.
-    core::TileSpec half_spec = opts_.tiles;
-    half_spec.tile_t = 2 * opts_.tiles.tile_t;
-
-    util::Timer timer;
-    core::run_wavefront(
-        e, 0, 2 * nt, radius, half_spec, [&](int h, const grid::Box3& box) {
-          {
-            TEMPEST_TRACE_SPAN_ARG("stencil", "compute", h);
-            half_block(h, box);
-          }
-          if ((h & 1) == 1) {
-            const int t = h / 2;
-            {
-              TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
-              core::fused_inject(txx_, cs_src, dcmp, t, box.x, box.y,
-                                 inj_scale);
-              core::fused_inject(tyy_, cs_src, dcmp, t, box.x, box.y,
-                                 inj_scale);
-              core::fused_inject(tzz_, cs_src, dcmp, t, box.x, box.y,
-                                 inj_scale);
-            }
-            if (rec != nullptr && !cs_rec.empty()) {
-              TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
-              core::fused_gather(vz_, cs_rec, drec, rec->step(t).data(),
-                                 box.x, box.y);
-            }
-          }
-        });
-    stats.seconds = timer.seconds();
-    return stats;
-  }
-
-  if (sched == Schedule::SpaceBlocked) {
-    const sparse::SupportCache src_cache(src, opts_.interp, e);
-    sparse::SupportCache rec_cache;
-    if (rec != nullptr && rec->npoints() > 0) {
-      rec_cache = sparse::SupportCache(*rec, opts_.interp, e);
-    }
-    util::Timer timer;
-    const auto blocks = grid::decompose_xy(
-        grid::Box3::whole(e), opts_.tiles.block_x, opts_.tiles.block_y);
-    for (int t = 0; t < nt; ++t) {
-      {
-        TEMPEST_TRACE_SPAN_ARG("stencil", "compute", t);
-        TEMPEST_TRACE_COUNT(BlocksExecuted, 2 * blocks.size());
-#pragma omp parallel for schedule(dynamic)
-        for (std::size_t b = 0; b < blocks.size(); ++b) {
-          half_block(2 * t, blocks[b]);
-        }
-#pragma omp parallel for schedule(dynamic)
-        for (std::size_t b = 0; b < blocks.size(); ++b) {
-          half_block(2 * t + 1, blocks[b]);
-        }
-      }
-      {
-        TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
-        sparse::inject_cached(txx_, src, t, src_cache, inj_scale);
-        sparse::inject_cached(tyy_, src, t, src_cache, inj_scale);
-        sparse::inject_cached(tzz_, src, t, src_cache, inj_scale);
-      }
-      if (rec != nullptr && rec->npoints() > 0) {
-        TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
-        sparse::interpolate_cached(vz_, *rec, t, rec_cache);
-      }
-    }
-    stats.seconds = timer.seconds();
-    return stats;
-  }
-
-  util::Timer timer;
-  for (int t = 0; t < nt; ++t) {
-    {
-      TEMPEST_TRACE_SPAN_ARG("stencil", "compute", t);
-      TEMPEST_TRACE_COUNT(BlocksExecuted, 2);
-      half_block(2 * t, grid::Box3::whole(e));
-      half_block(2 * t + 1, grid::Box3::whole(e));
-    }
-    {
-      TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
-      sparse::inject(txx_, src, t, opts_.interp, inj_scale);
-      sparse::inject(tyy_, src, t, opts_.interp, inj_scale);
-      sparse::inject(tzz_, src, t, opts_.interp, inj_scale);
-    }
-    if (rec != nullptr && rec->npoints() > 0) {
-      TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
-      sparse::interpolate(vz_, *rec, t, opts_.interp);
-    }
-  }
-  stats.seconds = timer.seconds();
-  return stats;
+void ElasticPropagator::restore(const resilience::Checkpoint& ck) {
+  const std::vector<grid::Grid3<real_t>*> slices = {
+      &vx_, &vy_, &vz_, &txx_, &tyy_, &tzz_, &txy_, &txz_, &tyz_};
+  core::engine::restore_state(slices, ck);
 }
 
 }  // namespace tempest::physics

@@ -1,53 +1,20 @@
 #pragma once
 
-#include "tempest/core/wavefront.hpp"
-#include "tempest/resilience/health.hpp"
-#include "tempest/sparse/interp.hpp"
+// The physics-facing names of the schedule-execution engine. Schedule
+// dispatch, run statistics and the option set live in core/engine.hpp —
+// exactly once, for every propagator; this header re-exports them under the
+// tempest::physics names the propagators, examples and benches use.
+
+#include "tempest/core/engine.hpp"
 
 namespace tempest::physics {
 
-/// Execution schedule selector shared by all three propagators.
-enum class Schedule {
-  Reference,     ///< un-blocked triple loop + naive sparse ops (validation)
-  SpaceBlocked,  ///< the paper's baseline: vectorized spatial cache blocking
-  Wavefront,     ///< the contribution: WTB with precomputed sparse operators
-  Diamond,       ///< diamond/split temporal blocking (acoustic only): the
-                 ///< alternative TB family the precompute scheme legalises
-};
+using Schedule = core::engine::Schedule;
+using core::engine::schedule_from_string;
+using core::engine::to_string;
 
-[[nodiscard]] constexpr const char* to_string(Schedule s) {
-  switch (s) {
-    case Schedule::Reference: return "reference";
-    case Schedule::SpaceBlocked: return "space-blocked";
-    case Schedule::Wavefront: return "wavefront";
-    case Schedule::Diamond: return "diamond";
-  }
-  return "?";
-}
-
-/// Wall-clock and throughput accounting for one propagation run.
-struct RunStats {
-  double seconds = 0.0;             ///< time loop only
-  double precompute_seconds = 0.0;  ///< sparse-operator precompute (WTB only)
-  long long point_updates = 0;      ///< grid-point updates performed
-
-  [[nodiscard]] double gpoints_per_s() const {
-    return seconds > 0.0 ? static_cast<double>(point_updates) / seconds / 1e9
-                         : 0.0;
-  }
-};
-
-/// Propagator tuning knobs shared by the three kernels.
-struct PropagatorOptions {
-  core::TileSpec tiles{};
-  sparse::InterpKind interp = sparse::InterpKind::Trilinear;
-  double dt = 0.0;  ///< timestep (ms); 0 selects the model's critical dt
-
-  /// Numerical health monitoring (NaN/Inf and energy blow-up scans).
-  /// Disabled by default; when enabled, barrier schedules scan every
-  /// `check_every` steps and temporally blocked schedules scan at time-band
-  /// boundaries — the only instants a whole timestep exists under blocking.
-  resilience::HealthPolicy health{};
-};
+using RunStats = core::engine::RunStats;
+using StepCallback = core::engine::StepCallback;
+using PropagatorOptions = core::engine::ExecutionOptions;
 
 }  // namespace tempest::physics

@@ -3,14 +3,9 @@
 #include <cmath>
 #include <vector>
 
-#include "tempest/core/compress.hpp"
-#include "tempest/core/fused.hpp"
-#include "tempest/core/precompute.hpp"
-#include "tempest/sparse/operators.hpp"
+#include "tempest/core/engine.hpp"
 #include "tempest/stencil/coefficients.hpp"
-#include "tempest/trace/trace.hpp"
 #include "tempest/util/error.hpp"
-#include "tempest/util/timer.hpp"
 
 namespace tempest::physics {
 
@@ -197,6 +192,92 @@ void update_block_generic(real_t* pn, const real_t* pc, const real_t* pp,
   }
 }
 
+/// PhysicsKernel adapter: coupled p/q three-slot buffers, source injected
+/// into both, receivers measure p.
+class TTIKernel {
+ public:
+  static constexpr int kSubstepsPerStep = 1;
+  static constexpr int kFirstStep = 1;
+
+  TTIKernel(const TTIModel& model, grid::TimeBuffer<real_t>& p,
+            grid::TimeBuffer<real_t>& q, const TTIFields& f, double dt)
+      : model_(model),
+        p_(p),
+        q_(q),
+        f_(f),
+        w_(folded_weights(model.geom.space_order)),
+        inv_h2_(static_cast<real_t>(
+            1.0 / (model.geom.spacing * model.geom.spacing))),
+        idt2_(static_cast<real_t>(1.0 / (dt * dt))),
+        i2dt_(static_cast<real_t>(1.0 / (2.0 * dt))),
+        dt2_(static_cast<real_t>(dt * dt)),
+        sx_(p.at(0).stride_x()),
+        sy_(p.at(0).stride_y()) {
+    TEMPEST_REQUIRE(model.m.stride_x() == sx_);
+  }
+
+  [[nodiscard]] const grid::Extents3& extents() const {
+    return model_.geom.extents;
+  }
+  [[nodiscard]] int radius() const { return model_.geom.radius(); }
+
+  void apply(int t, const grid::Box3& box) {
+    real_t* pn = p_.at(t + 1).origin();
+    const real_t* pc = p_.at(t).origin();
+    const real_t* pp = p_.at(t - 1).origin();
+    real_t* qn = q_.at(t + 1).origin();
+    const real_t* qc = q_.at(t).origin();
+    const real_t* qp = q_.at(t - 1).origin();
+    switch (radius()) {
+      case 1:
+        update_block<1>(pn, pc, pp, qn, qc, qp, f_, sx_, sy_, box,
+                        w_.w2.data(), w_.w1.data(), inv_h2_, idt2_, i2dt_);
+        break;
+      case 2:
+        update_block<2>(pn, pc, pp, qn, qc, qp, f_, sx_, sy_, box,
+                        w_.w2.data(), w_.w1.data(), inv_h2_, idt2_, i2dt_);
+        break;
+      case 4:
+        update_block<4>(pn, pc, pp, qn, qc, qp, f_, sx_, sy_, box,
+                        w_.w2.data(), w_.w1.data(), inv_h2_, idt2_, i2dt_);
+        break;
+      case 6:
+        update_block<6>(pn, pc, pp, qn, qc, qp, f_, sx_, sy_, box,
+                        w_.w2.data(), w_.w1.data(), inv_h2_, idt2_, i2dt_);
+        break;
+      default:
+        update_block_generic(pn, pc, pp, qn, qc, qp, f_, sx_, sy_, box,
+                             w_.w2.data(), w_.w1.data(), radius(), inv_h2_,
+                             idt2_, i2dt_);
+        break;
+    }
+  }
+
+  [[nodiscard]] real_t inject_scale(int x, int y, int z) const {
+    return dt2_ / model_.m(x, y, z);
+  }
+  [[nodiscard]] core::engine::FieldRefs inject_fields(int t) {
+    return {{&p_.at(t + 1), &q_.at(t + 1)}, 2};
+  }
+  [[nodiscard]] const grid::Grid3<real_t>& gather_field(int t) const {
+    return p_.at(t + 1);
+  }
+  [[nodiscard]] core::engine::HealthFields health_fields(int t) {
+    return {{{{"p", &p_.at(t)}, {"q", &q_.at(t)}}}, 2};
+  }
+
+ private:
+  const TTIModel& model_;
+  grid::TimeBuffer<real_t>& p_;
+  grid::TimeBuffer<real_t>& q_;
+  TTIFields f_;
+  TTIWeights w_;
+  real_t inv_h2_, idt2_, i2dt_, dt2_;
+  std::ptrdiff_t sx_, sy_;
+};
+
+static_assert(core::engine::PhysicsKernel<TTIKernel>);
+
 }  // namespace
 
 TTIPropagator::TTIPropagator(const TTIModel& model, PropagatorOptions opts)
@@ -239,173 +320,44 @@ TTIPropagator::TTIPropagator(const TTIModel& model, PropagatorOptions opts)
 
 RunStats TTIPropagator::run(Schedule sched,
                             const sparse::SparseTimeSeries& src,
-                            sparse::SparseTimeSeries* rec) {
-  const int nt = src.nt();
-  TEMPEST_REQUIRE(nt >= 2);
-  TEMPEST_REQUIRE_MSG(sched != Schedule::Diamond,
-                      "diamond tiling is implemented for the acoustic "
-                      "propagator only");
-  if (rec != nullptr) {
-    TEMPEST_REQUIRE(rec->nt() >= nt);
-    rec->zero();
-  }
+                            sparse::SparseTimeSeries* rec,
+                            const StepCallback& on_step) {
+  if (rec != nullptr) rec->zero();
   p_.fill(real_t{0});
   q_.fill(real_t{0});
+  return run_from(TTIKernel::kFirstStep, sched, src, rec, on_step);
+}
 
-  const auto& e = model_.geom.extents;
-  const int radius = model_.geom.radius();
-  const TTIWeights w = folded_weights(model_.geom.space_order);
-  const real_t inv_h2 =
-      static_cast<real_t>(1.0 / (model_.geom.spacing * model_.geom.spacing));
-  const real_t idt2 = static_cast<real_t>(1.0 / (dt_ * dt_));
-  const real_t i2dt = static_cast<real_t>(1.0 / (2.0 * dt_));
-  const real_t dt2 = static_cast<real_t>(dt_ * dt_);
-
-  const std::ptrdiff_t sx = p_.at(0).stride_x();
-  const std::ptrdiff_t sy = p_.at(0).stride_y();
-  TEMPEST_REQUIRE(model_.m.stride_x() == sx);
+RunStats TTIPropagator::run_from(int t_begin, Schedule sched,
+                                 const sparse::SparseTimeSeries& src,
+                                 sparse::SparseTimeSeries* rec,
+                                 const StepCallback& on_step) {
   const TTIFields f{model_.m.origin(),  model_.damp.origin(), cxx_.origin(),
                     cyy_.origin(),      czz_.origin(),        cxy_.origin(),
                     cxz_.origin(),      cyz_.origin(),        ah_.origin(),
                     an_.origin()};
+  TTIKernel kernel(model_, p_, q_, f, dt_);
+  core::engine::ScheduleExecutor executor(kernel, opts_);
+  return executor.run_from(t_begin, sched, src, rec, on_step);
+}
 
-  const auto& m_grid = model_.m;
-  auto inj_scale = [dt2, &m_grid](int x, int y, int z) {
-    return dt2 / m_grid(x, y, z);
-  };
+resilience::Checkpoint TTIPropagator::capture(
+    int step, std::uint64_t fingerprint,
+    const sparse::SparseTimeSeries* rec) const {
+  std::vector<const grid::Grid3<real_t>*> slices;
+  slices.reserve(static_cast<std::size_t>(p_.slots() + q_.slots()));
+  for (int s = 0; s < p_.slots(); ++s) slices.push_back(&p_.slot(s));
+  for (int s = 0; s < q_.slots(); ++s) slices.push_back(&q_.slot(s));
+  return core::engine::capture_state(slices, step, TTIKernel::kFirstStep,
+                                     fingerprint, rec);
+}
 
-  auto stencil_block = [&](int t, const grid::Box3& box) {
-    TEMPEST_TRACE_COUNT(CellsUpdated, box.volume());
-    TEMPEST_TRACE_COUNT(
-        HaloCellsTouched,
-        2 * radius *
-            (box.x.length() * box.y.length() + box.y.length() * box.z.length() +
-             box.x.length() * box.z.length()));
-    real_t* pn = p_.at(t + 1).origin();
-    const real_t* pc = p_.at(t).origin();
-    const real_t* pp = p_.at(t - 1).origin();
-    real_t* qn = q_.at(t + 1).origin();
-    const real_t* qc = q_.at(t).origin();
-    const real_t* qp = q_.at(t - 1).origin();
-    switch (radius) {
-      case 1:
-        update_block<1>(pn, pc, pp, qn, qc, qp, f, sx, sy, box, w.w2.data(),
-                        w.w1.data(), inv_h2, idt2, i2dt);
-        break;
-      case 2:
-        update_block<2>(pn, pc, pp, qn, qc, qp, f, sx, sy, box, w.w2.data(),
-                        w.w1.data(), inv_h2, idt2, i2dt);
-        break;
-      case 4:
-        update_block<4>(pn, pc, pp, qn, qc, qp, f, sx, sy, box, w.w2.data(),
-                        w.w1.data(), inv_h2, idt2, i2dt);
-        break;
-      case 6:
-        update_block<6>(pn, pc, pp, qn, qc, qp, f, sx, sy, box, w.w2.data(),
-                        w.w1.data(), inv_h2, idt2, i2dt);
-        break;
-      default:
-        update_block_generic(pn, pc, pp, qn, qc, qp, f, sx, sy, box,
-                             w.w2.data(), w.w1.data(), radius, inv_h2, idt2,
-                             i2dt);
-        break;
-    }
-  };
-
-  RunStats stats;
-  stats.point_updates =
-      static_cast<long long>(nt - 1) * static_cast<long long>(e.size());
-
-  if (sched == Schedule::Wavefront) {
-    util::Timer pre;
-    const core::SourceMasks masks =
-        core::build_source_masks(e, src, opts_.interp);
-    const core::DecomposedSource dcmp =
-        core::decompose_sources(masks, src, opts_.interp);
-    const core::CompressedSparse cs_src(masks.sm, masks.sid);
-    core::DecomposedReceivers drec;
-    core::CompressedSparse cs_rec;
-    if (rec != nullptr && rec->npoints() > 0) {
-      drec = core::decompose_receivers(e, *rec, opts_.interp);
-      cs_rec = core::CompressedSparse(drec.rm, drec.rid);
-    }
-    stats.precompute_seconds = pre.seconds();
-
-    util::Timer timer;
-    core::run_wavefront(
-        e, 1, nt, radius, opts_.tiles, [&](int t, const grid::Box3& box) {
-          {
-            TEMPEST_TRACE_SPAN_ARG("stencil", "compute", t);
-            stencil_block(t, box);
-          }
-          {
-            TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
-            core::fused_inject(p_.at(t + 1), cs_src, dcmp, t, box.x, box.y,
-                               inj_scale);
-            core::fused_inject(q_.at(t + 1), cs_src, dcmp, t, box.x, box.y,
-                               inj_scale);
-          }
-          if (rec != nullptr && !cs_rec.empty()) {
-            TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
-            core::fused_gather(p_.at(t + 1), cs_rec, drec,
-                               rec->step(t).data(), box.x, box.y);
-          }
-        });
-    stats.seconds = timer.seconds();
-    return stats;
-  }
-
-  if (sched == Schedule::SpaceBlocked) {
-    const sparse::SupportCache src_cache(src, opts_.interp, e);
-    sparse::SupportCache rec_cache;
-    if (rec != nullptr && rec->npoints() > 0) {
-      rec_cache = sparse::SupportCache(*rec, opts_.interp, e);
-    }
-    util::Timer timer;
-    const auto blocks = grid::decompose_xy(
-        grid::Box3::whole(e), opts_.tiles.block_x, opts_.tiles.block_y);
-    for (int t = 1; t < nt; ++t) {
-      {
-        TEMPEST_TRACE_SPAN_ARG("stencil", "compute", t);
-        TEMPEST_TRACE_COUNT(BlocksExecuted, blocks.size());
-#pragma omp parallel for schedule(dynamic)
-        for (std::size_t b = 0; b < blocks.size(); ++b) {
-          stencil_block(t, blocks[b]);
-        }
-      }
-      {
-        TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
-        sparse::inject_cached(p_.at(t + 1), src, t, src_cache, inj_scale);
-        sparse::inject_cached(q_.at(t + 1), src, t, src_cache, inj_scale);
-      }
-      if (rec != nullptr && rec->npoints() > 0) {
-        TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
-        sparse::interpolate_cached(p_.at(t + 1), *rec, t, rec_cache);
-      }
-    }
-    stats.seconds = timer.seconds();
-    return stats;
-  }
-
-  util::Timer timer;
-  for (int t = 1; t < nt; ++t) {
-    {
-      TEMPEST_TRACE_SPAN_ARG("stencil", "compute", t);
-      TEMPEST_TRACE_COUNT(BlocksExecuted, 1);
-      stencil_block(t, grid::Box3::whole(e));
-    }
-    {
-      TEMPEST_TRACE_SPAN_ARG("inject", "sparse", t);
-      sparse::inject(p_.at(t + 1), src, t, opts_.interp, inj_scale);
-      sparse::inject(q_.at(t + 1), src, t, opts_.interp, inj_scale);
-    }
-    if (rec != nullptr && rec->npoints() > 0) {
-      TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
-      sparse::interpolate(p_.at(t + 1), *rec, t, opts_.interp);
-    }
-  }
-  stats.seconds = timer.seconds();
-  return stats;
+void TTIPropagator::restore(const resilience::Checkpoint& ck) {
+  std::vector<grid::Grid3<real_t>*> slices;
+  slices.reserve(static_cast<std::size_t>(p_.slots() + q_.slots()));
+  for (int s = 0; s < p_.slots(); ++s) slices.push_back(&p_.slot(s));
+  for (int s = 0; s < q_.slots(); ++s) slices.push_back(&q_.slot(s));
+  core::engine::restore_state(slices, ck);
 }
 
 }  // namespace tempest::physics

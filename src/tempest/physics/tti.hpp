@@ -1,9 +1,12 @@
 #pragma once
 
+#include <cstdint>
+
 #include "tempest/config.hpp"
 #include "tempest/grid/time_buffer.hpp"
 #include "tempest/physics/model.hpp"
 #include "tempest/physics/propagator.hpp"
+#include "tempest/resilience/checkpoint.hpp"
 #include "tempest/sparse/series.hpp"
 
 namespace tempest::physics {
@@ -27,8 +30,24 @@ class TTIPropagator {
  public:
   TTIPropagator(const TTIModel& model, PropagatorOptions opts = {});
 
+  /// Uniform propagator surface (see AcousticPropagator for the contract):
+  /// all four schedules, per-step callbacks on barrier schedules, and
+  /// checkpoint/resume via run_from()/capture()/restore().
   RunStats run(Schedule sched, const sparse::SparseTimeSeries& src,
-               sparse::SparseTimeSeries* rec = nullptr);
+               sparse::SparseTimeSeries* rec = nullptr,
+               const StepCallback& on_step = {});
+
+  RunStats run_from(int t_begin, Schedule sched,
+                    const sparse::SparseTimeSeries& src,
+                    sparse::SparseTimeSeries* rec = nullptr,
+                    const StepCallback& on_step = {});
+
+  /// Snapshot both p and q circular buffers (p slices first, then q).
+  [[nodiscard]] resilience::Checkpoint capture(
+      int step, std::uint64_t fingerprint,
+      const sparse::SparseTimeSeries* rec = nullptr) const;
+
+  void restore(const resilience::Checkpoint& ck);
 
   [[nodiscard]] const grid::Grid3<real_t>& wavefield_p(int t) const {
     return p_.at(t);
@@ -38,6 +57,7 @@ class TTIPropagator {
   }
   [[nodiscard]] double dt() const { return dt_; }
   [[nodiscard]] const TTIModel& model() const { return model_; }
+  [[nodiscard]] const PropagatorOptions& options() const { return opts_; }
 
  private:
   const TTIModel& model_;

@@ -172,14 +172,16 @@ TEST(DiamondAcoustic, AutoWidensNarrowTiles) {
   EXPECT_EQ(tg::max_abs_diff(u_base, diam.wavefield(nt)), 0.0);
 }
 
-TEST(DiamondAcoustic, OtherKernelsRejectDiamond) {
+TEST(DiamondAcoustic, StepCallbackRejectedUnderDiamond) {
+  // Diamond is legal for every physics (schedule_matrix_test covers the
+  // cross-kernel equivalence); what stays illegal is a per-timestep
+  // callback, since no global time barrier exists under temporal blocking.
   const tg::Extents3 e{16, 16, 16};
   ph::Geometry g{e, 10.0, 4, 4};
   const auto model = ph::make_acoustic_layered(g);
   const int nt = 8;
   sp::SparseTimeSeries src(sp::single_center_source(e, 0.4), nt);
   src.broadcast_signature(sp::ricker(nt, model.critical_dt(), 0.02));
-  // Acoustic accepts; the snapshot callback is rejected under Diamond.
   ph::AcousticPropagator p(model);
   EXPECT_THROW(p.run(ph::Schedule::Diamond, src, nullptr, [](int) {}),
                tempest::util::PreconditionError);

@@ -13,6 +13,7 @@
 #include "tempest/core/moving.hpp"
 #include "tempest/io/io.hpp"
 #include "tempest/physics/acoustic.hpp"
+#include "tempest/physics/vti.hpp"
 #include "tempest/resilience/checkpoint.hpp"
 #include "tempest/resilience/fault.hpp"
 #include "tempest/resilience/health.hpp"
@@ -143,6 +144,65 @@ TEST_F(FaultInjection, KilledRunResumesFromCheckpointBitwise) {
 
   EXPECT_EQ(tg::max_abs_diff(u_ref, resumed.wavefield(s.nt)), 0.0);
   for (int t = 0; t < s.nt; ++t) {
+    for (int r = 0; r < rec_ref.npoints(); ++r) {
+      ASSERT_EQ(rec_ref.at(t, r), rec_resumed.at(t, r))
+          << "t=" << t << " r=" << r;
+    }
+  }
+}
+
+// Same contract for the coupled two-field VTI system: the checkpoint carries
+// the p slices then the q slices, and a resumed run is bitwise identical.
+TEST_F(FaultInjection, KilledVTIRunResumesFromCheckpointBitwise) {
+  const tg::Extents3 e{16, 14, 12};
+  const int nt = 20;
+  ph::Geometry g{e, 20.0, 4, /*nbl=*/4};
+  ph::TTIModel model = ph::make_tti_layered(g, 1.5, 3.0, 3);
+  model.theta.fill(0.0f);  // untilted: a genuine VTI medium
+  model.phi.fill(0.0f);
+  sp::SparseTimeSeries src(sp::single_center_source(e, 0.4), nt);
+  src.broadcast_signature(sp::ricker(nt, model.critical_dt(), 0.02));
+  const sp::SparseTimeSeries rec_proto(sp::receiver_line(e, 4, 0.15, 3), nt);
+
+  ph::VTIPropagator ref(model);
+  auto rec_ref = rec_proto;
+  ref.run(ph::Schedule::SpaceBlocked, src, &rec_ref);
+  const auto p_ref = ref.wavefield_p(nt);
+  const auto q_ref = ref.wavefield_q(nt);
+
+  rs::Fingerprint fp;
+  fp.add(e.nx).add(e.ny).add(e.nz).add(model.geom.space_order).add(nt);
+
+  TempFile file(".tpck");
+  rs::Checkpointer ckpt(file.path());
+  const int kill_at = 11;
+  {
+    ph::VTIPropagator first(model);
+    auto rec = rec_proto;
+    EXPECT_THROW(
+        first.run(ph::Schedule::SpaceBlocked, src, &rec,
+                  [&](int t_done) {
+                    if (t_done == kill_at) {
+                      ckpt.save(first.capture(t_done, fp.value(), &rec));
+                      throw KillSignal{};  // the process "dies" here
+                    }
+                  }),
+        KillSignal);
+  }
+
+  ph::VTIPropagator resumed(model);
+  const auto ck = ckpt.try_load(fp.value());
+  ASSERT_TRUE(ck.has_value());
+  EXPECT_EQ(ck->step, kill_at);
+  EXPECT_EQ(ck->slots.size(), 6u);  // three p slices + three q slices
+  ASSERT_TRUE(ck->has_rec);
+  resumed.restore(*ck);
+  auto rec_resumed = ck->rec;
+  resumed.run_from(ck->step, ph::Schedule::SpaceBlocked, src, &rec_resumed);
+
+  EXPECT_EQ(tg::max_abs_diff(p_ref, resumed.wavefield_p(nt)), 0.0);
+  EXPECT_EQ(tg::max_abs_diff(q_ref, resumed.wavefield_q(nt)), 0.0);
+  for (int t = 0; t < nt; ++t) {
     for (int r = 0; r < rec_ref.npoints(); ++r) {
       ASSERT_EQ(rec_ref.at(t, r), rec_resumed.at(t, r))
           << "t=" << t << " r=" << r;

@@ -1,5 +1,5 @@
 // Cross-schedule equivalence matrix: {reference, space-blocked, wavefront,
-// fused, diamond} x {acoustic, TTI, elastic} x space orders {4, 8}. Every
+// fused, diamond} x {acoustic, TTI, VTI, elastic} x space orders {4, 8}. Every
 // legal schedule of the same problem must produce the same physics AND do
 // the same amount of work — the tempest::trace counters are the work
 // oracle (a schedule that skips or double-visits cells cannot match the
@@ -23,6 +23,7 @@
 #include "tempest/physics/acoustic.hpp"
 #include "tempest/physics/elastic.hpp"
 #include "tempest/physics/tti.hpp"
+#include "tempest/physics/vti.hpp"
 #include "tempest/sparse/survey.hpp"
 #include "tempest/sparse/wavelet.hpp"
 #include "tempest/trace/trace.hpp"
@@ -50,7 +51,7 @@ const char* to_string(Variant v) {
 }
 
 struct Case {
-  const char* kernel;  // "acoustic" | "tti" | "elastic"
+  const char* kernel;  // "acoustic" | "tti" | "vti" | "elastic"
   Variant variant;
   int so;
 };
@@ -111,6 +112,20 @@ Artifacts run_cell(const Case& c) {
     src.broadcast_signature(sp::ricker(nt, model.critical_dt(), 0.015));
     out.rec = sp::SparseTimeSeries(sp::receiver_line(e, 4, 0.15, 3), nt);
     ph::TTIPropagator prop(model, opts);
+    prop.run(sched, src, &out.rec);
+    out.fields.push_back(prop.wavefield_p(nt));
+    out.fields.push_back(prop.wavefield_q(nt));
+  } else if (std::string(c.kernel) == "vti") {
+    const tg::Extents3 e{16, 14, 12};
+    const int nt = 12;
+    ph::Geometry g{e, 20.0, c.so, /*nbl=*/4};
+    ph::TTIModel model = ph::make_tti_layered(g, 1.5, 3.0, 3);
+    model.theta.fill(0.0f);  // untilted: a genuine VTI medium
+    model.phi.fill(0.0f);
+    sp::SparseTimeSeries src(sp::single_center_source(e, 0.4), nt);
+    src.broadcast_signature(sp::ricker(nt, model.critical_dt(), 0.015));
+    out.rec = sp::SparseTimeSeries(sp::receiver_line(e, 4, 0.15, 3), nt);
+    ph::VTIPropagator prop(model, opts);
     prop.run(sched, src, &out.rec);
     out.fields.push_back(prop.wavefield_p(nt));
     out.fields.push_back(prop.wavefield_q(nt));
@@ -199,17 +214,15 @@ namespace {
 
 std::vector<Case> matrix_cases() {
   std::vector<Case> cases;
-  for (const char* kernel : {"acoustic", "tti", "elastic"}) {
+  for (const char* kernel : {"acoustic", "tti", "vti", "elastic"}) {
     for (const int so : {4, 8}) {
-      for (const Variant v : {Variant::Reference, Variant::SpaceBlocked,
-                              Variant::Wavefront, Variant::Fused}) {
+      for (const Variant v :
+           {Variant::Reference, Variant::SpaceBlocked, Variant::Wavefront,
+            Variant::Fused, Variant::Diamond}) {
         cases.push_back({kernel, v, so});
       }
     }
   }
-  // Diamond tiling exists for the acoustic propagator only.
-  cases.push_back({"acoustic", Variant::Diamond, 4});
-  cases.push_back({"acoustic", Variant::Diamond, 8});
   return cases;
 }
 
