@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Tier-1 verification: build + full test suite under the default (Release)
 # preset, then again under the asan preset (-fsanitize=address,undefined).
-# Usage:  scripts/check.sh [--fast | --skip-asan | --bench | --tidy]
+# Usage:  scripts/check.sh [--fast | --skip-asan | --bench | --tidy |
+#                           --ubsan | --analyze]
 #   --fast       build the default preset and run only the `unit`-labelled
 #                tests (the PR fast lane); implies no asan pass
 #   --skip-asan  full default-preset suite, skip the sanitizer pass
@@ -9,8 +10,14 @@
 #                smoke-test sizes with --json, and schema-check the
 #                emitted BENCH_*.json (works on PMU-less machines)
 #   --tidy       run clang-tidy (bugprone + performance, see .clang-tidy)
-#                over the engine and physics layers; skips gracefully when
-#                clang-tidy is not installed
+#                over the engine, physics and analysis layers; findings are
+#                errors (blocking CI gate) — returns non-zero on any hit
+#   --ubsan      full suite under the standalone UBSan preset
+#                (-fsanitize=undefined,float-cast-overflow, no recovery)
+#   --analyze    build the schedule-legality verifier and sweep every
+#                physics kernel x schedule x sparse on/off x lowering
+#                stage, printing the diagnostic table; non-zero when any
+#                verdict contradicts the paper's legality theorem
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -61,18 +68,29 @@ run_preset() {
 
 run_tidy() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
-    echo "==> clang-tidy not installed; skipping static analysis"
-    exit 0
+    echo "==> clang-tidy not installed; cannot run the blocking tidy gate" >&2
+    exit 1
   fi
   echo "==> configure (default, compile-commands export)"
   cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  echo "==> clang-tidy (src/tempest/core + src/tempest/physics)"
-  # The schedule-execution engine and the kernels it drives are the layers
-  # this PR-lane gate covers; .clang-tidy scopes the checks and pulls the
-  # matching headers in via HeaderFilterRegex.
+  echo "==> clang-tidy (src/tempest/{core,physics,analysis})"
+  # The schedule-execution engine, the kernels it drives, and the legality
+  # verifier that gates them; .clang-tidy scopes the checks, promotes every
+  # warning to an error (blocking), and pulls the matching headers in via
+  # HeaderFilterRegex.
   clang-tidy -p build \
-    src/tempest/core/*.cpp src/tempest/physics/*.cpp
+    src/tempest/core/*.cpp src/tempest/physics/*.cpp \
+    src/tempest/analysis/*.cpp
   echo "==> tidy passed"
+}
+
+run_analyze() {
+  echo "==> configure (default)"
+  cmake --preset default >/dev/null
+  echo "==> build schedule_verifier"
+  cmake --build --preset default -j "$(nproc)" --target schedule_verifier
+  echo "==> schedule-legality sweep (kernels x schedules x sparse x stages)"
+  build/tools/schedule_verifier
 }
 
 if [ "${1:-}" = "--bench" ]; then
@@ -82,6 +100,17 @@ fi
 
 if [ "${1:-}" = "--tidy" ]; then
   run_tidy
+  exit 0
+fi
+
+if [ "${1:-}" = "--analyze" ]; then
+  run_analyze
+  exit 0
+fi
+
+if [ "${1:-}" = "--ubsan" ]; then
+  run_preset ubsan
+  echo "==> ubsan suite passed"
   exit 0
 fi
 

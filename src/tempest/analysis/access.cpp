@@ -1,0 +1,314 @@
+#include "tempest/analysis/access.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "tempest/util/error.hpp"
+
+namespace tempest::analysis {
+
+const char* to_string(AccessClass c) {
+  switch (c) {
+    case AccessClass::AffineStencil: return "affine-stencil";
+    case AccessClass::MaskGuardedFused: return "mask-guarded-fused";
+    case AccessClass::OffGridSparse: return "off-grid-sparse";
+    case AccessClass::Precompute: return "precompute";
+  }
+  return "?";
+}
+
+int Extent::max_abs() const {
+  TEMPEST_REQUIRE_MSG(!star, "max_abs() of a star extent");
+  return std::max(std::abs(lo), std::abs(hi));
+}
+
+std::string Extent::str() const {
+  if (star) return "*";
+  if (lo == hi) return std::to_string(lo);
+  return std::to_string(lo) + ".." + std::to_string(hi);
+}
+
+bool Access::dist_star_in(const std::string& dim) const {
+  if (dim == "x") return dx.star;
+  if (dim == "y") return dy.star;
+  TEMPEST_REQUIRE_MSG(dim == "z", "unknown tiled dimension: " + dim);
+  return dz.star;
+}
+
+std::string Access::str() const {
+  std::ostringstream os;
+  os << (is_write ? "W " : "R ") << field << "[t";
+  if (time >= 0) os << '+';
+  os << time;
+  if (grid) os << ',' << dx.str() << ',' << dy.str() << ',' << dz.str();
+  else os << ",.";
+  os << ']';
+  return os.str();
+}
+
+bool Statement::inside_loop(const std::string& dim) const {
+  return std::find(loops.begin(), loops.end(), dim) != loops.end();
+}
+
+namespace {
+
+/// Axis role of one index position of a field.
+enum class Axis { Time, X, Y, Z, Pt };
+
+/// Index signature of the arrays the lowering pipeline emits. Unknown
+/// fields fall back on arity: 4 indices reads as a (t, x, y, z) grid
+/// field, 2 as a (t, point) table.
+struct FieldSig {
+  std::vector<Axis> axes;
+  bool grid = true;
+};
+
+FieldSig signature_for(const std::string& field, std::size_t arity,
+                       const AccessSummary& kernel) {
+  if (field == kernel.field || field == "u") {
+    return {{Axis::Time, Axis::X, Axis::Y, Axis::Z}, true};
+  }
+  if (field == "rec" || field == "src_dcmp") {
+    return {{Axis::Time, Axis::Pt}, false};
+  }
+  if (field == "w_dcmp") return {{Axis::Pt}, false};
+  if (field == "SM" || field == "SID" || field == "RM" || field == "RID") {
+    return {{Axis::X, Axis::Y, Axis::Z}, true};
+  }
+  if (field == "Sp_SID" || field == "Sp_RID") {
+    // Packed per-column tables: affine in (x, y), packed along z.
+    return {{Axis::X, Axis::Y, Axis::Pt}, true};
+  }
+  if (arity == 4) return {{Axis::Time, Axis::X, Axis::Y, Axis::Z}, true};
+  if (arity == 2) return {{Axis::Time, Axis::Pt}, false};
+  return {std::vector<Axis>(arity, Axis::Pt), false};
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string strip(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c != ' ') out.push_back(c);
+  }
+  return out;
+}
+
+/// Split bracket content on top-level commas (nested [..] / (..) ignored).
+std::vector<std::string> split_indices(const std::string& inner) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::string cur;
+  for (char c : inner) {
+    if (c == '[' || c == '(') ++depth;
+    if (c == ']' || c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      parts.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    cur.push_back(c);
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+/// Parse one index expression against the enclosing loop dims: `v` or
+/// `v+k` / `v-k` with `v` an enclosing loop variable is affine with offset
+/// ±k; anything else (coordinate variables like `xs`, nested indirection
+/// like `SID[x,y,z]`) is star.
+Extent classify_index(const std::string& raw,
+                      const std::vector<std::string>& loops) {
+  const std::string e = strip(raw);
+  if (e.empty()) return Extent::unknown();
+  if (e.find('[') != std::string::npos) return Extent::unknown();
+  std::size_t i = 0;
+  while (i < e.size() && ident_char(e[i])) ++i;
+  const std::string var = e.substr(0, i);
+  if (std::find(loops.begin(), loops.end(), var) == loops.end()) {
+    return Extent::unknown();
+  }
+  if (i == e.size()) return Extent::affine(0);
+  if ((e[i] == '+' || e[i] == '-') && i + 1 < e.size()) {
+    const std::string rest = e.substr(i + 1);
+    if (std::all_of(rest.begin(), rest.end(), [](char c) {
+          return std::isdigit(static_cast<unsigned char>(c)) != 0;
+        })) {
+      const int k = std::stoi(rest);
+      return Extent::affine(e[i] == '+' ? k : -k);
+    }
+  }
+  return Extent::unknown();
+}
+
+/// Parse every `field[i0, i1, ...]` occurrence of a statement's pseudocode.
+/// The access left of the (first, top-level) assignment operator is the
+/// write; `+=` makes it a read as well.
+std::vector<Access> parse_accesses(const std::string& text,
+                                   const std::vector<std::string>& loops,
+                                   const AccessSummary& kernel) {
+  // Locate the assignment operator ('+=' or a single '=' that is not part
+  // of '==') outside any bracket.
+  std::size_t assign = std::string::npos;
+  bool accumulate = false;
+  int depth = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '[' || c == '(') ++depth;
+    if (c == ']' || c == ')') --depth;
+    if (depth != 0 || c != '=') continue;
+    if (i + 1 < text.size() && text[i + 1] == '=') continue;
+    if (i > 0 && (text[i - 1] == '=' || text[i - 1] == '!' ||
+                  text[i - 1] == '<' || text[i - 1] == '>')) {
+      continue;
+    }
+    assign = i;
+    accumulate = i > 0 && text[i - 1] == '+';
+    break;
+  }
+
+  std::vector<Access> out;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '[') continue;
+    // Identifier immediately before the bracket.
+    std::size_t b = i;
+    while (b > 0 && ident_char(text[b - 1])) --b;
+    if (b == i) continue;
+    const std::string field = text.substr(b, i - b);
+    // Matching close bracket.
+    int d = 0;
+    std::size_t j = i;
+    for (; j < text.size(); ++j) {
+      if (text[j] == '[') ++d;
+      if (text[j] == ']' && --d == 0) break;
+    }
+    if (j == text.size()) continue;
+    const auto indices = split_indices(text.substr(i + 1, j - i - 1));
+    const FieldSig sig = signature_for(field, indices.size(), kernel);
+
+    Access a;
+    a.field = field;
+    a.grid = sig.grid;
+    a.dx = a.dy = a.dz = Extent::affine(0);
+    for (std::size_t k = 0; k < indices.size() && k < sig.axes.size(); ++k) {
+      const Extent ext = classify_index(indices[k], loops);
+      switch (sig.axes[k]) {
+        case Axis::Time:
+          // Time indexing is affine in every nest the pipeline emits.
+          a.time = ext.star ? 0 : ext.lo;
+          break;
+        case Axis::X: a.dx = ext; break;
+        case Axis::Y: a.dy = ext; break;
+        case Axis::Z: a.dz = ext; break;
+        case Axis::Pt: break;  // point axes are never tiled
+      }
+    }
+    const bool lhs = assign != std::string::npos && b < assign;
+    if (lhs) {
+      a.is_write = true;
+      out.push_back(a);
+      if (accumulate) {
+        a.is_write = false;
+        out.push_back(a);  // '+=' also reads the target location
+      }
+    } else {
+      a.is_write = false;
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+/// Expand the opaque stencil call from the kernel's declared summary: one
+/// write of field[t+1] at the point, a ±radius read of field[t + k0], and
+/// centre reads of the deeper history slices.
+std::vector<Access> stencil_accesses(const AccessSummary& k) {
+  std::vector<Access> out;
+  Access w;
+  w.field = k.field;
+  w.is_write = true;
+  w.time = 1;
+  w.dx = w.dy = w.dz = Extent::affine(0);
+  out.push_back(w);
+  for (std::size_t i = 0; i < k.time_reads.size(); ++i) {
+    Access r;
+    r.field = k.field;
+    r.time = k.time_reads[i];
+    if (i == 0) {
+      r.dx = r.dy = r.dz = Extent::range(-k.radius, k.radius);
+    } else {
+      r.dx = r.dy = r.dz = Extent::affine(0);
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+AccessClass classify_statement(const std::string& tag,
+                               const std::vector<Access>& accesses) {
+  if (tag == "precompute") return AccessClass::Precompute;
+  if (tag == "stencil") return AccessClass::AffineStencil;
+  if (tag == "inject" || tag == "interp") return AccessClass::OffGridSparse;
+  if (tag == "inject-fused" || tag == "interp-fused") {
+    return AccessClass::MaskGuardedFused;
+  }
+  for (const Access& a : accesses) {
+    if (a.dx.star || a.dy.star) return AccessClass::OffGridSparse;
+  }
+  for (const Access& a : accesses) {
+    if (a.dz.star) return AccessClass::MaskGuardedFused;
+  }
+  return AccessClass::AffineStencil;
+}
+
+void walk(const dsl::ir::Node& node, std::vector<std::string>& loops,
+          const AccessSummary& kernel, std::vector<Statement>& out) {
+  if (node.kind == dsl::ir::Node::Kind::Loop) {
+    const bool named = !node.dim.empty() && node.dim != "<prologue>";
+    if (named) loops.push_back(node.dim);
+    for (const auto& child : node.body) walk(child, loops, kernel, out);
+    if (named) loops.pop_back();
+    return;
+  }
+  Statement s;
+  s.id = static_cast<int>(out.size());
+  s.text = node.text;
+  s.tag = node.tag;
+  s.loops = loops;
+  s.under_time_loop = s.inside_loop("t");
+  s.accesses = node.tag == "stencil"
+                   ? stencil_accesses(kernel)
+                   : parse_accesses(node.text, loops, kernel);
+  s.cls = classify_statement(node.tag, s.accesses);
+  out.push_back(std::move(s));
+}
+
+}  // namespace
+
+std::vector<Statement> extract_accesses(const dsl::ir::Node& root,
+                                        const AccessSummary& kernel) {
+  std::vector<Statement> out;
+  std::vector<std::string> loops;
+  walk(root, loops, kernel, out);
+  return out;
+}
+
+std::string print_accesses(const std::vector<Statement>& stmts) {
+  std::ostringstream os;
+  for (const Statement& s : stmts) {
+    os << 'S' << s.id << ' ' << s.tag << ' ' << to_string(s.cls) << " (";
+    for (std::size_t i = 0; i < s.loops.size(); ++i) {
+      if (i > 0) os << ' ';
+      os << s.loops[i];
+    }
+    os << ')';
+    for (const Access& a : s.accesses) os << " " << a.str() << ';';
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tempest::analysis

@@ -1,0 +1,136 @@
+#include "tempest/analysis/dependence.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "tempest/util/error.hpp"
+
+namespace tempest::analysis {
+
+const char* to_string(DepKind k) {
+  switch (k) {
+    case DepKind::Flow: return "flow";
+    case DepKind::Anti: return "anti";
+    case DepKind::Output: return "output";
+  }
+  return "?";
+}
+
+const Extent& Dependence::dist(const std::string& dim) const {
+  if (dim == "x") return dx;
+  if (dim == "y") return dy;
+  TEMPEST_REQUIRE_MSG(dim == "z", "unknown tiled dimension: " + dim);
+  return dz;
+}
+
+std::string Dependence::str() const {
+  std::ostringstream os;
+  os << to_string(kind) << " S" << src << "->S" << dst << ' ' << field
+     << " dt=" << dt << " (" << dx.str() << ',' << dy.str() << ',' << dz.str()
+     << ')';
+  return os.str();
+}
+
+namespace {
+
+/// Distance of the sink iteration minus the source iteration on one axis:
+/// src touches offset a, dst touches offset b over the same locations, so
+/// the iteration gap is a - b (interval arithmetic; star absorbs).
+Extent axis_distance(const Extent& a, const Extent& b) {
+  if (a.star || b.star) return Extent::unknown();
+  return Extent::range(a.lo - b.hi, a.hi - b.lo);
+}
+
+DepKind kind_of(bool src_writes, bool dst_writes) {
+  if (src_writes && dst_writes) return DepKind::Output;
+  return src_writes ? DepKind::Flow : DepKind::Anti;
+}
+
+Extent hull(const Extent& a, const Extent& b) {
+  if (a.star || b.star) return Extent::unknown();
+  return Extent::range(std::min(a.lo, b.lo), std::max(a.hi, b.hi));
+}
+
+/// Merge edges with the same (src, dst, kind, field, dt) key into one edge
+/// whose distance is the interval hull — one reported edge per statement
+/// pair and time distance keeps the golden summaries readable.
+void add_edge(std::vector<Dependence>& deps, Dependence d) {
+  for (Dependence& e : deps) {
+    if (e.src == d.src && e.dst == d.dst && e.kind == d.kind &&
+        e.field == d.field && e.dt == d.dt) {
+      e.dx = hull(e.dx, d.dx);
+      e.dy = hull(e.dy, d.dy);
+      e.dz = hull(e.dz, d.dz);
+      return;
+    }
+  }
+  deps.push_back(std::move(d));
+}
+
+}  // namespace
+
+DependenceGraph build_dependences(const dsl::ir::Node& root,
+                                  const AccessSummary& kernel) {
+  DependenceGraph g;
+  g.stmts = extract_accesses(root, kernel);
+
+  for (std::size_t i = 0; i < g.stmts.size(); ++i) {
+    for (std::size_t j = i; j < g.stmts.size(); ++j) {
+      const Statement& si = g.stmts[i];
+      const Statement& sj = g.stmts[j];
+      // The precompute prologue runs once, before the first tile of any
+      // schedule: its edges are respected by construction.
+      if (!si.under_time_loop || !sj.under_time_loop) continue;
+      for (const Access& a : si.accesses) {
+        for (const Access& b : sj.accesses) {
+          if (a.field != b.field || (!a.is_write && !b.is_write)) continue;
+          if (!a.grid) continue;  // point-axis tables are never tiled
+          const int gap = a.time - b.time;  // sink iter - source iter
+          Dependence d;
+          d.field = a.field;
+          if (gap > 0) {
+            // Si writes/reads the location first (at the earlier step).
+            d.src = si.id;
+            d.dst = sj.id;
+            d.dt = gap;
+            d.kind = kind_of(a.is_write, b.is_write);
+            d.dx = axis_distance(a.dx, b.dx);
+            d.dy = axis_distance(a.dy, b.dy);
+            d.dz = axis_distance(a.dz, b.dz);
+          } else if (gap < 0) {
+            d.src = sj.id;
+            d.dst = si.id;
+            d.dt = -gap;
+            d.kind = kind_of(b.is_write, a.is_write);
+            d.dx = axis_distance(b.dx, a.dx);
+            d.dy = axis_distance(b.dy, a.dy);
+            d.dz = axis_distance(b.dz, a.dz);
+          } else {
+            // Same iteration: program order decides the direction; a
+            // statement's own same-slot accesses carry no edge.
+            if (i == j) continue;
+            d.src = si.id;
+            d.dst = sj.id;
+            d.dt = 0;
+            d.kind = kind_of(a.is_write, b.is_write);
+            d.dx = axis_distance(a.dx, b.dx);
+            d.dy = axis_distance(a.dy, b.dy);
+            d.dz = axis_distance(a.dz, b.dz);
+          }
+          add_edge(g.deps, std::move(d));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+std::string summary(const DependenceGraph& g) {
+  std::ostringstream os;
+  os << print_accesses(g.stmts);
+  os << "deps:\n";
+  for (const Dependence& d : g.deps) os << "  " << d.str() << '\n';
+  return os.str();
+}
+
+}  // namespace tempest::analysis

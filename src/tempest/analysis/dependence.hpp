@@ -1,0 +1,57 @@
+#pragma once
+
+// Dependence analysis over the extracted accesses: for every pair of
+// statements under the time loop that touch the same field (at least one
+// writing it), a flow/anti/output dependence edge with a (time, x, y, z)
+// distance vector. Affine access pairs get exact interval distances; any
+// pair involving a non-affine (star) access gets a conservative star
+// distance — the "could be anywhere" edges that doom time tiling in the
+// paper's Fig. 4b and that the precompute pipeline eliminates.
+
+#include <string>
+#include <vector>
+
+#include "tempest/analysis/access.hpp"
+
+namespace tempest::analysis {
+
+enum class DepKind { Flow, Anti, Output };
+
+[[nodiscard]] const char* to_string(DepKind k);
+
+/// One dependence edge: statement `src` (the endpoint executing first)
+/// must complete before `dst`. `dt` is the exact time distance in
+/// time-loop iterations (always affine, >= 0); the spatial distances are
+/// intervals or star.
+struct Dependence {
+  int src = 0;
+  int dst = 0;
+  DepKind kind = DepKind::Flow;
+  std::string field;
+  int dt = 0;
+  Extent dx, dy, dz;
+
+  /// Largest spatial distance along a named tiled dimension ("x" or "y");
+  /// star extents have no bound.
+  [[nodiscard]] const Extent& dist(const std::string& dim) const;
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct DependenceGraph {
+  std::vector<Statement> stmts;
+  std::vector<Dependence> deps;
+};
+
+/// Extract accesses and build the dependence graph of a lowered nest.
+/// Statements outside the time loop (the precompute prologue) contribute
+/// no edges: they execute once, before any tile, and are respected by
+/// every schedule.
+[[nodiscard]] DependenceGraph build_dependences(const dsl::ir::Node& root,
+                                               const AccessSummary& kernel);
+
+/// Golden-printable summary: the statement table followed by one line per
+/// dependence edge (kind, statement pair, distance vector).
+[[nodiscard]] std::string summary(const DependenceGraph& g);
+
+}  // namespace tempest::analysis

@@ -6,6 +6,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <chrono>
@@ -14,6 +15,7 @@
 #include <fstream>
 
 #include "tempest/dsl/interpreter.hpp"
+#include "tempest/physics/acoustic.hpp"
 #include "tempest/resilience/fault.hpp"
 #include "tempest/trace/trace.hpp"
 #include "tempest/util/error.hpp"
@@ -217,6 +219,17 @@ JitModule::~JitModule() {
   if (!so_path_.empty()) ::unlink(so_path_.c_str());
 }
 
+analysis::LegalityReport verify_kernel_spec(const KernelSpec& spec) {
+  const analysis::AccessSummary kernel =
+      physics::acoustic_access_summary(spec.space_order);
+  const analysis::ScheduleDescriptor sched =
+      spec.wavefront ? analysis::ScheduleDescriptor::wavefront(
+                           kernel.radius, std::max(1, spec.tiles.tile_t))
+                     : analysis::ScheduleDescriptor::space_blocked();
+  return analysis::verify_canonical(kernel, /*stage=*/2, /*sources=*/true,
+                                    /*receivers=*/false, sched);
+}
+
 JitAcoustic::JitAcoustic(const physics::AcousticModel& model, KernelSpec spec)
     : model_(model),
       spec_(spec),
@@ -225,6 +238,7 @@ JitAcoustic::JitAcoustic(const physics::AcousticModel& model, KernelSpec spec)
       u_(3, model.geom.extents, model.geom.radius()) {
   TEMPEST_REQUIRE_MSG(model.geom.space_order == spec.space_order,
                       "model space order must match the generated kernel");
+  analysis::require_legal(verify_kernel_spec(spec));
   try {
     module_.emplace(source_, spec.symbol());
   } catch (const util::PreconditionError& e) {

@@ -3,6 +3,7 @@
 #include <optional>
 #include <string>
 
+#include "tempest/analysis/legality.hpp"
 #include "tempest/codegen/emit.hpp"
 #include "tempest/core/compress.hpp"
 #include "tempest/core/precompute.hpp"
@@ -10,6 +11,16 @@
 #include "tempest/physics/model.hpp"
 
 namespace tempest::codegen {
+
+/// Pre-compile legality gate. The generated translation unit implements the
+/// stage-2 nest (precomputed + fused + compressed sparse injection), so the
+/// schedule the spec requests is verified against that nest's dependence
+/// graph *before* paying for a compiler invocation. JitAcoustic calls this
+/// from its constructor and lets analysis::ScheduleLegalityError propagate:
+/// an illegal schedule is a caller bug, not a toolchain failure, so it does
+/// not take the interpreter-fallback path.
+[[nodiscard]] analysis::LegalityReport verify_kernel_spec(
+    const KernelSpec& spec);
 
 /// JIT host: compiles a C translation unit with the system C compiler into
 /// a shared object and loads one symbol — the run-time half of the

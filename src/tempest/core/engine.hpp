@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "tempest/analysis/legality.hpp"
 #include "tempest/config.hpp"
 #include "tempest/core/compress.hpp"
 #include "tempest/core/diamond.hpp"
@@ -111,6 +112,14 @@ struct ExecutionOptions {
   /// `check_every` steps and temporally blocked schedules scan at time-band
   /// boundaries — the only instants a whole timestep exists under blocking.
   resilience::HealthPolicy health{};
+
+  /// Run the analysis:: schedule-legality verifier before every temporally
+  /// blocked execution (see analysis/legality.hpp): the canonical fused
+  /// nest the executor implements, checked against the kernel's *declared*
+  /// access summary and the engine's actual skew slope. Catches a kernel
+  /// whose declared dependency radius outruns the wave-front skew before a
+  /// single wrong cell is computed. Costs microseconds per run.
+  bool verify_schedule = true;
 };
 
 /// A kernel's injection targets for one timestep (e.g. p and q for the
@@ -157,6 +166,9 @@ concept PhysicsKernel =
       { ck.inject_scale(s, s, s) } -> std::convertible_to<real_t>;
       /// Wavefields scanned after timestep t is complete.
       { k.health_fields(s) } -> std::same_as<HealthFields>;
+      /// The kernel's declared access shape (dependency radius per
+      /// timestep, history depth) for the schedule-legality verifier.
+      { ck.access_summary() } -> std::convertible_to<analysis::AccessSummary>;
     };
 
 /// The single generic time-loop core. Owns schedule dispatch, tile /
@@ -240,6 +252,22 @@ class ScheduleExecutor {
       // --- The paper's scheme: precompute, fuse, compress, time-tile. The
       // same precomputed structures legalise either temporal-blocking
       // family (wave-front or diamond). ---
+      if (opts_.verify_schedule) {
+        // The executor implements the stage-2 (fused + compressed) nest and
+        // skews by `radius` per substep — slope = S * radius per timestep.
+        // Verify that tiling against the kernel's *declared* access shape:
+        // a kernel whose real dependency reach exceeded the skew would
+        // silently read stale halo cells; here it throws instead.
+        const analysis::ScheduleDescriptor descr =
+            sched == Schedule::Wavefront
+                ? analysis::ScheduleDescriptor::wavefront(
+                      S * radius, std::max(1, opts_.tiles.tile_t))
+                : analysis::ScheduleDescriptor::diamond(
+                      S * radius, std::max(1, opts_.tiles.tile_t));
+        analysis::require_legal(analysis::verify_canonical(
+            k_.access_summary(), /*stage=*/2, /*sources=*/true,
+            /*receivers=*/rec != nullptr && rec->npoints() > 0, descr));
+      }
       util::Timer pre;
       const core::SourceMasks masks =
           core::build_source_masks(e, src, opts_.interp);

@@ -1,5 +1,7 @@
 #include "tempest/dsl/operator.hpp"
 
+#include <algorithm>
+
 #include "tempest/dsl/passes.hpp"
 #include "tempest/util/error.hpp"
 
@@ -76,6 +78,62 @@ Operator::Operator(std::vector<Eq> updates,
   // concrete radius is bound at apply() time from the model's space order —
   // here we record the class-level slope semantics for ccode().
   slope_ = 1;
+
+  // Machine-check the paper's Fig. 4b at operator build time: under any
+  // temporally blocked schedule the naive Listing-1 nest must be *rejected*
+  // when off-the-grid sparse operators are present (their map()-indirected
+  // accesses carry unbounded dependence distances), and the lowered
+  // precomputed + fused nests must be accepted. A failure of either
+  // direction is a lowering bug, caught before any data is touched.
+  if (schedule_descriptor().time_tiled()) {
+    if (!injections_.empty() || !interpolations_.empty()) {
+      const analysis::LegalityReport naive = verify_stage(0);
+      TEMPEST_REQUIRE_MSG(!naive.legal(),
+                          "legality verifier failed to reject the naive "
+                          "sparse nest under a time-tiled schedule");
+    }
+    analysis::require_legal(verify_stage(1));
+    analysis::require_legal(verify_stage(2));
+  }
+}
+
+analysis::AccessSummary Operator::access_summary(int space_order) const {
+  switch (class_) {
+    case KernelClass::IsoAcoustic:
+      return physics::acoustic_access_summary(space_order);
+    case KernelClass::TTI: return physics::tti_access_summary(space_order);
+    case KernelClass::Elastic:
+      return physics::elastic_access_summary(space_order);
+  }
+  TEMPEST_REQUIRE_MSG(false, "unreachable kernel class");
+  return {};
+}
+
+analysis::ScheduleDescriptor Operator::schedule_descriptor(
+    int space_order) const {
+  // The declared radius is already the per-timestep dependence reach (the
+  // elastic summary folds its two half-steps in), so it is exactly the
+  // wave-front slope the engine skews by.
+  const int slope = access_summary(space_order).radius;
+  const int tile_t = std::max(1, options_.tiles.tile_t);
+  switch (options_.schedule) {
+    case physics::Schedule::Reference:
+      return analysis::ScheduleDescriptor::reference();
+    case physics::Schedule::SpaceBlocked:
+      return analysis::ScheduleDescriptor::space_blocked();
+    case physics::Schedule::Wavefront:
+      return analysis::ScheduleDescriptor::wavefront(slope, tile_t);
+    case physics::Schedule::Diamond:
+      return analysis::ScheduleDescriptor::diamond(slope, tile_t);
+  }
+  TEMPEST_REQUIRE_MSG(false, "unreachable schedule");
+  return {};
+}
+
+analysis::LegalityReport Operator::verify_stage(int stage,
+                                                int space_order) const {
+  return analysis::verify_nest(lower(stage), access_summary(space_order),
+                               schedule_descriptor(space_order));
 }
 
 ir::Node Operator::lower(int stage) const {
@@ -105,6 +163,9 @@ physics::RunStats Operator::apply(const physics::AcousticModel& model,
                                   sparse::SparseTimeSeries* rec) const {
   TEMPEST_REQUIRE_MSG(class_ == KernelClass::IsoAcoustic,
                       "equations are not isotropic acoustic");
+  if (schedule_descriptor().time_tiled()) {
+    analysis::require_legal(verify_stage(2, model.geom.space_order));
+  }
   physics::PropagatorOptions popts;
   popts.tiles = options_.tiles;
   popts.interp = options_.interp;
@@ -118,6 +179,9 @@ physics::RunStats Operator::apply(const physics::TTIModel& model,
                                   sparse::SparseTimeSeries* rec) const {
   TEMPEST_REQUIRE_MSG(class_ == KernelClass::TTI,
                       "equations are not the TTI coupled system");
+  if (schedule_descriptor().time_tiled()) {
+    analysis::require_legal(verify_stage(2, model.geom.space_order));
+  }
   physics::PropagatorOptions popts;
   popts.tiles = options_.tiles;
   popts.interp = options_.interp;
@@ -131,6 +195,9 @@ physics::RunStats Operator::apply(const physics::ElasticModel& model,
                                   sparse::SparseTimeSeries* rec) const {
   TEMPEST_REQUIRE_MSG(class_ == KernelClass::Elastic,
                       "equations are not the elastic velocity-stress system");
+  if (schedule_descriptor().time_tiled()) {
+    analysis::require_legal(verify_stage(2, model.geom.space_order));
+  }
   physics::PropagatorOptions popts;
   popts.tiles = options_.tiles;
   popts.interp = options_.interp;

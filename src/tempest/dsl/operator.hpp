@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "tempest/analysis/legality.hpp"
 #include "tempest/dsl/expr.hpp"
 #include "tempest/dsl/ir.hpp"
 #include "tempest/physics/acoustic.hpp"
@@ -50,6 +51,26 @@ class Operator {
   /// The schedule at each lowering stage (stage 0 = Listing 1, 1 = fused,
   /// 2 = compressed, 3 = time-tiled); exposed for tests and teaching.
   [[nodiscard]] std::string ccode_stage(int stage) const;
+
+  /// The access summary the recognised kernel class declares, at a given
+  /// space order (the structural shape — which fields, which time slices,
+  /// substeps — is fixed by the class; only the radius scales).
+  [[nodiscard]] analysis::AccessSummary access_summary(
+      int space_order = 2) const;
+
+  /// The space-time tiling the configured schedule implies for a kernel of
+  /// the given space order (slope = declared per-timestep reach).
+  [[nodiscard]] analysis::ScheduleDescriptor schedule_descriptor(
+      int space_order = 2) const;
+
+  /// Run the dependence analyzer + legality verifier over the nest at one
+  /// lowering stage against the configured schedule. The constructor
+  /// already requires stage >= 1 to be legal for time-tiled schedules (and
+  /// stage 0 to be *rejected* when sparse operators are present — the
+  /// paper's Fig. 4b as a machine-checked theorem); this re-runs the proof
+  /// for inspection, optionally at a concrete space order.
+  [[nodiscard]] analysis::LegalityReport verify_stage(
+      int stage, int space_order = 2) const;
 
   /// Execute against concrete data. The model type must match the
   /// recognised kernel class.

@@ -109,7 +109,15 @@ void compress_iteration_space(ir::Node& root) {
 }
 
 void time_tile(ir::Node& root, int slope) {
-  TEMPEST_REQUIRE(slope >= 0);
+  // slope <= 0 used to be accepted and silently emitted a degenerate nest
+  // whose wave-front windows never move (slope 0) or move backwards
+  // (negative): the tiled loops would visit cells before their
+  // dependencies are computed.
+  if (slope <= 0) {
+    throw util::InvalidScheduleError(
+        "time_tile: wave-front slope must be positive (the skew must cover "
+        "the stencil radius per timestep), got " + std::to_string(slope));
+  }
   // Locate the time loop (possibly under the precompute prologue).
   Node* tloop = ir::find_loop(root, "t");
   TEMPEST_REQUIRE_MSG(tloop != nullptr, "no time loop to tile");

@@ -8,6 +8,14 @@
 
 namespace tempest::physics {
 
+analysis::AccessSummary acoustic_access_summary(int space_order) {
+  return {.kernel = "acoustic",
+          .field = "u",
+          .radius = space_order / 2,
+          .substeps = 1,
+          .time_reads = {0, -1}};
+}
+
 namespace {
 
 /// Fold the symmetric second-derivative weights into w[0..R] (centre +
@@ -118,6 +126,9 @@ class AcousticKernel {
     return model_.geom.extents;
   }
   [[nodiscard]] int radius() const { return model_.geom.radius(); }
+  [[nodiscard]] analysis::AccessSummary access_summary() const {
+    return acoustic_access_summary(model_.geom.space_order);
+  }
 
   void apply(int t, const grid::Box3& box) {
     real_t* un = u_.at(t + 1).origin();

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "tempest/analysis/access.hpp"
 #include "tempest/config.hpp"
 #include "tempest/grid/time_buffer.hpp"
 #include "tempest/physics/model.hpp"
@@ -11,6 +12,11 @@
 #include "tempest/sparse/series.hpp"
 
 namespace tempest::physics {
+
+/// Access shape the isotropic acoustic stencil declares to the schedule
+/// legality verifier: u[t+1] written from a ±radius read of u[t] and a
+/// centre read of u[t-1] (second order in time, one substep per step).
+[[nodiscard]] analysis::AccessSummary acoustic_access_summary(int space_order);
 
 /// Isotropic acoustic wave propagator (paper Section III.A):
 ///   m d²u/dt² + damp du/dt − Δu = src,   d(t) = u(t, x_r)

@@ -8,6 +8,16 @@
 
 namespace tempest::physics {
 
+analysis::AccessSummary elastic_access_summary(int space_order) {
+  // Two dependent half-updates per timestep, each reaching ±radius: the
+  // per-timestep dependence distance the time tiler must cover is doubled.
+  return {.kernel = "elastic",
+          .field = "u",
+          .radius = 2 * (space_order / 2),
+          .substeps = 2,
+          .time_reads = {0}};
+}
+
 namespace {
 
 /// Folded staggered-derivative weights ws[1..R]: with g a field staggered by
@@ -252,6 +262,9 @@ class ElasticKernel {
     return model_.geom.extents;
   }
   [[nodiscard]] int radius() const { return model_.geom.radius(); }
+  [[nodiscard]] analysis::AccessSummary access_summary() const {
+    return elastic_access_summary(model_.geom.space_order);
+  }
 
   /// One half-step block: even substeps update v, odd update tau. The
   /// substep index is what the temporal schedules skew over (slope = radius

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "tempest/analysis/access.hpp"
 #include "tempest/config.hpp"
 #include "tempest/grid/grid3.hpp"
 #include "tempest/physics/model.hpp"
@@ -10,6 +11,12 @@
 #include "tempest/sparse/series.hpp"
 
 namespace tempest::physics {
+
+/// Access shape the elastic velocity–stress update declares to the schedule
+/// legality verifier. One timestep is two dependent half-updates each
+/// reaching ±radius, so the *per-timestep* dependency reach is 2·radius and
+/// the state is first order in time (only slice t is read).
+[[nodiscard]] analysis::AccessSummary elastic_access_summary(int space_order);
 
 /// Isotropic elastic wave propagator (paper Section III.C): the Virieux
 /// staggered-grid velocity–stress formulation,

@@ -9,6 +9,14 @@
 
 namespace tempest::physics {
 
+analysis::AccessSummary tti_access_summary(int space_order) {
+  return {.kernel = "tti",
+          .field = "u",
+          .radius = space_order / 2,
+          .substeps = 1,
+          .time_reads = {0, -1}};
+}
+
 namespace {
 
 /// Folded weights: second derivative (w2[0..R], symmetric) and first
@@ -220,6 +228,9 @@ class TTIKernel {
     return model_.geom.extents;
   }
   [[nodiscard]] int radius() const { return model_.geom.radius(); }
+  [[nodiscard]] analysis::AccessSummary access_summary() const {
+    return tti_access_summary(model_.geom.space_order);
+  }
 
   void apply(int t, const grid::Box3& box) {
     real_t* pn = p_.at(t + 1).origin();

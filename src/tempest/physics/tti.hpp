@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "tempest/analysis/access.hpp"
 #include "tempest/config.hpp"
 #include "tempest/grid/time_buffer.hpp"
 #include "tempest/physics/model.hpp"
@@ -10,6 +11,12 @@
 #include "tempest/sparse/series.hpp"
 
 namespace tempest::physics {
+
+/// Access shape the TTI stencil declares to the schedule legality verifier.
+/// The coupled p/q update has the same dependence pattern as the isotropic
+/// kernel (t+1 from ±radius of t plus centre of t-1); the verifier models
+/// the pair as one wavefield since both are advanced in lockstep.
+[[nodiscard]] analysis::AccessSummary tti_access_summary(int space_order);
 
 /// Anisotropic (tilted transversely isotropic) pseudo-acoustic propagator,
 /// the industrial RTM/FWI kernel of paper Section III.B. Coupled system of

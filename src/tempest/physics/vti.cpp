@@ -9,6 +9,14 @@
 
 namespace tempest::physics {
 
+analysis::AccessSummary vti_access_summary(int space_order) {
+  return {.kernel = "vti",
+          .field = "u",
+          .radius = space_order / 2,
+          .substeps = 1,
+          .time_reads = {0, -1}};
+}
+
 namespace {
 
 std::vector<real_t> folded_w2(int space_order) {
@@ -128,6 +136,9 @@ class VTIKernel {
     return model_.geom.extents;
   }
   [[nodiscard]] int radius() const { return model_.geom.radius(); }
+  [[nodiscard]] analysis::AccessSummary access_summary() const {
+    return vti_access_summary(model_.geom.space_order);
+  }
 
   void apply(int t, const grid::Box3& box) {
     real_t* pn = p_.at(t + 1).origin();

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "tempest/analysis/access.hpp"
 #include "tempest/config.hpp"
 #include "tempest/grid/time_buffer.hpp"
 #include "tempest/physics/model.hpp"
@@ -10,6 +11,11 @@
 #include "tempest/sparse/series.hpp"
 
 namespace tempest::physics {
+
+/// Access shape the VTI stencil declares to the schedule legality verifier
+/// (identical dependence pattern to TTI: no mixed derivatives changes the
+/// flop count, not the footprint).
+[[nodiscard]] analysis::AccessSummary vti_access_summary(int space_order);
 
 /// Vertically transversely isotropic (VTI) pseudo-acoustic propagator: the
 /// untilted specialisation of the TTI system (theta = phi = 0), for which

@@ -31,6 +31,9 @@ class CrcWriter {
   explicit CrcWriter(std::ostream& os) : os_(os) {}
 
   void bytes(const void* data, std::size_t n) {
+    if (n == 0) {
+      return;  // empty blobs arrive as {nullptr, 0}
+    }
     os_.write(static_cast<const char*>(data),
               static_cast<std::streamsize>(n));
     crc_.update(data, n);
@@ -61,7 +64,11 @@ class Reader {
       throw io::CorruptFileError(path_,
                                  "checkpoint payload ends prematurely");
     }
-    std::memcpy(out, buf_.data() + pos_, n);
+    // Empty aux blobs hand us vector::data() == nullptr; memcpy's pointer
+    // arguments are declared nonnull even for n == 0.
+    if (n != 0) {
+      std::memcpy(out, buf_.data() + pos_, n);
+    }
     pos_ += n;
   }
 

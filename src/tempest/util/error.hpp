@@ -13,6 +13,16 @@ class PreconditionError : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+/// A schedule/transformation parameter that can never produce a valid
+/// iteration space (e.g. a non-positive wave-front slope). Distinct from
+/// PreconditionError so callers probing the schedule space (autotuners,
+/// CLI parsing) can catch exactly the class of mistakes that is theirs to
+/// repair.
+class InvalidScheduleError : public PreconditionError {
+ public:
+  using PreconditionError::PreconditionError;
+};
+
 namespace detail {
 [[noreturn]] inline void require_failed(const char* expr, const char* file,
                                         int line, const std::string& msg) {
