@@ -171,17 +171,33 @@ int main(int argc, char** argv) {
     std::optional<resilience::Checkpointer> ckpt;
     if (!ckpt_path.empty()) ckpt.emplace(ckpt_path);
 
+    // Versioned framing for the image aux blob: a stale layout (or a
+    // truncated blob) is rejected as a typed CorruptFileError instead of
+    // being memcpy'd into the accumulator.
+    constexpr std::uint32_t kImageMagic = 0x54504D47u;  // "TPMG"
+    constexpr std::uint32_t kImageVersion = 1;
+
     physics::AcousticPropagator prop(smooth, opts);
     int t_start = 1;
     if (ckpt) {
       if (auto resume = ckpt->try_load(fp)) {
         const auto* blob = resume->find_aux("image");
         const std::size_t want = image.padded_size() * sizeof(double);
-        if (blob != nullptr && blob->size() == want) {
-          std::memcpy(image.raw(), blob->data(), want);
-          prop.restore(*resume);
-          t_start = resume->step;
-          std::cout << "resuming adjoint pass from step " << t_start << "\n";
+        if (blob != nullptr) {
+          try {
+            const resilience::AuxView view = resilience::aux_unwrap_bytes(
+                ckpt->path(), *blob, kImageMagic, kImageVersion);
+            if (view.size == want) {
+              std::memcpy(image.raw(), view.data, want);
+              prop.restore(*resume);
+              t_start = resume->step;
+              std::cout << "resuming adjoint pass from step " << t_start
+                        << "\n";
+            }
+          } catch (const io::CorruptFileError& err) {
+            std::cerr << "ignoring checkpointed image: " << err.what()
+                      << "\n";
+          }
         }
       }
     }
@@ -199,9 +215,11 @@ int main(int argc, char** argv) {
       }
       if (ckpt && ckpt_every > 0 && tau % ckpt_every == 0 && tau < nt) {
         resilience::Checkpoint ck = prop.capture(tau, fp);
-        std::vector<std::uint8_t> bytes(image.padded_size() * sizeof(double));
-        std::memcpy(bytes.data(), image.raw(), bytes.size());
-        ck.aux.emplace_back("image", std::move(bytes));
+        ck.aux.emplace_back(
+            "image",
+            resilience::aux_wrap_bytes(kImageMagic, kImageVersion,
+                                       image.raw(),
+                                       image.padded_size() * sizeof(double)));
         ckpt->save(ck);
       }
     };
@@ -212,8 +230,9 @@ int main(int argc, char** argv) {
                                nullptr, imaging);
     std::cout << "adjoint pass + imaging condition:   " << s.seconds
               << " s\n";
-    // Done: a stale checkpoint must not shadow the next run.
-    if (ckpt && ckpt->exists()) std::remove(ckpt->path().c_str());
+    // Done: a stale checkpoint (any generation) must not shadow the next
+    // run.
+    if (ckpt) ckpt->remove_all();
   }
 
   // Depth profile of |image| away from the source cone; pick the peak.

@@ -1,249 +1,100 @@
 // Seismic survey: a multi-shot forward-modelling run, the workload that
-// motivates the paper (the forward half of FWI/RTM). For each shot position
-// the wavefield is propagated through a layered subsurface model and
-// recorded on a receiver carpet; the example runs every shot twice —
-// spatially-blocked baseline and a temporally blocked schedule — verifies
-// the gathers agree, reports the speed-up, and writes the final shot gather
-// as CSV for plotting.
+// motivates the paper (the forward half of FWI/RTM) — now a thin CLI over
+// the crash-tolerant tempest::jobs survey runtime.
+//
+// Every shot is a journaled job: its state transitions are appended to a
+// CRC-framed write-ahead journal under --jobs-dir before they are acted
+// on, barrier-schedule shots checkpoint their full propagation state every
+// --ckpt-every steps (two rotated generations), and a killed run restarted
+// with the same flags resumes exactly where it died — finished shots are
+// skipped, the in-flight shot re-enters mid-run from its checkpoint, and
+// the final gathers are bit-identical to an uninterrupted run.
+//
+// Failures are classified, not fatal: transient faults (JIT compile
+// hiccups, checkpoint I/O errors) are retried with exponential backoff
+// (--retries / --retry-base-ms, or $TEMPEST_JOB_RETRIES /
+// $TEMPEST_JOB_RETRY_BASE_MS); slow or numerically diverging shots step
+// down a degradation ladder (requested schedule -> space-blocked ->
+// reference, JIT -> AOT) and are reported as degraded; deterministic
+// rejections (illegal schedule, bad config) are quarantined with
+// diagnostics and never retried.
 //
 // Build & run:  ./build/examples/seismic_survey [--size=160] [--steps=160]
 //               [--shots=3] [--physics=acoustic|tti|vti|elastic]
-//               [--schedule=wavefront|diamond] [--out=gather.csv]
-//               [--checkpoint=survey.tpck] [--ckpt-every=40]
+//               [--schedule=reference|space-blocked|wavefront|diamond]
+//               [--jobs-dir=survey_jobs] [--ckpt-every=40]
+//               [--health-every=8] [--watchdog-ms=0] [--jit]
+//               [--retries=3] [--retry-base-ms=50]
+//               [--survey-json=BENCH_survey.json] [--out=gather.csv]
 //               [--trace=survey_trace.json] [--metrics=survey_metrics.csv]
 //
-// --physics picks the propagator; the whole shot loop is generic over the
-// uniform propagator surface (run/run_from/capture/restore), so every
-// physics gets the same baseline-vs-temporal-blocking comparison and the
-// same mid-shot resume. --schedule picks the temporally blocked schedule
-// compared against the baseline (any schedule is legal for any physics).
-//
-// --trace writes a Chrome trace_event JSON (Perfetto / chrome://tracing);
-// --metrics dumps the tempest::trace counters (CSV or JSON by extension).
-//
-// With --checkpoint the baseline pass of every shot checkpoints its full
-// state every --ckpt-every steps; an interrupted run restarted with the
-// same flags resumes mid-shot and produces the identical gathers.
+// --survey-json writes the schema-versioned machine-readable report
+// (shots/hour, p50/p99 shot latency, per-shot outcomes). --out exports the
+// last shot's gather as CSV for plotting. Exit status is nonzero when any
+// shot was quarantined.
 
-#include <cmath>
 #include <cstdio>
-#include <cstdint>
 #include <iostream>
-#include <optional>
 #include <string>
 
 #include "tempest/io/io.hpp"
-#include "tempest/physics/acoustic.hpp"
-#include "tempest/physics/elastic.hpp"
-#include "tempest/physics/tti.hpp"
-#include "tempest/physics/vti.hpp"
-#include "tempest/resilience/checkpoint.hpp"
-#include "tempest/sparse/survey.hpp"
-#include "tempest/sparse/wavelet.hpp"
+#include "tempest/jobs/survey.hpp"
 #include "tempest/trace/trace.hpp"
 #include "tempest/util/cli.hpp"
 
-namespace {
-
-using namespace tempest;
-
-/// Cross-shot progress carried in the checkpoint's auxiliary blob: which
-/// shot the checkpointed propagator state belongs to, plus the totals
-/// accumulated over the shots already finished.
-struct SurveyState {
-  std::int32_t shot = 0;
-  double total_base = 0.0;
-  double total_tb = 0.0;
-  double worst_mismatch = 0.0;
-};
-
-struct SurveyConfig {
-  int n = 0;
-  int nt = 0;
-  int n_shots = 0;
-  int ckpt_every = 0;
-  physics::Schedule tb_sched = physics::Schedule::Wavefront;
-  std::string out;
-  std::string ckpt_path;
-  std::uint64_t fingerprint = 0;
-};
-
-/// The shot loop, generic over the uniform propagator surface: any physics
-/// whose propagator provides run/run_from/capture/restore slots in here.
-template <typename Propagator, typename Model>
-int run_survey(const Model& model, const physics::Geometry& geom,
-               const SurveyConfig& cfg) {
-  const int n = cfg.n;
-  const int nt = cfg.nt;
-  const double dt = model.critical_dt();
-  const auto wavelet = sparse::ricker(nt, dt, 0.008);
-
-  physics::PropagatorOptions opts;
-  opts.tiles = core::TileSpec{8, 64, 64, 8, 8};
-  Propagator prop(model, opts);
-
-  const sparse::CoordList rec_coords =
-      sparse::receiver_carpet(geom.extents, 16, 8);
-  std::cout << cfg.n_shots << " shots, " << rec_coords.size()
-            << " receivers, grid " << n << "^3, " << nt << " steps of "
-            << dt << " ms\n\n";
-
-  const std::uint64_t fp = cfg.fingerprint;
-  std::optional<resilience::Checkpointer> ckpt;
-  if (!cfg.ckpt_path.empty()) ckpt.emplace(cfg.ckpt_path);
-
-  SurveyState state;
-  std::optional<resilience::Checkpoint> resume;
-  if (ckpt) {
-    resume = ckpt->try_load(fp);
-    if (resume) {
-      if (const auto* blob = resume->find_aux("survey-state")) {
-        if (const auto s = resilience::aux_unpack<SurveyState>(*blob)) {
-          state = *s;
-          std::cout << "resuming from " << cfg.ckpt_path << ": shot "
-                    << state.shot << ", step " << resume->step << "\n";
-        } else {
-          resume.reset();
-        }
-      } else {
-        resume.reset();
-      }
-    }
-  }
-
-  sparse::SparseTimeSeries last_gather(rec_coords, nt);
-
-  for (int shot = state.shot; shot < cfg.n_shots; ++shot) {
-    // Shots march along x at 1/4 .. 3/4 of the line, off-the-grid.
-    const double fx = 0.25 + 0.5 * shot / std::max(1, cfg.n_shots - 1);
-    sparse::SparseTimeSeries src(
-        {{fx * (n - 1) + 0.37, 0.5 * (n - 1) + 0.61, 0.1 * (n - 1) + 0.43}},
-        nt);
-    src.broadcast_signature(wavelet);
-
-    sparse::SparseTimeSeries gather_base(rec_coords, nt);
-    // Checkpoint during the baseline (barrier) pass: capture at a completed
-    // timestep, with the shot/totals state riding along as an aux blob. The
-    // temporally blocked pass is re-run from scratch on resume — it has no
-    // global per-timestep barrier to checkpoint at (the point of the paper).
-    const auto save_ckpt = [&](int t_done) {
-      if (!ckpt || cfg.ckpt_every <= 0 || t_done % cfg.ckpt_every != 0 ||
-          t_done >= nt) {
-        return;
-      }
-      resilience::Checkpoint ck = prop.capture(t_done, fp, &gather_base);
-      SurveyState at_save = state;
-      at_save.shot = shot;
-      ck.aux.emplace_back("survey-state", resilience::aux_pack(at_save));
-      ckpt->save(ck);
-    };
-
-    physics::RunStats base;
-    if (resume && shot == state.shot) {
-      prop.restore(*resume);
-      if (resume->has_rec) gather_base = resume->rec;
-      const int t_start = resume->step;
-      resume.reset();
-      base = prop.run_from(t_start, physics::Schedule::SpaceBlocked, src,
-                           &gather_base, save_ckpt);
-    } else {
-      base = prop.run(physics::Schedule::SpaceBlocked, src, &gather_base,
-                      save_ckpt);
-    }
-
-    sparse::SparseTimeSeries gather_tb(rec_coords, nt);
-    const physics::RunStats tb = prop.run(cfg.tb_sched, src, &gather_tb);
-
-    // The two schedules must record the same physics.
-    double scale = 1e-20, diff = 0.0;
-    for (int t = 0; t < nt; ++t) {
-      for (int r = 0; r < gather_base.npoints(); ++r) {
-        scale = std::max(scale,
-                         std::fabs(static_cast<double>(gather_base.at(t, r))));
-        diff = std::max(diff,
-                        std::fabs(static_cast<double>(gather_base.at(t, r)) -
-                                  static_cast<double>(gather_tb.at(t, r))));
-      }
-    }
-    state.worst_mismatch = std::max(state.worst_mismatch, diff / scale);
-    state.total_base += base.seconds;
-    state.total_tb += tb.seconds;
-    state.shot = shot + 1;
-    std::cout << "shot " << shot << " @ x=" << fx * (n - 1)
-              << ": baseline " << base.seconds << " s, "
-              << physics::to_string(cfg.tb_sched) << " " << tb.seconds
-              << " s (speed-up " << base.seconds / tb.seconds
-              << "x), gather rel-diff " << diff / scale << "\n";
-    last_gather = gather_tb;
-  }
-
-  std::cout << "\nsurvey total: baseline " << state.total_base << " s, "
-            << physics::to_string(cfg.tb_sched) << " " << state.total_tb
-            << " s -> speed-up " << state.total_base / state.total_tb
-            << "x; worst gather mismatch " << state.worst_mismatch
-            << " (relative)\n";
-
-  io::save_gather_csv(cfg.out, last_gather, dt);
-  io::save_gather(cfg.out + ".tpg", last_gather);
-  std::cout << "last shot gather written to " << cfg.out
-            << " (+ binary .tpg)\n";
-  // The survey finished: a stale checkpoint must not shadow the next run.
-  if (ckpt && ckpt->exists()) std::remove(ckpt->path().c_str());
-  return 0;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace tempest;
   const util::Cli cli(argc, argv);
-  SurveyConfig cfg;
-  cfg.n = static_cast<int>(cli.get_int("size", 160));
-  cfg.nt = static_cast<int>(cli.get_int("steps", 160));
-  cfg.n_shots = static_cast<int>(cli.get_int("shots", 3));
-  cfg.out = cli.get("out", "gather.csv");
-  cfg.ckpt_path = cli.get("checkpoint", "");
-  cfg.ckpt_every = static_cast<int>(cli.get_int("ckpt-every", 40));
-  cfg.tb_sched = physics::schedule_from_string(cli.get("schedule", "wavefront"));
-  const std::string phys = cli.get("physics", "acoustic");
+  jobs::SurveySpec spec;
+  spec.n = static_cast<int>(cli.get_int("size", 160));
+  spec.nt = static_cast<int>(cli.get_int("steps", 160));
+  spec.n_shots = static_cast<int>(cli.get_int("shots", 3));
+  spec.space_order = static_cast<int>(cli.get_int("so", 8));
+  spec.physics = cli.get("physics", "acoustic");
+  spec.schedule = physics::schedule_from_string(cli.get("schedule", "wavefront"));
+  spec.use_jit = cli.get_flag("jit");
+  spec.jobs_dir = cli.get("jobs-dir", "survey_jobs");
+  spec.ckpt_every = static_cast<int>(cli.get_int("ckpt-every", 40));
+  spec.health_every = static_cast<int>(cli.get_int("health-every", 8));
+  spec.watchdog_ms = cli.get_double("watchdog-ms", 0.0);
+  spec.retry.max_attempts = static_cast<int>(cli.get_int("retries", 3));
+  spec.retry.base_ms = cli.get_double("retry-base-ms", 50.0);
+  spec.survey_json = cli.get("survey-json", "");
+  const std::string out_csv = cli.get("out", "");
   const trace::Session trace_session(cli.get("trace", ""),
                                      cli.get("metrics", ""));
 
-  physics::Geometry geom{{cfg.n, cfg.n, cfg.n}, 10.0, 8, 10};
+  std::cout << spec.n_shots << " shots, grid " << spec.n << "^3, "
+            << spec.nt << " steps, physics " << spec.physics
+            << ", schedule " << physics::to_string(spec.schedule)
+            << ", jobs dir " << spec.jobs_dir << "\n";
 
-  // Everything a resumed run must reproduce bitwise goes into the
-  // fingerprint; a checkpoint from different flags (or a different physics)
-  // is rejected, not silently resumed.
-  resilience::Fingerprint fpb;
-  for (const char c : phys) fpb.add(static_cast<int>(c));
-  fpb.add(cfg.n).add(cfg.nt).add(cfg.n_shots).add(geom.space_order);
+  const jobs::SurveyReport report = jobs::run_survey(spec);
 
-  if (phys == "acoustic") {
-    const physics::AcousticModel model =
-        physics::make_acoustic_layered(geom, 1.5, 4.0, 6);
-    fpb.add(model.critical_dt());
-    cfg.fingerprint = fpb.value();
-    return run_survey<physics::AcousticPropagator>(model, geom, cfg);
+  for (const jobs::ShotReport& s : report.shots) {
+    std::cout << "shot " << s.shot << ": " << s.state << " on '"
+              << s.level_name << "' after " << s.attempts << " attempt(s), "
+              << s.seconds << " s" << (s.degraded ? " [degraded]" : "");
+    if (s.state != "done") std::cout << " — " << s.detail;
+    std::cout << "\n";
   }
-  if (phys == "tti" || phys == "vti") {
-    physics::TTIModel model = physics::make_tti_layered(geom, 1.5, 4.0, 6);
-    if (phys == "vti") {
-      model.theta.fill(0.0f);  // untilted: a genuine VTI medium
-      model.phi.fill(0.0f);
+  std::cout << "\nsurvey: " << report.done << "/" << report.n_shots
+            << " shots done (" << report.degraded << " degraded, "
+            << report.quarantined << " quarantined) in "
+            << report.total_seconds << " s — " << report.shots_per_hour
+            << " shots/hour, shot latency p50 " << report.p50_shot_seconds
+            << " s / p99 " << report.p99_shot_seconds << " s\n";
+
+  if (!out_csv.empty() && report.done > 0) {
+    // Export the last completed shot's gather for plotting.
+    for (int i = report.n_shots - 1; i >= 0; --i) {
+      if (report.shots[static_cast<std::size_t>(i)].state != "done") continue;
+      const auto gather = io::load_gather(jobs::shot_gather_path(spec, i));
+      // Time column in timesteps (dt is model-dependent).
+      io::save_gather_csv(out_csv, gather, 1.0);
+      std::cout << "shot " << i << " gather written to " << out_csv << "\n";
+      break;
     }
-    fpb.add(model.critical_dt());
-    cfg.fingerprint = fpb.value();
-    return phys == "vti"
-               ? run_survey<physics::VTIPropagator>(model, geom, cfg)
-               : run_survey<physics::TTIPropagator>(model, geom, cfg);
   }
-  if (phys == "elastic") {
-    const physics::ElasticModel model =
-        physics::make_elastic_layered(geom, 1.5, 4.0, 6);
-    fpb.add(model.critical_dt());
-    cfg.fingerprint = fpb.value();
-    return run_survey<physics::ElasticPropagator>(model, geom, cfg);
-  }
-  std::cerr << "unknown --physics '" << phys
-            << "' (expected acoustic, tti, vti or elastic)\n";
-  return 1;
+  return report.quarantined == 0 ? 0 : 2;
 }

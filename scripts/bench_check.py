@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
 """Validate BENCH_*.json files emitted by the bench harnesses.
 
-Stdlib-only schema check for the "tempest-bench-v1" documents that
-bench::Session (bench/session.hpp) writes. Used by scripts/check.sh
---bench and the CI perf-smoke job, on machines with or without a
-hardware PMU: PMU-less runs are *valid* as long as they say so
-(pmu.available/hardware flags + a captured reason) and still carry
-timings and modelled numbers.
+Stdlib-only schema check for two document families, dispatched on the
+top-level "schema" field:
+
+  * "tempest-bench-v1" — written by bench::Session (bench/session.hpp).
+    PMU-less runs are *valid* as long as they say so (pmu.available/
+    hardware flags + a captured reason) and still carry timings and
+    modelled numbers.
+  * "tempest-survey-v1" — written by the crash-tolerant survey runtime
+    (jobs::write_survey_json): per-shot outcomes, retry/degradation
+    counts, and throughput/latency aggregates, checked for internal
+    consistency (counts add up, aggregates match the rows).
+
+Used by scripts/check.sh --bench / --chaos and the CI perf-smoke and
+chaos jobs.
 
 Usage: bench_check.py FILE [FILE...]
 Exit 0 when every file validates; 1 with per-file diagnostics otherwise.
@@ -98,6 +106,76 @@ def check_validation(errors, v, i):
         fail(errors, f"{where}: verdict {verdict} with no measured bytes")
 
 
+SURVEY_SCHEMA = "tempest-survey-v1"
+SHOT_STATES = {"done", "quarantined", "pending", "running"}
+
+
+def check_survey_file(doc):
+    """Validate a "tempest-survey-v1" document for internal consistency."""
+    errors = []
+    for key in ("physics", "requested_schedule"):
+        if not isinstance(doc.get(key), str) or not doc[key]:
+            fail(errors, f"{key}: missing")
+    for key in ("size", "steps", "shots"):
+        check_number(errors, doc, key, "survey", minimum=1)
+    if not isinstance(doc.get("recovered"), bool):
+        fail(errors, "recovered: expected a bool")
+    total = check_number(errors, doc, "total_seconds", "survey", minimum=0.0)
+    done = check_number(errors, doc, "done", "survey", minimum=0)
+    degraded = check_number(errors, doc, "degraded", "survey", minimum=0)
+    quarantined = check_number(errors, doc, "quarantined", "survey",
+                               minimum=0)
+    sph = check_number(errors, doc, "shots_per_hour", "survey", minimum=0.0)
+    p50 = check_number(errors, doc, "p50_shot_seconds", "survey",
+                       minimum=0.0)
+    p99 = check_number(errors, doc, "p99_shot_seconds", "survey",
+                       minimum=0.0)
+    if p50 is not None and p99 is not None and p50 > p99 + 1e-12:
+        fail(errors, f"p50_shot_seconds {p50} > p99_shot_seconds {p99}")
+
+    rows = doc.get("shot_reports")
+    if not isinstance(rows, list):
+        fail(errors, "shot_reports: expected a list")
+        rows = []
+    shots = doc.get("shots")
+    if isinstance(shots, int) and len(rows) != shots:
+        fail(errors, f"shot_reports: {len(rows)} rows for {shots} shots")
+
+    counted = {"done": 0, "quarantined": 0, "degraded": 0}
+    for i, row in enumerate(rows):
+        where = f"shot_reports[{i}]"
+        if row.get("shot") != i:
+            fail(errors, f"{where}.shot: expected {i}, got {row.get('shot')}")
+        state = row.get("state")
+        if state not in SHOT_STATES:
+            fail(errors, f"{where}.state: {state!r} not in {SHOT_STATES}")
+        check_number(errors, row, "level", where, minimum=0)
+        check_number(errors, row, "seconds", where, minimum=0.0)
+        if not isinstance(row.get("level_name"), str):
+            fail(errors, f"{where}.level_name: missing")
+        if not isinstance(row.get("degraded"), bool):
+            fail(errors, f"{where}.degraded: expected a bool")
+        attempts = check_number(errors, row, "attempts", where, minimum=0)
+        # A finished shot must have been attempted at least once.
+        if state in ("done", "quarantined") and (attempts or 0) < 1:
+            fail(errors, f"{where}: state {state} with no attempts")
+        if state in ("done", "quarantined"):
+            counted[state] += 1
+        if state == "done" and row.get("degraded") is True:
+            counted["degraded"] += 1
+
+    # The aggregates must match the rows they summarize.
+    for key in ("done", "quarantined", "degraded"):
+        if isinstance(doc.get(key), int) and doc[key] != counted[key]:
+            fail(errors, f"{key}: header says {doc[key]}, "
+                         f"rows add up to {counted[key]}")
+    if (done and total and sph is not None
+            and abs(sph - done * 3600.0 / total) > 1e-6 * max(1.0, sph)):
+        fail(errors, f"shots_per_hour {sph} != done*3600/total_seconds "
+                     f"{done * 3600.0 / total}")
+    return errors
+
+
 def check_file(path):
     errors = []
     try:
@@ -105,6 +183,9 @@ def check_file(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         return [f"unreadable: {e}"]
+
+    if doc.get("schema") == SURVEY_SCHEMA:
+        return check_survey_file(doc)
 
     if doc.get("schema") != SCHEMA:
         fail(errors, f"schema: expected {SCHEMA!r}, got {doc.get('schema')!r}")
@@ -208,10 +289,16 @@ def main(argv):
         else:
             with open(path, encoding="utf-8") as f:
                 doc = json.load(f)
-            hw = doc.get("pmu", {}).get("hardware")
-            n = len(doc.get("cases", [])) + len(doc.get(
-                "benchmark_runs", []))
-            print(f"OK   {path} ({n} entries, hardware PMU: {hw})")
+            if doc.get("schema") == SURVEY_SCHEMA:
+                print(f"OK   {path} ({doc.get('shots')} shots, "
+                      f"{doc.get('done')} done, "
+                      f"{doc.get('degraded')} degraded, "
+                      f"{doc.get('quarantined')} quarantined)")
+            else:
+                hw = doc.get("pmu", {}).get("hardware")
+                n = len(doc.get("cases", [])) + len(doc.get(
+                    "benchmark_runs", []))
+                print(f"OK   {path} ({n} entries, hardware PMU: {hw})")
     return 1 if bad else 0
 
 

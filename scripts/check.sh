@@ -2,13 +2,19 @@
 # Tier-1 verification: build + full test suite under the default (Release)
 # preset, then again under the asan preset (-fsanitize=address,undefined).
 # Usage:  scripts/check.sh [--fast | --skip-asan | --bench | --tidy |
-#                           --ubsan | --analyze]
+#                           --ubsan | --analyze | --chaos]
 #   --fast       build the default preset and run only the `unit`-labelled
 #                tests (the PR fast lane); implies no asan pass
 #   --skip-asan  full default-preset suite, skip the sanitizer pass
 #   --bench      build the default preset, run the bench harnesses at
 #                smoke-test sizes with --json, and schema-check the
 #                emitted BENCH_*.json (works on PMU-less machines)
+#   --chaos      build the asan preset and run the kill/corrupt/resume
+#                chaos harness (tools/chaos_runner) with a fixed seed:
+#                five SIGKILLs of a 3-shot survey, one checkpoint
+#                bit-flip, final gathers must be bit-identical to an
+#                uninterrupted run; then run a journaled survey and
+#                schema-check its BENCH_survey.json
 #   --tidy       run clang-tidy (bugprone + performance, see .clang-tidy)
 #                over the engine, physics and analysis layers; findings are
 #                errors (blocking CI gate) — returns non-zero on any hit
@@ -53,6 +59,36 @@ run_bench_smoke() {
     echo "==> python3 not found; skipping JSON schema validation"
   fi
   echo "==> bench smoke passed"
+}
+
+run_chaos() {
+  echo "==> configure (asan)"
+  cmake --preset asan
+  echo "==> build chaos_runner + seismic_survey (asan)"
+  cmake --build --preset asan -j "$(nproc)" --target chaos_runner \
+    --target seismic_survey
+  # detect_leaks=0: the worker dies by SIGKILL mid-run by design; leak
+  # reports from killed children are the experiment, not a defect.
+  asan_env="${ASAN_OPTIONS:-detect_leaks=0}"
+  echo "==> chaos: 5 seeded kills + checkpoint corruption (space-blocked)"
+  ASAN_OPTIONS="${asan_env}" build-asan/tools/chaos_runner \
+    --size=20 --steps=36 --shots=3 --so=4 --schedule=space-blocked \
+    --ckpt-every=6 --kills=5 --seed=7 --corrupt --dir=build-asan/chaos_sb
+  echo "==> chaos: 5 seeded kills (wavefront, temporally blocked)"
+  ASAN_OPTIONS="${asan_env}" build-asan/tools/chaos_runner \
+    --size=20 --steps=36 --shots=3 --so=4 --schedule=wavefront \
+    --kills=5 --seed=7 --dir=build-asan/chaos_wf
+  echo "==> survey smoke + BENCH_survey.json schema check"
+  rm -rf build-asan/chaos_survey
+  ASAN_OPTIONS="${asan_env}" build-asan/examples/seismic_survey \
+    --size=20 --steps=30 --shots=3 --so=4 --jobs-dir=build-asan/chaos_survey \
+    --survey-json=build-asan/chaos_survey/BENCH_survey.json >/dev/null
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/bench_check.py build-asan/chaos_survey/BENCH_survey.json
+  else
+    echo "==> python3 not found; skipping JSON schema validation"
+  fi
+  echo "==> chaos checks passed"
 }
 
 run_preset() {
@@ -105,6 +141,11 @@ fi
 
 if [ "${1:-}" = "--analyze" ]; then
   run_analyze
+  exit 0
+fi
+
+if [ "${1:-}" = "--chaos" ]; then
+  run_chaos
   exit 0
 fi
 

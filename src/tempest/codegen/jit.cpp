@@ -18,6 +18,7 @@
 #include "tempest/physics/acoustic.hpp"
 #include "tempest/resilience/fault.hpp"
 #include "tempest/trace/trace.hpp"
+#include "tempest/util/backoff.hpp"
 #include "tempest/util/error.hpp"
 #include "tempest/util/log.hpp"
 
@@ -168,16 +169,33 @@ JitModule::JitModule(const std::string& c_source,
                           " -fPIC -shared -o " + so_path_ + " " + c_path;
   const int timeout_ms = jit_timeout_ms();
 
-  CommandResult res = run_command(cmd, timeout_ms);
-  if (res.status != 0 && !res.timed_out) {
-    // One retry absorbs transient failures (OOM kill, tmpfs hiccup, a
-    // ccache race); a deterministic diagnostic will simply fail again. A
-    // timed-out compile is not retried — it would hang twice as long.
-    util::warn("JIT compile failed, retrying once: " + cmd);
+  // Retries absorb transient failures (OOM kill, tmpfs hiccup, a ccache
+  // race); a deterministic diagnostic simply fails again, so the budget is
+  // small by default. A timed-out compile is never retried — it would hang
+  // the run for another full deadline.
+  const util::BackoffPolicy policy = util::BackoffPolicy::from_env(
+      "TEMPEST_JIT",
+      util::BackoffPolicy{.max_attempts = 2, .base_ms = 50.0, .max_ms = 2000.0});
+  CommandResult res;
+  for (int attempt = 1;; ++attempt) {
     res = run_command(cmd, timeout_ms);
+    if (res.status == 0) break;
+    if (res.timed_out) {
+      throw JitCompileError("generated code failed to compile (deadline "
+                            "exceeded; not retried):\n" +
+                            res.output);
+    }
+    if (attempt >= policy.max_attempts) {
+      throw JitCompileError("generated code failed to compile after " +
+                            std::to_string(attempt) + " attempt(s):\n" +
+                            res.output);
+    }
+    const double delay = policy.delay_ms(attempt);
+    util::warn("JIT compile failed (attempt " + std::to_string(attempt) +
+               "/" + std::to_string(policy.max_attempts) + "), retrying in " +
+               std::to_string(static_cast<long>(delay)) + " ms: " + cmd);
+    util::sleep_ms(delay);
   }
-  TEMPEST_REQUIRE_MSG(res.status == 0,
-                      "generated code failed to compile:\n" + res.output);
 
   {
     TEMPEST_TRACE_SPAN("jit.load", "codegen");

@@ -9,8 +9,19 @@
 #include "tempest/core/precompute.hpp"
 #include "tempest/grid/time_buffer.hpp"
 #include "tempest/physics/model.hpp"
+#include "tempest/util/error.hpp"
 
 namespace tempest::codegen {
+
+/// Compiler invocation failed after the retry budget (or timed out — a
+/// deadline overrun is never retried, it would hang twice as long). Derives
+/// from util::TransientError: the toolchain may recover on a later attempt,
+/// so job-level retry policies treat it as retryable, while JitAcoustic's
+/// constructor degrades to the interpreter immediately.
+class JitCompileError : public util::TransientError {
+ public:
+  using util::TransientError::TransientError;
+};
 
 /// Pre-compile legality gate. The generated translation unit implements the
 /// stage-2 nest (precomputed + fused + compressed sparse injection), so the
@@ -28,10 +39,13 @@ namespace tempest::codegen {
 /// under /tmp and are removed on *every* path, success or failure.
 ///
 /// Hardened for long-running production use: honours $CC (falling back to
-/// "cc"), retries a failed compile once (transient OOM kills and tmpfs
-/// races happen on loaded hosts), and kills a compile that exceeds the
+/// "cc"), retries failed compiles under the shared util::BackoffPolicy
+/// (transient OOM kills and tmpfs races happen on loaded hosts; attempts
+/// and base delay configurable via $TEMPEST_JIT_RETRIES /
+/// $TEMPEST_JIT_RETRY_BASE_MS), and kills a compile that exceeds the
 /// $TEMPEST_JIT_TIMEOUT_MS deadline (default 2 minutes) instead of hanging
-/// the simulation behind a wedged compiler.
+/// the simulation behind a wedged compiler. Exhausted retries throw
+/// JitCompileError.
 class JitModule {
  public:
   /// Compile `c_source` and resolve `symbol_name`. Throws PreconditionError

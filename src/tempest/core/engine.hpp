@@ -219,6 +219,11 @@ class ScheduleExecutor {
     // scan on the policy cadence; temporally blocked schedules scan at every
     // band boundary, the only instants a whole timestep exists.
     auto health_point = [&](int t_done, bool cadence_gated) {
+      // Chaos kill site: the progress tick is where the fault plan's
+      // SIGKILL lands, so a killed run dies between fully-computed
+      // timesteps (barrier) or bands (temporal blocking) — the same
+      // instants a production `kill -9` would interrupt.
+      resilience::fault::note_progress();
       const HealthFields hf = k_.health_fields(t_done);
       if (resilience::fault::consume_wavefield_poison(t_done) &&
           hf.count > 0) {

@@ -1,0 +1,178 @@
+#include "tempest/jobs/queue.hpp"
+
+#include <sstream>
+
+#include "tempest/util/error.hpp"
+#include "tempest/util/log.hpp"
+
+namespace tempest::jobs {
+
+JobQueue::JobQueue(std::string journal_path, std::uint64_t plan_fingerprint,
+                   int n_jobs)
+    : journal_(std::move(journal_path)) {
+  TEMPEST_REQUIRE(n_jobs > 0);
+  jobs_.resize(static_cast<std::size_t>(n_jobs));
+
+  if (!journal_.exists()) {
+    Record plan;
+    plan.type = RecordType::Plan;
+    plan.job = n_jobs;
+    plan.fingerprint = plan_fingerprint;
+    journal_.append(plan);
+    return;
+  }
+
+  bool torn = false;
+  const std::vector<Record> history = journal_.replay(&torn);
+  if (history.empty() || history.front().type != RecordType::Plan) {
+    throw JournalMismatchError("journal '" + journal_.path() +
+                               "' has no plan record — not a tempest survey "
+                               "journal, refusing to reuse it");
+  }
+  const Record& plan = history.front();
+  if (plan.fingerprint != plan_fingerprint || plan.job != n_jobs) {
+    std::ostringstream os;
+    os << "journal '" << journal_.path() << "' belongs to a different survey "
+       << "(fingerprint " << std::hex << plan.fingerprint << ", "
+       << std::dec << plan.job << " jobs; this run is " << std::hex
+       << plan_fingerprint << std::dec << ", " << n_jobs
+       << " jobs) — delete the jobs directory to start fresh";
+    throw JournalMismatchError(os.str());
+  }
+  for (std::size_t i = 1; i < history.size(); ++i) apply(history[i]);
+  if (torn) {
+    util::warn("journal '" + journal_.path() +
+               "' has a torn final record (crash mid-append); compacting "
+               "the intact prefix");
+    journal_.rewrite(history);
+  }
+
+  // A job still Running in the replayed history was in flight when the
+  // previous process died. Hand it back to the executor as Pending, flagged
+  // so it knows a mid-shot checkpoint may exist.
+  for (JobInfo& j : jobs_) {
+    if (j.state == JobState::Running) {
+      j.state = JobState::Pending;
+      j.interrupted = true;
+      recovered_ = true;
+    }
+  }
+}
+
+int JobQueue::next_pending() const {
+  for (int i = 0; i < n_jobs(); ++i) {
+    if (jobs_[static_cast<std::size_t>(i)].state == JobState::Pending) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+bool JobQueue::all_done() const {
+  for (const JobInfo& j : jobs_) {
+    if (j.state != JobState::Done && j.state != JobState::Quarantined) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int JobQueue::count(JobState s) const {
+  int n = 0;
+  for (const JobInfo& j : jobs_) n += (j.state == s) ? 1 : 0;
+  return n;
+}
+
+void JobQueue::mark_started(int job, int attempt, int level) {
+  Record r;
+  r.type = RecordType::Started;
+  r.job = job;
+  r.attempt = attempt;
+  r.level = level;
+  append_and_apply(r);
+}
+
+void JobQueue::mark_done(int job, double seconds, int level, bool degraded,
+                         const std::string& detail) {
+  Record r;
+  r.type = RecordType::Done;
+  r.job = job;
+  r.level = level;
+  r.attempt = degraded ? 1 : 0;  // Done.attempt doubles as the degraded flag
+  r.seconds = seconds;
+  r.detail = detail;
+  append_and_apply(r);
+}
+
+void JobQueue::mark_transient(int job, int attempt,
+                              const std::string& detail) {
+  Record r;
+  r.type = RecordType::Transient;
+  r.job = job;
+  r.attempt = attempt;
+  r.detail = detail;
+  append_and_apply(r);
+}
+
+void JobQueue::mark_degraded(int job, int new_level,
+                             const std::string& detail) {
+  Record r;
+  r.type = RecordType::Degraded;
+  r.job = job;
+  r.level = new_level;
+  r.detail = detail;
+  append_and_apply(r);
+}
+
+void JobQueue::mark_quarantined(int job, const std::string& detail) {
+  Record r;
+  r.type = RecordType::Quarantined;
+  r.job = job;
+  r.detail = detail;
+  append_and_apply(r);
+}
+
+void JobQueue::append_and_apply(const Record& r) {
+  TEMPEST_REQUIRE_MSG(r.job >= 0 && r.job < n_jobs(),
+                      "journal record for job outside the plan");
+  journal_.append(r);  // disk first: the WAL invariant
+  apply(r);
+}
+
+void JobQueue::apply(const Record& r) {
+  if (r.job < 0 || r.job >= n_jobs()) return;  // tolerate foreign replay rows
+  JobInfo& j = jobs_[static_cast<std::size_t>(r.job)];
+  switch (r.type) {
+    case RecordType::Plan:
+      break;
+    case RecordType::Started:
+      j.state = JobState::Running;
+      j.attempts += 1;
+      j.level = r.level;
+      j.interrupted = false;
+      break;
+    case RecordType::Done:
+      j.state = JobState::Done;
+      j.level = r.level;
+      j.degraded = j.degraded || r.attempt != 0;
+      j.seconds = r.seconds;
+      j.detail = r.detail;
+      break;
+    case RecordType::Transient:
+      j.state = JobState::Pending;
+      j.detail = r.detail;
+      break;
+    case RecordType::Degraded:
+      j.state = JobState::Pending;
+      j.level = r.level;
+      j.degraded = true;
+      j.detail = r.detail;
+      break;
+    case RecordType::Quarantined:
+      j.state = JobState::Quarantined;
+      j.detail = r.detail;
+      break;
+  }
+}
+
+}  // namespace tempest::jobs

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tempest/jobs/journal.hpp"
+
+namespace tempest::jobs {
+
+/// Thrown when an existing journal belongs to a different run plan (other
+/// fingerprint or job count): resuming someone else's survey would silently
+/// skip or redo shots, so the caller must delete the jobs directory (or
+/// point at another) to proceed.
+class JournalMismatchError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class JobState : std::uint8_t { Pending, Running, Done, Quarantined };
+
+[[nodiscard]] constexpr const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::Pending: return "pending";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Quarantined: return "quarantined";
+  }
+  return "?";
+}
+
+/// Everything the queue knows about one job, reconstructed from the journal
+/// on recovery and kept current in memory while running.
+struct JobInfo {
+  JobState state = JobState::Pending;
+  int attempts = 0;       ///< Started records seen (all levels)
+  int level = 0;          ///< current/final degradation-ladder level
+  bool degraded = false;  ///< ever stepped down the ladder
+  bool interrupted = false;  ///< was mid-run when a previous process died
+  double seconds = 0.0;      ///< wall-clock of the winning attempt
+  std::string detail;        ///< diagnostics from the last recorded event
+};
+
+/// Crash-consistent shot-job queue over a write-ahead Journal.
+///
+/// Construction replays the journal when one exists: the first record must
+/// be a Plan matching this run's fingerprint and job count (else
+/// JournalMismatchError — a journal from different flags is never silently
+/// reused), every later record advances one job's state machine
+/// pending -> running -> done | quarantined, and a job left Running by a
+/// dead process is returned to Pending with `interrupted` set so the
+/// executor knows to look for its mid-shot checkpoint. A torn tail — the
+/// signature of a kill mid-append — is healed by compacting the intact
+/// prefix back to disk before any new record is appended.
+///
+/// Every mark_*() appends to the journal *before* mutating memory: the
+/// on-disk history is always at least as new as the in-memory view.
+class JobQueue {
+ public:
+  JobQueue(std::string journal_path, std::uint64_t plan_fingerprint,
+           int n_jobs);
+
+  [[nodiscard]] int n_jobs() const { return static_cast<int>(jobs_.size()); }
+  [[nodiscard]] const JobInfo& job(int i) const { return jobs_.at(i); }
+  [[nodiscard]] bool recovered() const { return recovered_; }
+
+  /// Lowest-index Pending job, or -1 when none remain.
+  [[nodiscard]] int next_pending() const;
+  [[nodiscard]] bool all_done() const;
+  [[nodiscard]] int count(JobState s) const;
+
+  void mark_started(int job, int attempt, int level);
+  void mark_done(int job, double seconds, int level, bool degraded,
+                 const std::string& detail);
+  void mark_transient(int job, int attempt, const std::string& detail);
+  void mark_degraded(int job, int new_level, const std::string& detail);
+  void mark_quarantined(int job, const std::string& detail);
+
+  /// Remove the journal (call when the survey completed and its outputs are
+  /// durably on disk — a stale journal must not shadow the next run).
+  void remove_journal() const { journal_.remove(); }
+
+ private:
+  void append_and_apply(const Record& r);
+  void apply(const Record& r);
+
+  Journal journal_;
+  std::vector<JobInfo> jobs_;
+  bool recovered_ = false;
+};
+
+}  // namespace tempest::jobs

@@ -1,0 +1,85 @@
+#include "tempest/jobs/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "tempest/util/error.hpp"
+#include "tempest/util/json.hpp"
+
+namespace tempest::jobs {
+
+namespace {
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(sorted.size()) + 0.5);
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+}  // namespace
+
+void finalize_aggregates(SurveyReport& report) {
+  report.done = 0;
+  report.degraded = 0;
+  report.quarantined = 0;
+  std::vector<double> latencies;
+  for (const ShotReport& s : report.shots) {
+    if (s.state == "done") {
+      report.done += 1;
+      report.degraded += s.degraded ? 1 : 0;
+      latencies.push_back(s.seconds);
+    } else if (s.state == "quarantined") {
+      report.quarantined += 1;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_shot_seconds = percentile(latencies, 50.0);
+  report.p99_shot_seconds = percentile(latencies, 99.0);
+  report.shots_per_hour =
+      report.total_seconds > 0.0
+          ? static_cast<double>(report.done) * 3600.0 / report.total_seconds
+          : 0.0;
+}
+
+void write_survey_json(const std::string& path, const SurveyReport& report) {
+  std::ofstream os(path);
+  TEMPEST_REQUIRE_MSG(os.good(), "cannot open '" + path + "' for write");
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "tempest-survey-v1");
+  w.field("physics", report.physics);
+  w.field("requested_schedule", report.requested_schedule);
+  w.field("size", report.size);
+  w.field("steps", report.steps);
+  w.field("shots", report.n_shots);
+  w.field("recovered", report.recovered);
+  w.field("total_seconds", report.total_seconds);
+  w.field("done", report.done);
+  w.field("degraded", report.degraded);
+  w.field("quarantined", report.quarantined);
+  w.field("shots_per_hour", report.shots_per_hour);
+  w.field("p50_shot_seconds", report.p50_shot_seconds);
+  w.field("p99_shot_seconds", report.p99_shot_seconds);
+  w.key("shot_reports");
+  w.begin_array();
+  for (const ShotReport& s : report.shots) {
+    w.begin_object();
+    w.field("shot", s.shot);
+    w.field("state", s.state);
+    w.field("attempts", s.attempts);
+    w.field("level", s.level);
+    w.field("level_name", s.level_name);
+    w.field("degraded", s.degraded);
+    w.field("seconds", s.seconds);
+    w.field("detail", s.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os.flush();
+  TEMPEST_REQUIRE_MSG(os.good(), "writing '" + path + "' failed");
+}
+
+}  // namespace tempest::jobs

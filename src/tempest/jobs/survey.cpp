@@ -1,0 +1,350 @@
+#include "tempest/jobs/survey.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "tempest/codegen/emit.hpp"
+#include "tempest/codegen/jit.hpp"
+#include "tempest/io/io.hpp"
+#include "tempest/jobs/runner.hpp"
+#include "tempest/jobs/watchdog.hpp"
+#include "tempest/physics/acoustic.hpp"
+#include "tempest/physics/elastic.hpp"
+#include "tempest/physics/tti.hpp"
+#include "tempest/physics/vti.hpp"
+#include "tempest/resilience/checkpoint.hpp"
+#include "tempest/resilience/fault.hpp"
+#include "tempest/sparse/survey.hpp"
+#include "tempest/sparse/wavelet.hpp"
+#include "tempest/util/log.hpp"
+#include "tempest/util/timer.hpp"
+
+namespace tempest::jobs {
+
+namespace {
+
+using physics::Schedule;
+
+/// Versioned framing of the per-shot checkpoint aux blob (see
+/// resilience::aux_pack_versioned): magic "TPSS", layout version 1. Bump
+/// the version when ShotAux changes layout — an old blob is then rejected
+/// as a typed io::CorruptFileError instead of being reinterpreted.
+constexpr std::uint32_t kShotAuxMagic = 0x54505353u;  // "TPSS"
+constexpr std::uint32_t kShotAuxVersion = 1;
+constexpr const char* kShotAuxName = "shot-state";
+
+/// Which attempt wrote the checkpoint. The per-shot checkpoint fingerprint
+/// already encodes shot/level/schedule; this blob carries the same facts
+/// readably so a mismatch diagnoses itself (and exercises the versioned
+/// framing end to end).
+struct ShotAux {
+  std::int32_t shot = 0;
+  std::int32_t level = 0;
+  std::int32_t sched = 0;
+  std::int32_t jit = 0;
+};
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string shot_ckpt_path(const SurveySpec& spec, int shot) {
+  return spec.jobs_dir + "/shot_" + std::to_string(shot) + ".tpck";
+}
+
+/// A checkpoint is only resumable by the exact (shot, rung) that wrote it:
+/// resuming a wavefront shot's state under the space-blocked rung (or vice
+/// versa) would splice two schedules' rounding histories into one gather.
+std::uint64_t shot_fingerprint(std::uint64_t base, int shot,
+                               const SurveyRung& rung, int level) {
+  resilience::Fingerprint fp;
+  fp.add(base).add(shot).add(level).add(static_cast<int>(rung.sched));
+  fp.add(rung.jit ? 1 : 0);
+  return fp.value();
+}
+
+[[nodiscard]] bool is_barrier(Schedule s) {
+  return s == Schedule::Reference || s == Schedule::SpaceBlocked;
+}
+
+/// One attempt of one shot, generic over the uniform propagator surface
+/// (run/run_from/capture/restore). Throws on failure; the Runner's
+/// classify() decides retry vs degrade vs quarantine.
+template <typename Propagator, typename Model>
+AttemptResult run_shot(const Model& model, const SurveySpec& spec,
+                       const std::vector<SurveyRung>& ladder,
+                       std::uint64_t base_fp, const Attempt& a) {
+  const SurveyRung& rung = ladder.at(static_cast<std::size_t>(a.level));
+  const int n = spec.n;
+  const int nt = spec.nt;
+  const double dt = model.critical_dt();
+  const auto wavelet = sparse::ricker(nt, dt, 0.008);
+
+  // Shots march along x at 1/4 .. 3/4 of the line, off-the-grid.
+  const double fx =
+      0.25 + 0.5 * a.job / std::max(1, spec.n_shots - 1);
+  sparse::SparseTimeSeries src(
+      {{fx * (n - 1) + 0.37, 0.5 * (n - 1) + 0.61, 0.1 * (n - 1) + 0.43}},
+      nt);
+  src.broadcast_signature(wavelet);
+  const sparse::CoordList rec_coords =
+      sparse::receiver_carpet(model.geom.extents, 16, 8);
+  sparse::SparseTimeSeries gather(rec_coords, nt);
+
+  if (rung.jit) {
+    // Compile + load the generated operator for this rung before any
+    // propagation. A broken toolchain throws JitCompileError here —
+    // transient, so the Runner retries with backoff and, once the budget
+    // is spent, degrades the shot to the AOT rung below.
+    codegen::KernelSpec kspec;
+    kspec.space_order = spec.space_order;
+    kspec.wavefront = rung.sched == Schedule::Wavefront;
+    const codegen::JitModule compiled(codegen::emit_acoustic_c(kspec),
+                                      kspec.symbol());
+    TEMPEST_REQUIRE(compiled.symbol() != nullptr);
+  }
+
+  physics::PropagatorOptions opts;
+  opts.tiles = core::TileSpec{8, 64, 64, 8, 8};
+  opts.health.check_every = spec.health_every;
+  Propagator prop(model, opts);
+
+  const std::uint64_t fp = shot_fingerprint(base_fp, a.job, rung, a.level);
+  resilience::Checkpointer ckpt(shot_ckpt_path(spec, a.job));
+  const bool barrier = is_barrier(rung.sched);
+
+  // Mid-shot resume (barrier rungs only — temporally blocked rungs have no
+  // global barrier to checkpoint at, so an interrupted shot reruns from
+  // scratch; both paths are deterministic, hence bit-identical gathers).
+  int t_start = -1;
+  if (barrier) {
+    try {
+      if (const auto resume = ckpt.try_load(fp)) {
+        const auto* blob = resume->find_aux(kShotAuxName);
+        if (blob == nullptr) {
+          throw io::CorruptFileError(ckpt.path(),
+                                     "shot checkpoint lacks its " +
+                                         std::string(kShotAuxName) +
+                                         " blob");
+        }
+        const auto aux = resilience::aux_unpack_versioned<ShotAux>(
+            ckpt.path(), *blob, kShotAuxMagic, kShotAuxVersion);
+        if (aux.shot == a.job && aux.level == a.level) {
+          prop.restore(*resume);
+          if (resume->has_rec) gather = resume->rec;
+          t_start = resume->step;
+          util::info("shot " + std::to_string(a.job) +
+                     ": resuming from step " + std::to_string(t_start));
+        } else {
+          ckpt.remove_all();  // another attempt's leftovers
+        }
+      }
+    } catch (const resilience::CheckpointMismatchError&) {
+      // A different rung/config wrote it; it cannot seed this attempt.
+      ckpt.remove_all();
+    } catch (const io::CorruptFileError& e) {
+      util::warn(std::string("discarding unusable shot checkpoint: ") +
+                 e.what());
+      ckpt.remove_all();
+    }
+  }
+
+  Watchdog wd(barrier ? spec.watchdog_ms : 0.0, now_ms);
+  const auto on_step = [&](int t) {
+    wd.beat(t);
+    if (spec.ckpt_every <= 0 || t % spec.ckpt_every != 0 || t >= nt) return;
+    resilience::Checkpoint ck = prop.capture(t, fp, &gather);
+    ShotAux aux;
+    aux.shot = a.job;
+    aux.level = a.level;
+    aux.sched = static_cast<std::int32_t>(rung.sched);
+    aux.jit = rung.jit ? 1 : 0;
+    ck.aux.emplace_back(kShotAuxName,
+                        resilience::aux_pack_versioned(kShotAuxMagic,
+                                                       kShotAuxVersion, aux));
+    try {
+      ckpt.save(ck);
+    } catch (const util::PreconditionError& e) {
+      // A failed save is an environment problem (disk full, injected
+      // fault), not a physics problem: retryable, and the rotated previous
+      // checkpoint still covers the shot.
+      throw util::TransientError(
+          std::string("checkpoint save failed: ") + e.what());
+    }
+  };
+
+  physics::RunStats stats;
+  wd.start();
+  if (barrier) {
+    stats = t_start >= 0
+                ? prop.run_from(t_start, rung.sched, src, &gather, on_step)
+                : prop.run(rung.sched, src, &gather, on_step);
+  } else {
+    stats = prop.run(rung.sched, src, &gather);
+  }
+
+  // Commit the gather atomically *before* the Done record is journaled:
+  // once the queue says done, the bytes are on disk under their final name.
+  const std::string out = shot_gather_path(spec, a.job);
+  const std::string tmp = out + ".tmp";
+  io::save_gather(tmp, gather);
+  if (std::rename(tmp.c_str(), out.c_str()) != 0) {
+    throw util::TransientError("cannot commit gather to '" + out + "'");
+  }
+  ckpt.remove_all();
+
+  AttemptResult res;
+  res.seconds = stats.seconds + stats.precompute_seconds;
+  res.detail = rung.name;
+  return res;
+}
+
+std::vector<LadderRung> runner_ladder(const std::vector<SurveyRung>& rungs) {
+  std::vector<LadderRung> out;
+  out.reserve(rungs.size());
+  for (const SurveyRung& r : rungs) out.push_back(LadderRung{r.name});
+  return out;
+}
+
+template <typename Propagator, typename Model>
+int drive(const Model& model, const SurveySpec& spec,
+          const std::vector<SurveyRung>& ladder, std::uint64_t base_fp,
+          JobQueue& queue, const util::BackoffPolicy& policy) {
+  Runner runner(queue, runner_ladder(ladder), policy,
+                [&](const Attempt& a) {
+                  return run_shot<Propagator>(model, spec, ladder, base_fp,
+                                              a);
+                });
+  return runner.run();
+}
+
+}  // namespace
+
+std::vector<SurveyRung> degradation_ladder(Schedule requested, bool use_jit) {
+  std::vector<SurveyRung> ladder;
+  const auto push = [&](Schedule s, bool jit) {
+    for (const SurveyRung& r : ladder) {
+      if (r.sched == s && r.jit == jit) return;
+    }
+    SurveyRung rung;
+    rung.sched = s;
+    rung.jit = jit;
+    rung.name = std::string(physics::to_string(s)) + (jit ? "+jit" : "");
+    ladder.push_back(std::move(rung));
+  };
+  if (use_jit) push(requested, true);
+  push(requested, false);
+  push(Schedule::SpaceBlocked, false);
+  push(Schedule::Reference, false);
+  return ladder;
+}
+
+std::uint64_t survey_fingerprint(const SurveySpec& spec) {
+  resilience::Fingerprint fp;
+  for (const char c : spec.physics) fp.add(static_cast<int>(c));
+  fp.add(spec.n).add(spec.nt).add(spec.n_shots).add(spec.space_order);
+  fp.add(static_cast<int>(spec.schedule));
+  fp.add(spec.use_jit ? 1 : 0);
+  return fp.value();
+}
+
+std::string shot_gather_path(const SurveySpec& spec, int shot) {
+  return spec.jobs_dir + "/shot_" + std::to_string(shot) + ".tpg";
+}
+
+SurveyReport run_survey(const SurveySpec& spec) {
+  TEMPEST_REQUIRE(spec.n_shots > 0 && spec.nt >= 2 && spec.n >= 8);
+  // Let the chaos harness arm its kill point in a child it spawned.
+  resilience::fault::arm_kill_from_env();
+  std::filesystem::create_directories(spec.jobs_dir);
+
+  const std::uint64_t base_fp = survey_fingerprint(spec);
+  const bool jit_rung = spec.use_jit && spec.physics == "acoustic";
+  const std::vector<SurveyRung> ladder =
+      degradation_ladder(spec.schedule, jit_rung);
+  JobQueue queue(spec.jobs_dir + "/journal.tpj", base_fp, spec.n_shots);
+  if (queue.recovered()) {
+    util::info("recovered a journal with interrupted shots; re-entering");
+  }
+  const util::BackoffPolicy policy =
+      util::BackoffPolicy::from_env("TEMPEST_JOB", spec.retry);
+
+  util::Timer total;
+  const physics::Geometry geom{{spec.n, spec.n, spec.n}, 10.0,
+                               spec.space_order, 10};
+  if (spec.physics == "acoustic") {
+    const physics::AcousticModel model =
+        physics::make_acoustic_layered(geom, 1.5, 4.0, 6);
+    drive<physics::AcousticPropagator>(model, spec, ladder, base_fp, queue,
+                                       policy);
+  } else if (spec.physics == "tti" || spec.physics == "vti") {
+    physics::TTIModel model = physics::make_tti_layered(geom, 1.5, 4.0, 6);
+    if (spec.physics == "vti") {
+      model.theta.fill(0.0f);  // untilted: a genuine VTI medium
+      model.phi.fill(0.0f);
+    }
+    if (spec.physics == "vti") {
+      drive<physics::VTIPropagator>(model, spec, ladder, base_fp, queue,
+                                    policy);
+    } else {
+      drive<physics::TTIPropagator>(model, spec, ladder, base_fp, queue,
+                                    policy);
+    }
+  } else if (spec.physics == "elastic") {
+    const physics::ElasticModel model =
+        physics::make_elastic_layered(geom, 1.5, 4.0, 6);
+    drive<physics::ElasticPropagator>(model, spec, ladder, base_fp, queue,
+                                      policy);
+  } else {
+    TEMPEST_REQUIRE_MSG(false, "unknown physics '" + spec.physics +
+                                   "' (expected acoustic, tti, vti or "
+                                   "elastic)");
+  }
+
+  SurveyReport report;
+  report.physics = spec.physics;
+  report.requested_schedule = physics::to_string(spec.schedule);
+  report.size = spec.n;
+  report.steps = spec.nt;
+  report.n_shots = spec.n_shots;
+  report.recovered = queue.recovered();
+  report.total_seconds = total.seconds();
+  for (int i = 0; i < queue.n_jobs(); ++i) {
+    const JobInfo& j = queue.job(i);
+    ShotReport row;
+    row.shot = i;
+    row.state = to_string(j.state);
+    row.attempts = j.attempts;
+    row.level = j.level;
+    row.level_name = ladder.at(static_cast<std::size_t>(j.level)).name;
+    row.degraded = j.degraded;
+    row.seconds = j.seconds;
+    row.detail = j.detail;
+    report.shots.push_back(std::move(row));
+  }
+  finalize_aggregates(report);
+  if (!spec.survey_json.empty()) {
+    write_survey_json(spec.survey_json, report);
+  }
+
+  // The chaos harness sizes its kill plan from this: total progress ticks
+  // of an uninterrupted run.
+  {
+    std::ofstream p(spec.jobs_dir + "/progress.txt", std::ios::trunc);
+    p << resilience::fault::progress_count() << "\n";
+  }
+
+  // Only a fully successful survey retires its journal; quarantined shots
+  // keep it (and their diagnostics) for the operator.
+  if (report.done == spec.n_shots) {
+    queue.remove_journal();
+  }
+  return report;
+}
+
+}  // namespace tempest::jobs

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace tempest::jobs {
+
+/// Thrown by Watchdog::beat() when the time since the previous beat exceeds
+/// the deadline — the shot is progressing too slowly to be worth finishing
+/// at its current schedule (a mis-tuned tile spec, a JIT kernel that
+/// pessimised, an overloaded host). Classified as a *degrade* failure: the
+/// runner retries the shot one rung down the degradation ladder rather
+/// than quarantining it.
+class WatchdogTimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Cooperative per-shot progress watchdog.
+///
+/// Threadless by design: beat(step) is called from the engine's per-step
+/// callback (barrier schedules — the only schedules with a mid-run progress
+/// point), and throws when the gap since the previous beat exceeds
+/// `timeout_ms`. Throwing from the callback unwinds the shot cleanly —
+/// no signals, no racing a detached thread against a live propagator. The
+/// trade-off is honesty about scope: a kernel wedged *inside* one timestep
+/// never reaches the next beat; that failure mode is covered by the
+/// process-level chaos/kill layer, which a journaled restart recovers from.
+///
+/// The clock is injectable so tests drive timeouts deterministically
+/// (pass a lambda over a fake now_ms counter).
+class Watchdog {
+ public:
+  using Clock = std::function<double()>;  ///< monotonic milliseconds
+
+  Watchdog(double timeout_ms, Clock clock)
+      : timeout_ms_(timeout_ms), clock_(std::move(clock)) {}
+
+  [[nodiscard]] bool enabled() const { return timeout_ms_ > 0.0; }
+
+  /// Start (or restart) the interval measurement.
+  void start() {
+    if (enabled()) last_beat_ms_ = clock_();
+  }
+
+  /// Record progress at `step`; throws WatchdogTimeoutError when the gap
+  /// since the previous beat exceeds the deadline.
+  void beat(int step) {
+    if (!enabled()) return;
+    const double now = clock_();
+    const double gap = now - last_beat_ms_;
+    last_beat_ms_ = now;
+    if (gap > timeout_ms_) {
+      throw WatchdogTimeoutError(
+          "watchdog: step " + std::to_string(step) + " took " +
+          std::to_string(gap) + " ms (deadline " +
+          std::to_string(timeout_ms_) +
+          " ms) — degrading to a cheaper schedule");
+    }
+  }
+
+ private:
+  double timeout_ms_;
+  Clock clock_;
+  double last_beat_ms_ = 0.0;
+};
+
+}  // namespace tempest::jobs

@@ -163,6 +163,18 @@ void Checkpointer::save(const Checkpoint& ck) const {
                         "checkpoint write failed: " + tmp);
   }
 
+  // Rotate: the fully-written previous checkpoint becomes the fallback
+  // copy *before* the new file takes the live name. A kill between the two
+  // renames leaves the old file under previous_path() and the new complete
+  // file under .tmp — resume falls back to the rotated copy, so no crash
+  // instant can strand the run with zero usable checkpoints.
+  std::error_code rot_ec;
+  if (std::filesystem::exists(path_, rot_ec)) {
+    if (std::rename(path_.c_str(), previous_path().c_str()) != 0) {
+      util::warn("cannot rotate previous checkpoint to " + previous_path() +
+                 "; continuing with a single generation");
+    }
+  }
   TEMPEST_REQUIRE_MSG(std::rename(tmp.c_str(), path_.c_str()) == 0,
                       "cannot move checkpoint into place: " + path_);
 #if !defined(TEMPEST_TRACE_DISABLED)
@@ -174,10 +186,12 @@ void Checkpointer::save(const Checkpoint& ck) const {
 #endif
 }
 
-Checkpoint Checkpointer::load() const {
-  std::ifstream is(path_, std::ios::binary);
+Checkpoint Checkpointer::load() const { return load_file(path_); }
+
+Checkpoint Checkpointer::load_file(const std::string& path) const {
+  std::ifstream is(path, std::ios::binary);
   if (!is.is_open()) {
-    throw io::CorruptFileError(path_, "cannot open checkpoint for reading");
+    throw io::CorruptFileError(path, "cannot open checkpoint for reading");
   }
   std::vector<std::uint8_t> buf(
       (std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
@@ -188,7 +202,7 @@ Checkpoint Checkpointer::load() const {
       2 * sizeof(std::uint32_t);
   if (buf.size() < kMinSize) {
     throw io::CorruptFileError(
-        path_, "too small to hold a checkpoint (" +
+        path, "too small to hold a checkpoint (" +
                    std::to_string(buf.size()) + " bytes)");
   }
 
@@ -200,18 +214,18 @@ Checkpoint Checkpointer::load() const {
     std::ostringstream os;
     os << "CRC mismatch: stored " << std::hex << stored_crc << ", computed "
        << computed_crc << " — torn write or bit rot";
-    throw io::CorruptFileError(path_, os.str());
+    throw io::CorruptFileError(path, os.str());
   }
 
-  Reader r(path_, buf, body);
+  Reader r(path, buf, body);
   if (r.pod<std::uint32_t>() != kMagic) {
-    throw io::CorruptFileError(path_,
+    throw io::CorruptFileError(path,
                                "bad magic — not a tempest checkpoint");
   }
   const std::uint32_t version = r.pod<std::uint32_t>();
   if (version != kVersion) {
     throw io::CorruptFileError(
-        path_, "unsupported checkpoint version " + std::to_string(version));
+        path, "unsupported checkpoint version " + std::to_string(version));
   }
 
   Checkpoint ck;
@@ -225,7 +239,7 @@ Checkpoint Checkpointer::load() const {
   if (ck.step < 0 || nslices <= 0 || nslices > kMaxSlices || nx <= 0 ||
       ny <= 0 || nz <= 0 || nx > kMaxExtent || ny > kMaxExtent ||
       nz > kMaxExtent || halo < 0 || halo > kMaxHalo) {
-    throw io::CorruptFileError(path_, "implausible checkpoint header");
+    throw io::CorruptFileError(path, "implausible checkpoint header");
   }
 
   ck.slots.reserve(static_cast<std::size_t>(nslices));
@@ -240,7 +254,7 @@ Checkpoint Checkpointer::load() const {
     const int rec_nt = r.pod<std::int32_t>();
     const int rec_np = r.pod<std::int32_t>();
     if (rec_nt <= 0 || rec_np < 0) {
-      throw io::CorruptFileError(path_, "implausible gather header");
+      throw io::CorruptFileError(path, "implausible gather header");
     }
     sparse::CoordList coords(static_cast<std::size_t>(rec_np));
     for (sparse::Coord3& c : coords) {
@@ -257,18 +271,18 @@ Checkpoint Checkpointer::load() const {
 
   const std::uint32_t naux = r.pod<std::uint32_t>();
   if (naux > kMaxAux) {
-    throw io::CorruptFileError(path_, "implausible auxiliary-blob count");
+    throw io::CorruptFileError(path, "implausible auxiliary-blob count");
   }
   for (std::uint32_t i = 0; i < naux; ++i) {
     const std::uint32_t name_len = r.pod<std::uint32_t>();
     if (name_len > 4096) {
-      throw io::CorruptFileError(path_, "implausible auxiliary name length");
+      throw io::CorruptFileError(path, "implausible auxiliary name length");
     }
     std::string name(name_len, '\0');
     r.bytes(name.data(), name_len);
     const std::uint64_t nbytes = r.pod<std::uint64_t>();
     if (nbytes > r.remaining()) {
-      throw io::CorruptFileError(path_,
+      throw io::CorruptFileError(path,
                                  "auxiliary blob exceeds the file size");
     }
     std::vector<std::uint8_t> blob(static_cast<std::size_t>(nbytes));
@@ -277,31 +291,96 @@ Checkpoint Checkpointer::load() const {
   }
 
   if (r.remaining() != 0) {
-    throw io::CorruptFileError(path_, "trailing bytes after checkpoint data");
+    throw io::CorruptFileError(path, "trailing bytes after checkpoint data");
   }
   return ck;
 }
 
 std::optional<Checkpoint> Checkpointer::try_load(
     std::uint64_t expected_fingerprint) const {
-  if (!exists()) return std::nullopt;
-  Checkpoint ck;
-  try {
-    ck = load();
-  } catch (const io::CorruptFileError& e) {
-    util::warn(std::string("ignoring unusable checkpoint: ") + e.what());
-    return std::nullopt;
+  // Newest first, then the rotated predecessor: a crash mid-write (or bit
+  // rot in the newest file) degrades the resume to the previous barrier
+  // step instead of a cold start.
+  const std::string candidates[] = {path_, previous_path()};
+  bool any_file = false;
+  for (const std::string& candidate : candidates) {
+    std::error_code ec;
+    if (!std::filesystem::exists(candidate, ec)) continue;
+    any_file = true;
+    Checkpoint ck;
+    try {
+      ck = load_file(candidate);
+    } catch (const io::CorruptFileError& e) {
+      util::warn(std::string("ignoring unusable checkpoint: ") + e.what());
+      continue;
+    }
+    if (ck.fingerprint != expected_fingerprint) {
+      std::ostringstream os;
+      os << "checkpoint '" << candidate << "' was written by a different "
+         << "configuration (fingerprint " << std::hex << ck.fingerprint
+         << ", this run is " << expected_fingerprint
+         << ") — resuming would corrupt the result; delete the file to "
+            "start fresh";
+      throw CheckpointMismatchError(os.str());
+    }
+    if (candidate != path_) {
+      util::warn("newest checkpoint unusable; resuming from the rotated "
+                 "predecessor " +
+                 candidate + " (step " + std::to_string(ck.step) + ")");
+    }
+    return ck;
   }
-  if (ck.fingerprint != expected_fingerprint) {
+  if (any_file) {
+    util::warn("no usable checkpoint generation under '" + path_ +
+               "'; starting fresh");
+  }
+  return std::nullopt;
+}
+
+void Checkpointer::remove_all() const {
+  std::remove(path_.c_str());
+  std::remove(previous_path().c_str());
+  std::remove((path_ + ".tmp").c_str());
+}
+
+std::vector<std::uint8_t> aux_wrap_bytes(std::uint32_t magic,
+                                         std::uint32_t version,
+                                         const void* data, std::size_t n) {
+  std::vector<std::uint8_t> b(2 * sizeof(std::uint32_t) + n);
+  std::memcpy(b.data(), &magic, sizeof(magic));
+  std::memcpy(b.data() + sizeof(magic), &version, sizeof(version));
+  if (n != 0) {
+    std::memcpy(b.data() + 2 * sizeof(std::uint32_t), data, n);
+  }
+  return b;
+}
+
+AuxView aux_unwrap_bytes(const std::string& name,
+                         const std::vector<std::uint8_t>& blob,
+                         std::uint32_t magic, std::uint32_t version) {
+  constexpr std::size_t kHeader = 2 * sizeof(std::uint32_t);
+  if (blob.size() < kHeader) {
+    throw io::CorruptFileError(
+        name, "auxiliary blob truncated before its header (" +
+                  std::to_string(blob.size()) + " bytes)");
+  }
+  std::uint32_t stored_magic = 0;
+  std::uint32_t stored_version = 0;
+  std::memcpy(&stored_magic, blob.data(), sizeof(stored_magic));
+  std::memcpy(&stored_version, blob.data() + sizeof(stored_magic),
+              sizeof(stored_version));
+  if (stored_magic != magic) {
     std::ostringstream os;
-    os << "checkpoint '" << path_ << "' was written by a different "
-       << "configuration (fingerprint " << std::hex << ck.fingerprint
-       << ", this run is " << expected_fingerprint
-       << ") — resuming would corrupt the result; delete the file to start "
-          "fresh";
-    throw CheckpointMismatchError(os.str());
+    os << "auxiliary blob magic mismatch: stored 0x" << std::hex
+       << stored_magic << ", expected 0x" << magic;
+    throw io::CorruptFileError(name, os.str());
   }
-  return ck;
+  if (stored_version != version) {
+    throw io::CorruptFileError(
+        name, "auxiliary blob version " + std::to_string(stored_version) +
+                  ", this build reads version " + std::to_string(version));
+  }
+  return AuxView{blob.data() + kHeader, blob.size() - kHeader};
 }
 
 }  // namespace tempest::resilience

@@ -11,6 +11,7 @@
 
 #include "tempest/config.hpp"
 #include "tempest/grid/grid3.hpp"
+#include "tempest/io/io.hpp"
 #include "tempest/sparse/series.hpp"
 
 namespace tempest::resilience {
@@ -94,40 +95,106 @@ template <typename T>
   return v;
 }
 
-/// Atomic checkpoint persistence.
+/// Versioned auxiliary-blob framing: an 8-byte {magic, version} header
+/// prefixes the payload, so a blob written by an incompatible layout (or
+/// truncated by corruption the file-level CRC did not cover because the
+/// whole checkpoint was rewritten) is rejected as a typed
+/// io::CorruptFileError naming the blob — never silently reinterpreted as
+/// raw bytes.
+[[nodiscard]] std::vector<std::uint8_t> aux_wrap_bytes(std::uint32_t magic,
+                                                       std::uint32_t version,
+                                                       const void* data,
+                                                       std::size_t n);
+
+/// Validated view of a wrapped blob's payload (header stripped). Throws
+/// io::CorruptFileError on a short blob, wrong magic, or wrong version;
+/// `name` labels the blob in the diagnostic.
+struct AuxView {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+};
+[[nodiscard]] AuxView aux_unwrap_bytes(const std::string& name,
+                                       const std::vector<std::uint8_t>& blob,
+                                       std::uint32_t magic,
+                                       std::uint32_t version);
+
+/// aux_pack/aux_unpack with the versioned framing. Unpack throws
+/// io::CorruptFileError (wrong magic/version/size) instead of guessing.
+template <typename T>
+[[nodiscard]] std::vector<std::uint8_t> aux_pack_versioned(std::uint32_t magic,
+                                                           std::uint32_t version,
+                                                           const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return aux_wrap_bytes(magic, version, &v, sizeof(T));
+}
+
+template <typename T>
+[[nodiscard]] T aux_unpack_versioned(const std::string& name,
+                                     const std::vector<std::uint8_t>& blob,
+                                     std::uint32_t magic,
+                                     std::uint32_t version) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const AuxView view = aux_unwrap_bytes(name, blob, magic, version);
+  if (view.size != sizeof(T)) {
+    throw io::CorruptFileError(
+        name, "auxiliary payload holds " + std::to_string(view.size) +
+                  " bytes, expected " + std::to_string(sizeof(T)));
+  }
+  T v{};
+  std::memcpy(&v, view.data, sizeof(T));
+  return v;
+}
+
+/// Atomic checkpoint persistence with two-deep rotation.
 ///
 /// Layout (host-endian): magic "TPCK" + version, fingerprint, step, slice
 /// geometry, slice payloads, optional gather, auxiliary blobs, and a
 /// trailing CRC-32 over everything before it. save() streams to
-/// `path + ".tmp"` and rename(2)s into place, so a kill at any instant
-/// leaves either the previous complete checkpoint or a stray temp file —
-/// never a half-written file under the live name. load() validates magic,
-/// header sanity, the declared sizes against the actual file size, and the
-/// CRC before trusting a byte of payload.
+/// `path + ".tmp"`, rotates the previous good file to `path + ".1"`, and
+/// rename(2)s the new one into place, so a kill at any instant leaves at
+/// least one complete checkpoint on disk — never only a half-written file
+/// under the live name, and never *zero* usable checkpoints because the
+/// crash landed mid-write. load() validates magic, header sanity, the
+/// declared sizes against the actual file size, and the CRC before
+/// trusting a byte of payload; try_load() falls back to the rotated
+/// predecessor when the newest file fails validation.
 class Checkpointer {
  public:
   explicit Checkpointer(std::string path) : path_(std::move(path)) {}
 
   [[nodiscard]] const std::string& path() const { return path_; }
+  /// The rotated previous-good checkpoint (kept as the CRC-failure
+  /// fallback).
+  [[nodiscard]] std::string previous_path() const { return path_ + ".1"; }
   [[nodiscard]] bool exists() const;
 
-  /// Atomically persist `ck`. Throws util::PreconditionError on I/O errors
-  /// (disk full, unwritable directory) — the previous checkpoint, if any,
-  /// is left intact in every failure mode.
+  /// Atomically persist `ck`, rotating the previous checkpoint to
+  /// previous_path(). Throws util::PreconditionError on I/O errors (disk
+  /// full, unwritable directory) — the previous checkpoint, if any, is
+  /// left intact in every failure mode.
   void save(const Checkpoint& ck) const;
 
-  /// Load and fully validate. Throws io::CorruptFileError on a missing,
-  /// truncated, or corrupted file.
+  /// Load and fully validate the newest file only. Throws
+  /// io::CorruptFileError on a missing, truncated, or corrupted file.
   [[nodiscard]] Checkpoint load() const;
 
-  /// Resume helper: nullopt when no checkpoint exists; warns and returns
-  /// nullopt when the file is corrupt (a damaged checkpoint must not stop a
-  /// fresh run from starting); throws CheckpointMismatchError when the file
-  /// is valid but was written by a different configuration.
+  /// Resume helper: nullopt when no usable checkpoint exists; warns and
+  /// falls back to the rotated predecessor when the newest file is corrupt
+  /// (a crash mid-write must never strand a run with zero checkpoints);
+  /// warns and returns nullopt when neither file validates; throws
+  /// CheckpointMismatchError when a valid file was written by a different
+  /// configuration.
   [[nodiscard]] std::optional<Checkpoint> try_load(
       std::uint64_t expected_fingerprint) const;
 
+  /// Delete every file this checkpointer may have written (live, rotated,
+  /// temp). Call when the protected computation has completed — a stale
+  /// checkpoint must not shadow the next run.
+  void remove_all() const;
+
  private:
+  [[nodiscard]] Checkpoint load_file(const std::string& path) const;
+
   std::string path_;
 };
 

@@ -1,6 +1,15 @@
 #include "tempest/resilience/fault.hpp"
 
+#include <csignal>
+#include <cstdlib>
+
+#include <atomic>
+
 namespace tempest::resilience::fault {
+
+namespace {
+std::atomic<long> progress{0};
+}  // namespace
 
 Plan& plan() {
   static Plan p;
@@ -30,6 +39,27 @@ bool consume_checkpoint_failure() {
   if (p.fail_checkpoint_writes <= 0) return false;
   --p.fail_checkpoint_writes;
   return true;
+}
+
+void note_progress() {
+  const long n = progress.fetch_add(1, std::memory_order_relaxed) + 1;
+  const Plan& p = plan();
+  if (p.kill_after_progress >= 0 && n >= p.kill_after_progress) {
+    // The chaos harness wants the real thing: no stack unwinding, no
+    // destructors, no buffered-stream flushes. SIGKILL cannot be handled.
+    std::raise(SIGKILL);
+  }
+}
+
+long progress_count() { return progress.load(std::memory_order_relaxed); }
+
+void arm_kill_from_env() {
+  Plan& p = plan();
+  if (p.kill_after_progress >= 0) return;  // programmatic arming wins
+  const char* v = std::getenv("TEMPEST_CHAOS_KILL_AT");
+  if (v == nullptr || *v == '\0') return;
+  const long at = std::strtol(v, nullptr, 10);
+  if (at > 0) p.kill_after_progress = static_cast<int>(at);
 }
 
 }  // namespace tempest::resilience::fault

@@ -30,6 +30,14 @@ struct Plan {
   /// written but *before* the atomic rename — the torn-write window a kill
   /// during save() would hit. The previous checkpoint must survive.
   int fail_checkpoint_writes = 0;
+
+  /// Die with an un-catchable SIGKILL when the process-global progress
+  /// counter (one tick per completed barrier timestep or temporal-blocking
+  /// band — see note_progress()) reaches this value (-1 = disarmed). The
+  /// chaos harness arms it to kill a survey at a fault-plan-chosen point in
+  /// the computation: no destructors, no atexit, no flushes — exactly what
+  /// `kill -9` leaves behind.
+  int kill_after_progress = -1;
 };
 
 [[nodiscard]] Plan& plan();
@@ -46,5 +54,20 @@ void reset();
 
 /// Polled by the Checkpointer mid-write.
 [[nodiscard]] bool consume_checkpoint_failure();
+
+/// Tick the process-global progress counter (called by the engine after
+/// every completed barrier timestep and at every temporal-blocking band
+/// boundary) and raise SIGKILL when the armed kill point is reached. One
+/// relaxed atomic increment; disarmed it costs one int compare.
+void note_progress();
+
+/// Progress ticks since process start — the chaos harness reads this from
+/// an uninterrupted run to size its kill plan.
+[[nodiscard]] long progress_count();
+
+/// Arm kill_after_progress from $TEMPEST_CHAOS_KILL_AT when set (and the
+/// plan is not already armed programmatically). Lets the chaos harness
+/// reach into a child process it spawned without a bespoke CLI flag.
+void arm_kill_from_env();
 
 }  // namespace tempest::resilience::fault

@@ -23,6 +23,38 @@ class InvalidScheduleError : public PreconditionError {
   using PreconditionError::PreconditionError;
 };
 
+/// Failure taxonomy for retrying runtimes (the jobs layer, the JIT).
+///
+/// A *transient* failure is expected to clear on retry: a compiler OOM
+/// kill, a checkpoint write hitting a briefly full disk, an injected test
+/// fault. A *degrade* failure is deterministic under the current execution
+/// strategy but may succeed under a slower one (a diverging fast-path run,
+/// a watchdog stall) — the caller should step down its degradation ladder
+/// instead of retrying in place. A *permanent* failure is a property of the
+/// request itself (illegal schedule, CFL violation, mismatched checkpoint):
+/// retrying it burns cycles to reproduce the same diagnostic, so it must be
+/// quarantined with the diagnostic attached, never retried.
+enum class FailureKind { Transient, Degrade, Permanent };
+
+[[nodiscard]] constexpr const char* to_string(FailureKind k) {
+  switch (k) {
+    case FailureKind::Transient: return "transient";
+    case FailureKind::Degrade: return "degrade";
+    case FailureKind::Permanent: return "permanent";
+  }
+  return "?";
+}
+
+/// Base class for failures that are expected to clear on retry. Derives
+/// from PreconditionError so the existing catch sites (the JIT's
+/// interpreter fallback, the checkpoint save paths) keep working: a
+/// transient failure *is* still a failed precondition, it just carries the
+/// extra promise that retrying is rational.
+class TransientError : public PreconditionError {
+ public:
+  using PreconditionError::PreconditionError;
+};
+
 namespace detail {
 [[noreturn]] inline void require_failed(const char* expr, const char* file,
                                         int line, const std::string& msg) {

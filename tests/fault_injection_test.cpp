@@ -2,6 +2,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <stdexcept>
@@ -50,10 +51,12 @@ class TempFile {
               suffix) {
     std::remove(path_.c_str());
     std::remove((path_ + ".tmp").c_str());
+    std::remove((path_ + ".1").c_str());
   }
   ~TempFile() {
     std::remove(path_.c_str());
     std::remove((path_ + ".tmp").c_str());
+    std::remove((path_ + ".1").c_str());
   }
   [[nodiscard]] const std::string& path() const { return path_; }
 
@@ -387,6 +390,55 @@ TEST_F(FaultInjection, FlippedByteFailsTheCrc) {
   }
 }
 
+TEST_F(FaultInjection, CorruptNewestCheckpointFallsBackToRotated) {
+  TempFile file(".tpck");
+  rs::Checkpointer ckpt(file.path());
+  ckpt.save(make_checkpoint(5, 42, real_t{1}));
+  ckpt.save(make_checkpoint(9, 42, real_t{2}));  // rotates step 5 to ".1"
+
+  // Bit rot in the newest generation.
+  std::string bytes;
+  {
+    std::ifstream is(file.path(), std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(is)),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[bytes.size() / 3] = static_cast<char>(bytes[bytes.size() / 3] ^ 0x20);
+  {
+    std::ofstream os(file.path(), std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // load() (newest only) refuses; try_load() serves the rotated
+  // predecessor instead of stranding the run with zero checkpoints.
+  EXPECT_THROW((void)ckpt.load(), io::CorruptFileError);
+  const auto back = ckpt.try_load(42);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->step, 5);
+  EXPECT_EQ(back->slots[0](1, 2, 3), real_t{1});
+
+  // Both generations damaged: a warning and a fresh start, not a crash.
+  std::ofstream(ckpt.previous_path(), std::ios::binary | std::ios::trunc)
+      << "junk";
+  EXPECT_FALSE(ckpt.try_load(42).has_value());
+}
+
+TEST_F(FaultInjection, RemoveAllClearsEveryGeneration) {
+  TempFile file(".tpck");
+  rs::Checkpointer ckpt(file.path());
+  ckpt.save(make_checkpoint(3, 42, real_t{1}));
+  ckpt.save(make_checkpoint(6, 42, real_t{2}));
+  ASSERT_TRUE(ckpt.exists());
+  std::ifstream prev(ckpt.previous_path());
+  ASSERT_TRUE(prev.good());  // the rotation left a predecessor
+  prev.close();
+
+  ckpt.remove_all();
+  EXPECT_FALSE(ckpt.exists());
+  EXPECT_FALSE(std::ifstream(ckpt.previous_path()).good());
+  EXPECT_FALSE(ckpt.try_load(42).has_value());
+}
+
 TEST_F(FaultInjection, FingerprintMismatchRefusesToResume) {
   TempFile file(".tpck");
   rs::Checkpointer ckpt(file.path());
@@ -445,6 +497,27 @@ TEST_F(FaultInjection, TransientCompilerFailureIsRetried) {
                     "tempest_retry_probe");
   EXPECT_EQ(mod.as<int(void)>()(), 7);
   EXPECT_EQ(rs::fault::plan().fail_jit_compiles, 0);  // fault was consumed
+}
+
+TEST_F(FaultInjection, JitRetryBudgetComesFromEnvironment) {
+  // A bigger budget absorbs more consecutive failures...
+  ::setenv("TEMPEST_JIT_RETRIES", "3", 1);
+  rs::fault::plan().fail_jit_compiles = 2;
+  {
+    cg::JitModule mod("int tempest_env_probe(void) { return 11; }",
+                      "tempest_env_probe");
+    EXPECT_EQ(mod.as<int(void)>()(), 11);
+  }
+  EXPECT_EQ(rs::fault::plan().fail_jit_compiles, 0);
+
+  // ...and a budget of one turns any failure into a typed, retryable
+  // JitCompileError (transient in the jobs taxonomy).
+  ::setenv("TEMPEST_JIT_RETRIES", "1", 1);
+  rs::fault::plan().fail_jit_compiles = 2;
+  EXPECT_THROW(cg::JitModule("int tempest_env_probe2(void) { return 0; }",
+                             "tempest_env_probe2"),
+               cg::JitCompileError);
+  ::unsetenv("TEMPEST_JIT_RETRIES");
 }
 
 TEST_F(FaultInjection, PersistentCompilerFailureFallsBackToInterpreter) {

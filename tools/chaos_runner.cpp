@@ -1,0 +1,52 @@
+// Chaos harness for the crash-tolerant survey runtime: proves that a
+// survey SIGKILLed at arbitrary mid-computation points, restarted each
+// time, produces final gathers *bit-identical* to an uninterrupted run.
+// The protocol (reference pass -> seeded kills + optional checkpoint
+// corruption -> final restart -> byte-compare) lives in
+// tempest::jobs::run_chaos, shared with the jobs_chaos ctest; this binary
+// is the CLI host that scripts/check.sh --chaos and the CI chaos job drive.
+//
+// The worker is this same binary re-exec'd with --worker (fork/exec, a
+// real process death — no in-process simulation).
+//
+// Usage: chaos_runner [--size=24] [--steps=40] [--shots=3] [--so=4]
+//                     [--physics=acoustic] [--schedule=wavefront]
+//                     [--ckpt-every=8] [--kills=5] [--seed=7] [--corrupt]
+//                     [--dir=chaos_jobs] [--self=/path/to/this/binary]
+// Exit: 0 on bit-identical recovery, 1 on any mismatch or protocol error.
+
+#include <iostream>
+#include <string>
+
+#include "tempest/jobs/chaos.hpp"
+#include "tempest/util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tempest;
+  const util::Cli cli(argc, argv);
+  if (cli.get_flag("worker")) return jobs::run_chaos_worker(cli);
+
+  jobs::ChaosSpec spec;
+  spec.worker_args = {
+      "--size=" + std::to_string(cli.get_int("size", 24)),
+      "--steps=" + std::to_string(cli.get_int("steps", 40)),
+      "--shots=" + std::to_string(cli.get_int("shots", 3)),
+      "--so=" + std::to_string(cli.get_int("so", 4)),
+      "--physics=" + cli.get("physics", "acoustic"),
+      "--schedule=" + cli.get("schedule", "wavefront"),
+      "--ckpt-every=" + std::to_string(cli.get_int("ckpt-every", 8)),
+  };
+  spec.root = cli.get("dir", "chaos_jobs");
+  spec.shots = static_cast<int>(cli.get_int("shots", 3));
+  spec.kills = static_cast<int>(cli.get_int("kills", 5));
+  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  spec.corrupt = cli.get_flag("corrupt");
+
+  // argv[0] as invoked: the orchestrator re-execs itself as the worker.
+  const std::string err = jobs::run_chaos(spec, cli.get("self", argv[0]));
+  if (!err.empty()) {
+    std::cerr << err << "\n";
+    return 1;
+  }
+  return 0;
+}
