@@ -9,11 +9,20 @@
 //
 // Usage: fig9_speedup [--size=160] [--steps=N] [--so=4,8,12] [--reps=2]
 //                     [--kernels=acoustic,elastic,tti] [--tiles=tt,tx,ty]
-//                     [--csv] [--full] [--json[=BENCH_fig9_speedup.json]]
+//                     [--threads=N] [--csv] [--full]
+//                     [--json[=BENCH_fig9_speedup.json]]
+//
+// --threads=N runs both schedules task-parallel on N workers (0 = resolve
+// from $TEMPEST_THREADS / the OpenMP default). The resolved count, the
+// engaged task backend and each case's tile shape ride in the JSON so
+// multi-threaded numbers are never mistaken for serial ones —
+// scripts/bench_check.py cross-checks those fields against the env
+// fingerprint.
 
 #include <sstream>
 
 #include "common.hpp"
+#include "tempest/util/threads.hpp"
 
 namespace {
 
@@ -40,11 +49,18 @@ core::TileSpec tiles_for(const util::Cli& cli, const std::string& kernel,
   return spec;
 }
 
+std::string tile_shape_str(const core::TileSpec& t) {
+  return std::to_string(t.tile_t) + "x" + std::to_string(t.tile_x) + "x" +
+         std::to_string(t.tile_y);
+}
+
 template <typename Model, typename Propagator>
 Row run_kernel(Session& session, const std::string& name, const Model& model,
-               int so, int nt, const core::TileSpec& tiles, int reps) {
+               int so, int nt, const core::TileSpec& tiles, int threads,
+               int reps) {
   physics::PropagatorOptions opts;
   opts.tiles = tiles;
+  opts.threads = threads;
   Propagator prop(model, opts);
 
   sparse::SparseTimeSeries src =
@@ -52,13 +68,23 @@ Row run_kernel(Session& session, const std::string& name, const Model& model,
   sparse::SparseTimeSeries rec = make_receivers(model.geom.extents, nt);
 
   const std::string so_s = std::to_string(so);
+  const std::string threads_s = std::to_string(threads);
+  const std::string shape = tile_shape_str(tiles);
   const CaseResult& base =
       measure(session, name + "_so" + so_s + "_base",
-              {{"kernel", name}, {"so", so_s}, {"schedule", "space_blocked"}},
+              {{"kernel", name},
+               {"so", so_s},
+               {"schedule", "space_blocked"},
+               {"threads", threads_s},
+               {"tile_shape", shape}},
               prop, physics::Schedule::SpaceBlocked, src, &rec, reps);
   const CaseResult& wave =
       measure(session, name + "_so" + so_s + "_wtb",
-              {{"kernel", name}, {"so", so_s}, {"schedule", "wavefront"}},
+              {{"kernel", name},
+               {"so", so_s},
+               {"schedule", "wavefront"},
+               {"threads", threads_s},
+               {"tile_shape", shape}},
               prop, physics::Schedule::Wavefront, src, &rec, reps);
   const physics::RunStats base_s = best_stats(base);
   const physics::RunStats wave_s = best_stats(wave);
@@ -82,10 +108,17 @@ int main(int argc, char** argv) {
   const auto so_list = cli.get_int_list("so", {4, 8, 12});
   std::stringstream kernels_ss(
       cli.get("kernels", "acoustic,elastic,tti"));
+  // Resolved once: 1 is the deterministic serial engine; anything above
+  // engages the task backend reported alongside (bench_check.py rejects a
+  // multi-thread document whose backend claims otherwise).
+  const int threads = util::resolve_threads(cli.get_int("threads", 0));
   session.add_config("size", cfg.size);
   session.add_config("reps", cfg.reps);
   session.add_config("full", cfg.full);
   session.add_config("kernels", cli.get("kernels", "acoustic,elastic,tti"));
+  session.add_config("threads", threads);
+  session.add_config("task_backend",
+                     std::string(util::to_string(util::select_backend(threads))));
 
   util::Table table({"kernel", "space_order", "baseline_gpts", "wtb_gpts",
                      "speedup", "precompute_s"});
@@ -103,17 +136,17 @@ int main(int argc, char** argv) {
       if (kernel == "acoustic") {
         const auto model = physics::make_acoustic_layered(geom);
         row = run_kernel<physics::AcousticModel, physics::AcousticPropagator>(
-            session, kernel, model, static_cast<int>(so), nt, tiles,
+            session, kernel, model, static_cast<int>(so), nt, tiles, threads,
             cfg.reps);
       } else if (kernel == "elastic") {
         const auto model = physics::make_elastic_layered(geom);
         row = run_kernel<physics::ElasticModel, physics::ElasticPropagator>(
-            session, kernel, model, static_cast<int>(so), nt, tiles,
+            session, kernel, model, static_cast<int>(so), nt, tiles, threads,
             cfg.reps);
       } else if (kernel == "tti") {
         const auto model = physics::make_tti_layered(geom);
         row = run_kernel<physics::TTIModel, physics::TTIPropagator>(
-            session, kernel, model, static_cast<int>(so), nt, tiles,
+            session, kernel, model, static_cast<int>(so), nt, tiles, threads,
             cfg.reps);
       } else {
         std::cerr << "unknown kernel: " << kernel << "\n";

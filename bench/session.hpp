@@ -44,6 +44,7 @@
 #include "tempest/util/cli.hpp"
 #include "tempest/util/json.hpp"
 #include "tempest/util/log.hpp"
+#include "tempest/util/threads.hpp"
 
 namespace bench {
 
@@ -190,6 +191,10 @@ class Session {
 #else
     w.field("omp_max_threads", 1);
 #endif
+    // Authoritative runtime probe (the tsan preset compiles with
+    // -fopenmp-simd only: _OPENMP is unset, the pool backend carries the
+    // parallelism, and this field keeps the JSON honest about it).
+    w.field("omp_runtime", tempest::util::openmp_runtime());
 #if defined(__unix__) || defined(__APPLE__)
     w.field("page_size", static_cast<long long>(sysconf(_SC_PAGESIZE)));
 #endif

@@ -176,6 +176,56 @@ def check_survey_file(doc):
     return errors
 
 
+def check_fig9_parallel(errors, doc):
+    """fig9_speedup documents carry the task-parallel provenance fields.
+
+    Every case must be tagged with the worker count and tile shape it ran
+    under, and a multi-threaded document must report a parallel task
+    backend consistent with the environment: a run claiming threads > 1
+    while the binary reports a serial backend — or an "openmp" backend
+    without the OpenMP runtime linked (env.omp_runtime false, the
+    fingerprint's omp=1) — is a serial number masquerading as a parallel
+    one and must not enter the perf record.
+    """
+    config = doc.get("config") if isinstance(doc.get("config"), dict) else {}
+    env = doc.get("env") if isinstance(doc.get("env"), dict) else {}
+    threads_s = config.get("threads")
+    if not isinstance(threads_s, str) or not threads_s.isdigit():
+        fail(errors, f"config.threads: expected a numeric string, "
+                     f"got {threads_s!r}")
+        return
+    threads = int(threads_s)
+    if threads < 1:
+        fail(errors, f"config.threads: {threads} < 1")
+    backend = config.get("task_backend")
+    if backend not in ("serial", "openmp", "pool"):
+        fail(errors, f"config.task_backend: {backend!r} not a known backend")
+
+    for i, case in enumerate(doc.get("cases") or []):
+        tags = case.get("tags") if isinstance(case.get("tags"), dict) else {}
+        where = f"cases[{i}]"
+        if tags.get("threads") != threads_s:
+            fail(errors, f"{where}.tags.threads: {tags.get('threads')!r} "
+                         f"!= config.threads {threads_s!r}")
+        shape = tags.get("tile_shape")
+        if (not isinstance(shape, str)
+                or len(shape.split("x")) != 3
+                or not all(p.isdigit() and int(p) > 0
+                           for p in shape.split("x"))):
+            fail(errors, f"{where}.tags.tile_shape: expected 'TxXxY' with "
+                         f"positive ints, got {shape!r}")
+
+    if threads > 1:
+        if backend == "serial":
+            fail(errors, f"config: threads={threads} but task_backend is "
+                         f"'serial' — multi-thread run without a parallel "
+                         f"substrate")
+        if backend == "openmp" and env.get("omp_runtime") is False:
+            fail(errors, f"config: threads={threads} on the 'openmp' "
+                         f"backend but env.omp_runtime is false (omp=1 in "
+                         f"the fingerprint) — the runtime is not linked")
+
+
 def check_file(path):
     errors = []
     try:
@@ -271,6 +321,9 @@ def check_file(path):
 
     if not cases and not runs:
         fail(errors, "document has neither cases nor benchmark_runs")
+
+    if doc.get("name") == "fig9_speedup":
+        check_fig9_parallel(errors, doc)
     return errors
 
 

@@ -2,7 +2,7 @@
 # Tier-1 verification: build + full test suite under the default (Release)
 # preset, then again under the asan preset (-fsanitize=address,undefined).
 # Usage:  scripts/check.sh [--fast | --skip-asan | --bench | --tidy |
-#                           --ubsan | --analyze | --chaos]
+#                           --ubsan | --tsan | --analyze | --chaos]
 #   --fast       build the default preset and run only the `unit`-labelled
 #                tests (the PR fast lane); implies no asan pass
 #   --skip-asan  full default-preset suite, skip the sanitizer pass
@@ -20,6 +20,11 @@
 #                errors (blocking CI gate) — returns non-zero on any hit
 #   --ubsan      full suite under the standalone UBSan preset
 #                (-fsanitize=undefined,float-cast-overflow, no recovery)
+#   --tsan       the `parallel`-labelled tests under the ThreadSanitizer
+#                preset: no OpenMP runtime (libgomp is opaque to TSan),
+#                task graphs run on the std::thread pool backend with the
+#                same dependence edges, oversubscribed via
+#                TEMPEST_THREADS=8 so races surface on any host
 #   --analyze    build the schedule-legality verifier and sweep every
 #                physics kernel x schedule x sparse on/off x lowering
 #                stage, printing the diagnostic table; non-zero when any
@@ -152,6 +157,16 @@ fi
 if [ "${1:-}" = "--ubsan" ]; then
   run_preset ubsan
   echo "==> ubsan suite passed"
+  exit 0
+fi
+
+if [ "${1:-}" = "--tsan" ]; then
+  # halt_on_error: a single report must fail the run, not scroll past.
+  # TEMPEST_THREADS=8 oversubscribes the pool so cross-thread interleavings
+  # exist even on single-core runners.
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" TEMPEST_THREADS=8 \
+    run_preset tsan -L parallel
+  echo "==> tsan parallel-schedule checks passed"
   exit 0
 fi
 

@@ -94,6 +94,14 @@ struct AccessSummary {
   int radius = 2;                    ///< stencil radius (space_order / 2)
   int substeps = 1;                  ///< engine substeps per timestep
   std::vector<int> time_reads = {0, -1};  ///< slices read relative to t
+
+  /// Spatial radius of the kernel's *write* footprint around the iteration
+  /// point. Every tempest kernel writes only the centre cell (0); the
+  /// task-parallel tile executor requires it — a kernel scattering writes
+  /// into its neighbourhood would make adjacent concurrent tiles race even
+  /// though the read-side skew is satisfied, so engine::TileGraph rejects
+  /// write_radius > 0 instead of scheduling tasks.
+  int write_radius = 0;
 };
 
 /// Walk a lowered nest and extract every statement's accesses. Statement

@@ -218,17 +218,23 @@ LegalityReport verify_nest(const dsl::ir::Node& root,
   return verify(build_dependences(root, kernel), sched);
 }
 
-LegalityReport verify_canonical(const AccessSummary& kernel, int stage,
-                                bool sources, bool receivers,
-                                const ScheduleDescriptor& sched) {
+DependenceGraph canonical_dependences(const AccessSummary& kernel, int stage,
+                                      bool sources, bool receivers) {
   TEMPEST_REQUIRE_MSG(stage >= 0 && stage <= 2,
-                      "canonical verification runs on the untiled stages");
+                      "canonical analysis runs on the untiled stages");
   const std::string stmt = "A_" + kernel.kernel + "(t, x, y, z)";
   dsl::ir::Node root =
       dsl::passes::build_timestepping(stmt, sources, receivers);
   if (stage >= 1) dsl::passes::precompute_and_fuse(root);
   if (stage >= 2) dsl::passes::compress_iteration_space(root);
-  return verify_nest(root, kernel, sched);
+  return build_dependences(root, kernel);
+}
+
+LegalityReport verify_canonical(const AccessSummary& kernel, int stage,
+                                bool sources, bool receivers,
+                                const ScheduleDescriptor& sched) {
+  return verify(canonical_dependences(kernel, stage, sources, receivers),
+                sched);
 }
 
 void require_legal(const LegalityReport& report) {

@@ -17,6 +17,12 @@ struct KernelSpec {
   int space_order = 4;
   bool wavefront = false;  ///< false = space-blocked baseline schedule
   core::TileSpec tiles{};
+  /// Preferred SIMD lane count (floats) for the generated inner loop's
+  /// `#pragma omp simd simdlen(...)` clause: 8 fills an AVX2 register,
+  /// 16 an AVX-512 one (util::kAlignment / sizeof(float)). 0 emits a
+  /// plain `omp simd` and lets the compiler pick. A hint, not an ABI
+  /// change — every width computes identical results.
+  int simd_width = 8;
 
   /// Emitted entry point name.
   [[nodiscard]] std::string symbol() const {

@@ -10,11 +10,13 @@
 #include <array>
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 
 #include "tempest/dsl/interpreter.hpp"
+#include "tempest/util/align.hpp"
 #include "tempest/physics/acoustic.hpp"
 #include "tempest/resilience/fault.hpp"
 #include "tempest/trace/trace.hpp"
@@ -297,6 +299,21 @@ void JitAcoustic::run(const sparse::SparseTimeSeries& src) {
   const core::DecomposedSource dcmp =
       core::decompose_sources(masks, src, sparse::InterpKind::Trilinear);
   const core::CompressedSparse cs(masks.sm, masks.sid);
+
+  // The generated TU's vectorization contract (see emit_update_block):
+  // field and model storage must come from the 64-byte-aligned
+  // util::AlignedAllocator pool. Grids guarantee this by construction;
+  // assert it where the pointers cross the C ABI so a future layout change
+  // fails loudly instead of silently de-optimizing the SIMD loop.
+  constexpr auto base_aligned = [](const void* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % util::kAlignment == 0;
+  };
+  TEMPEST_REQUIRE_MSG(base_aligned(u_.slot(0).raw()) &&
+                          base_aligned(u_.slot(1).raw()) &&
+                          base_aligned(u_.slot(2).raw()) &&
+                          base_aligned(model_.m.raw()) &&
+                          base_aligned(model_.damp.raw()),
+                      "field allocations lost their 64-byte alignment");
 
   auto* fn = module_->as<AcousticKernelC>();
   const float inv_h2 = static_cast<float>(

@@ -50,9 +50,12 @@ class JitModule {
  public:
   /// Compile `c_source` and resolve `symbol_name`. Throws PreconditionError
   /// with the compiler diagnostics on failure. `extra_flags` is appended to
-  /// the compile line (default: optimise + vectorise).
+  /// the compile line (default: optimise + vectorise; -fopenmp-simd honours
+  /// the generated `omp simd simdlen` pragmas without pulling in the
+  /// OpenMP runtime, so JIT-compiled kernels stay single-threaded objects
+  /// the task-parallel engine can schedule).
   JitModule(const std::string& c_source, const std::string& symbol_name,
-            const std::string& extra_flags = "-O2 -fopenmp-simd");
+            const std::string& extra_flags = "-O3 -fopenmp-simd");
 
   JitModule(JitModule&& other) noexcept;
   JitModule& operator=(JitModule&& other) noexcept;

@@ -33,6 +33,7 @@
 #include "tempest/core/diamond.hpp"
 #include "tempest/core/fused.hpp"
 #include "tempest/core/precompute.hpp"
+#include "tempest/core/tile_graph.hpp"
 #include "tempest/core/wavefront.hpp"
 #include "tempest/grid/blocks.hpp"
 #include "tempest/grid/grid3.hpp"
@@ -44,6 +45,7 @@
 #include "tempest/sparse/series.hpp"
 #include "tempest/trace/trace.hpp"
 #include "tempest/util/error.hpp"
+#include "tempest/util/threads.hpp"
 #include "tempest/util/timer.hpp"
 
 namespace tempest::core::engine {
@@ -106,6 +108,15 @@ struct ExecutionOptions {
   core::TileSpec tiles{};
   sparse::InterpKind interp = sparse::InterpKind::Trilinear;
   double dt = 0.0;  ///< timestep (ms); 0 selects the model's critical dt
+
+  /// Worker threads for the parallel schedules: 0 defers to
+  /// $TEMPEST_THREADS, then to the OpenMP runtime default (1 when the
+  /// runtime is absent). 1 always takes the deterministic serial path.
+  /// Results are bitwise identical at every value — wavefront/diamond
+  /// bands run as dependence-ordered tasks over disjoint tiles, gathers
+  /// reduce in fixed point order at band barriers, and injection is
+  /// color-partitioned — so this is purely a throughput knob.
+  int threads = 0;
 
   /// Numerical health monitoring (NaN/Inf and energy blow-up scans).
   /// Disabled by default; when enabled, barrier schedules scan every
@@ -253,26 +264,32 @@ class ScheduleExecutor {
     stats.point_updates = static_cast<long long>(nt - t_begin) *
                           static_cast<long long>(e.size());
 
+    const int threads = util::resolve_threads(opts_.threads);
+
     if (sched == Schedule::Wavefront || sched == Schedule::Diamond) {
       // --- The paper's scheme: precompute, fuse, compress, time-tile. The
       // same precomputed structures legalise either temporal-blocking
       // family (wave-front or diamond). ---
-      if (opts_.verify_schedule) {
-        // The executor implements the stage-2 (fused + compressed) nest and
-        // skews by `radius` per substep — slope = S * radius per timestep.
-        // Verify that tiling against the kernel's *declared* access shape:
-        // a kernel whose real dependency reach exceeded the skew would
-        // silently read stale halo cells; here it throws instead.
-        const analysis::ScheduleDescriptor descr =
-            sched == Schedule::Wavefront
-                ? analysis::ScheduleDescriptor::wavefront(
-                      S * radius, std::max(1, opts_.tiles.tile_t))
-                : analysis::ScheduleDescriptor::diamond(
-                      S * radius, std::max(1, opts_.tiles.tile_t));
-        analysis::require_legal(analysis::verify_canonical(
-            k_.access_summary(), /*stage=*/2, /*sources=*/true,
-            /*receivers=*/rec != nullptr && rec->npoints() > 0, descr));
-      }
+      //
+      // The executor implements the stage-2 (fused + compressed) nest and
+      // skews by `radius` per substep — slope = S * radius per timestep.
+      // TileGraph re-derives the nest's dependence distance vectors,
+      // verifies them against the kernel's *declared* access shape (a
+      // kernel whose real dependency reach exceeded the skew would
+      // silently read stale halo cells; here it throws instead — unless
+      // verify_schedule was explicitly disabled), and maps them onto the
+      // task-dependence edges the band executors honor.
+      const analysis::ScheduleDescriptor descr =
+          sched == Schedule::Wavefront
+              ? analysis::ScheduleDescriptor::wavefront(
+                    S * radius, std::max(1, opts_.tiles.tile_t))
+              : analysis::ScheduleDescriptor::diamond(
+                    S * radius, std::max(1, opts_.tiles.tile_t));
+      const bool has_rec = rec != nullptr && rec->npoints() > 0;
+      const TileGraph graph =
+          TileGraph::derive(k_.access_summary(), descr, /*sources=*/true,
+                            /*receivers=*/has_rec, opts_.tiles,
+                            /*verify=*/opts_.verify_schedule);
       util::Timer pre;
       const core::SourceMasks masks =
           core::build_source_masks(e, src, opts_.interp);
@@ -282,14 +299,25 @@ class ScheduleExecutor {
 
       core::DecomposedReceivers drec;
       core::CompressedSparse cs_rec;
-      if (rec != nullptr && rec->npoints() > 0) {
+      core::ReceiverStage stage;
+      if (has_rec) {
         drec = core::decompose_receivers(e, *rec, opts_.interp);
         cs_rec = core::CompressedSparse(drec.rm, drec.rid);
+        // Band-local staging for the deterministic parallel gather (see
+        // fused.hpp): one row per in-flight timestep of a band.
+        stage = core::ReceiverStage(std::max(1, opts_.tiles.tile_t),
+                                    drec.npts);
+        stage.begin_band(t_begin);
       }
       stats.precompute_seconds = pre.seconds();
 
       // Substep block + the fused sparse operators after the timestep's
-      // last substep (for S = 1 that is every substep, s == t).
+      // last substep (for S = 1 that is every substep, s == t). Runs on
+      // task workers: injection writes only the block's own columns, the
+      // gather *stages* per-point samples (each written by exactly one
+      // tile) instead of accumulating into the shared receiver traces —
+      // the accumulation happens in fixed point order at the band barrier,
+      // which is what keeps every thread count bitwise identical.
       auto fused_block = [&](int s, const grid::Box3& box) {
         {
           TEMPEST_TRACE_SPAN_ARG("stencil", "compute", s);
@@ -305,17 +333,30 @@ class ScheduleExecutor {
                                box.y, inj_scale);
           }
         }
-        if (rec != nullptr && !cs_rec.empty()) {
+        if (has_rec && !cs_rec.empty()) {
           TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
-          core::fused_gather(k_.gather_field(t), cs_rec, drec,
-                             rec->step(t).data(), box.x, box.y);
+          core::fused_sample(k_.gather_field(t), cs_rec, stage.row(t), box.x,
+                             box.y);
         }
       };
 
-      // Completed-band hook: after substep band [.., se), every timestep
-      // < se/S is fully computed and the newest slice is fully written.
+      // Completed-band hook (serial, after the band's task graph drains):
+      // after substep band [.., se), every timestep < se/S is fully
+      // computed and the newest slice is fully written. Reduce the staged
+      // gather samples in ascending point-id order, then run the health
+      // scan — the only instants a whole timestep exists under blocking.
+      int reduced_upto = t_begin;
       auto on_band = [&](int se) {
-        health_point(se / S, /*cadence_gated=*/false);
+        const int t_done = se / S;
+        if (has_rec && !cs_rec.empty()) {
+          TEMPEST_TRACE_SPAN_ARG("interp.reduce", "sparse", t_done);
+          for (int t = reduced_upto; t < t_done; ++t) {
+            core::reduce_receiver_stage(stage, drec, t, rec->step(t).data());
+          }
+        }
+        if (has_rec) stage.begin_band(t_done);
+        reduced_upto = t_done;
+        health_point(t_done, /*cadence_gated=*/false);
       };
 
       util::Timer timer;
@@ -324,8 +365,8 @@ class ScheduleExecutor {
         // skewed by `radius` grid points per substep.
         core::TileSpec spec = opts_.tiles;
         spec.tile_t = S * opts_.tiles.tile_t;
-        core::run_wavefront(e, S * t_begin, S * nt, radius, spec, fused_block,
-                            /*parallel=*/true, on_band);
+        engine::run_wavefront_tasks(e, S * t_begin, S * nt, radius, spec,
+                                    graph, threads, fused_block, on_band);
       } else {
         core::DiamondSpec dspec;
         dspec.height = S * opts_.tiles.tile_t;
@@ -333,8 +374,8 @@ class ScheduleExecutor {
         dspec.width = std::max(opts_.tiles.tile_x, 2 * radius * dspec.height);
         dspec.block_x = opts_.tiles.block_x;
         dspec.block_y = opts_.tiles.block_y;
-        core::run_diamond(e, S * t_begin, S * nt, radius, dspec, fused_block,
-                          /*parallel=*/true, on_band);
+        engine::run_diamond_tasks(e, S * t_begin, S * nt, radius, dspec,
+                                  threads, fused_block, on_band);
       }
       stats.seconds = timer.seconds();
       return stats;
@@ -346,8 +387,13 @@ class ScheduleExecutor {
     const bool blocked = sched == Schedule::SpaceBlocked;
     sparse::SupportCache src_cache;
     sparse::SupportCache rec_cache;
+    sparse::ColorSets src_colors;
     if (blocked) {
       src_cache = sparse::SupportCache(src, opts_.interp, e);
+      // Conflict-free color sets (see sparse/operators.hpp): sites sharing
+      // a support grid point land in different layers, ordered so the
+      // parallel scatter reproduces the serial accumulation order bitwise.
+      src_colors = sparse::ColorSets(src_cache, e);
       if (rec != nullptr && rec->npoints() > 0) {
         rec_cache = sparse::SupportCache(*rec, opts_.interp, e);
       }
@@ -358,6 +404,10 @@ class ScheduleExecutor {
         blocked ? grid::decompose_xy(grid::Box3::whole(e), opts_.tiles.block_x,
                                      opts_.tiles.block_y)
                 : std::vector<grid::Box3>{grid::Box3::whole(e)};
+    // Reference stays a strictly serial whole-domain sweep (the validation
+    // baseline); SpaceBlocked parallelizes each substep's independent
+    // blocks across the resolved worker count.
+    const int block_threads = blocked ? threads : 1;
     for (int t = t_begin; t < nt; ++t) {
       {
         TEMPEST_TRACE_SPAN_ARG("stencil", "compute", t);
@@ -366,10 +416,9 @@ class ScheduleExecutor {
         // full parallel sweep of its own.
         for (int sub = 0; sub < S; ++sub) {
           const int s = S * t + sub;
-#pragma omp parallel for schedule(dynamic) if (blocked)
-          for (std::size_t b = 0; b < blocks.size(); ++b) {
-            substep_block(s, blocks[b]);
-          }
+          util::parallel_for(
+              static_cast<int>(blocks.size()), block_threads,
+              [&](int b) { substep_block(s, blocks[static_cast<std::size_t>(b)]); });
         }
       }
       {
@@ -377,8 +426,8 @@ class ScheduleExecutor {
         const FieldRefs targets = k_.inject_fields(t);
         for (int i = 0; i < targets.count; ++i) {
           if (blocked) {
-            sparse::inject_cached(*targets.field[i], src, t, src_cache,
-                                  inj_scale);
+            sparse::inject_colored(*targets.field[i], src, t, src_cache,
+                                   src_colors, block_threads, inj_scale);
           } else {
             sparse::inject(*targets.field[i], src, t, opts_.interp,
                            inj_scale);
@@ -388,7 +437,8 @@ class ScheduleExecutor {
       if (rec != nullptr && rec->npoints() > 0) {
         TEMPEST_TRACE_SPAN_ARG("interp", "sparse", t);
         if (blocked) {
-          sparse::interpolate_cached(k_.gather_field(t), *rec, t, rec_cache);
+          sparse::interpolate_cached(k_.gather_field(t), *rec, t, rec_cache,
+                                     block_threads);
         } else {
           sparse::interpolate(k_.gather_field(t), *rec, t, opts_.interp);
         }

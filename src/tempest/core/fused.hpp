@@ -6,6 +6,7 @@
 #include "tempest/grid/extents.hpp"
 #include "tempest/grid/grid3.hpp"
 #include "tempest/trace/trace.hpp"
+#include "tempest/util/align.hpp"
 
 namespace tempest::core {
 
@@ -66,7 +67,12 @@ inline void fused_inject_dense(grid::Grid3<real_t>& u,
 
 /// Fused, compressed receiver gather over the block's columns. Receiver
 /// samples accumulate contributions from every support column; columns may
-/// be processed by different threads, hence the atomic update.
+/// be processed by different threads, hence the atomic update. Atomics make
+/// this race-free but NOT order-deterministic: float accumulation order
+/// varies with thread interleaving, so two runs can differ in the last ulp.
+/// The task-parallel engine therefore uses fused_sample + ReceiverStage +
+/// reduce_receiver_stage instead (bitwise identical at any thread count);
+/// this operator remains the single-pass reference/ablation.
 inline void fused_gather(const grid::Grid3<real_t>& u,
                          const CompressedSparse& cs,
                          const DecomposedReceivers& dr, real_t* rec_step,
@@ -88,6 +94,82 @@ inline void fused_gather(const grid::Grid3<real_t>& u,
           rec_step[pr.receiver] += contribution;
         }
       }
+    }
+  }
+  TEMPEST_TRACE_COUNT(ReceiversInterpolated, applications);
+}
+
+/// Band-local staging buffer for the *deterministic* parallel gather.
+/// samples(t, id) holds the wavefield value of affected grid point `id` at
+/// timestep t of the current band. Every (t, id) cell is written by exactly
+/// one tile — the one whose column set contains the point — so concurrent
+/// tiles never touch the same cell and no atomics are needed; the ordered
+/// reduction at the band barrier then folds the samples into the receiver
+/// traces in ascending id order, the same order at every thread count.
+class ReceiverStage {
+ public:
+  ReceiverStage() = default;
+  ReceiverStage(int max_steps, int npts)
+      : npts_(npts),
+        samples_(static_cast<std::size_t>(max_steps) *
+                 static_cast<std::size_t>(npts)) {}
+
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] int npts() const { return npts_; }
+
+  /// Reposition the buffer over timesteps [t_lo, t_lo + max_steps). No
+  /// zeroing: every in-band (t, id) cell is overwritten before it is read.
+  void begin_band(int t_lo) { t_lo_ = t_lo; }
+
+  [[nodiscard]] real_t* row(int t) {
+    return samples_.data() +
+           static_cast<std::size_t>(t - t_lo_) * static_cast<std::size_t>(npts_);
+  }
+  [[nodiscard]] const real_t* row(int t) const {
+    return samples_.data() +
+           static_cast<std::size_t>(t - t_lo_) * static_cast<std::size_t>(npts_);
+  }
+
+ private:
+  int t_lo_ = 0;
+  int npts_ = 0;
+  util::aligned_vector<real_t> samples_;
+};
+
+/// Tile-side half of the deterministic gather: record the block's column
+/// samples into the stage row of timestep t. Pure per-point stores — each
+/// id belongs to exactly one (x, y, z) column, executed by exactly one tile.
+inline void fused_sample(const grid::Grid3<real_t>& u,
+                         const CompressedSparse& cs, real_t* samples,
+                         grid::Range xr, grid::Range yr) {
+  if (cs.empty()) return;
+  for (int x = xr.lo; x < xr.hi; ++x) {
+    for (int y = yr.lo; y < yr.hi; ++y) {
+      for (const CompressedSparse::Entry& e : cs.entries(x, y)) {
+        samples[e.id] = u(x, y, e.z);
+      }
+    }
+  }
+}
+
+/// Barrier-side half: fold one staged timestep into the receiver trace in
+/// ascending affected-point id order. Serial by design — this is what makes
+/// parallel gathers bitwise equal to the single-thread reference (float
+/// accumulation order is fixed, independent of tile interleaving).
+inline void reduce_receiver_stage(const ReceiverStage& stage,
+                                  const DecomposedReceivers& dr, int t,
+                                  real_t* rec_step) {
+  const real_t* samples = stage.row(t);
+  long long applications = 0;
+  for (int id = 0; id < stage.npts(); ++id) {
+    const real_t value = samples[id];
+    const int begin = dr.offsets[static_cast<std::size_t>(id)];
+    const int end = dr.offsets[static_cast<std::size_t>(id) + 1];
+    applications += end - begin;
+    for (int k = begin; k < end; ++k) {
+      const DecomposedReceivers::Pair& pr =
+          dr.pairs[static_cast<std::size_t>(k)];
+      rec_step[pr.receiver] += pr.weight * value;
     }
   }
   TEMPEST_TRACE_COUNT(ReceiversInterpolated, applications);

@@ -13,7 +13,8 @@ analysis::AccessSummary acoustic_access_summary(int space_order) {
           .field = "u",
           .radius = space_order / 2,
           .substeps = 1,
-          .time_reads = {0, -1}};
+          .time_reads = {0, -1},
+          .write_radius = 0};
 }
 
 namespace {

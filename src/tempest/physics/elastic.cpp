@@ -15,7 +15,8 @@ analysis::AccessSummary elastic_access_summary(int space_order) {
           .field = "u",
           .radius = 2 * (space_order / 2),
           .substeps = 2,
-          .time_reads = {0}};
+          .time_reads = {0},
+          .write_radius = 0};
 }
 
 namespace {

@@ -25,15 +25,48 @@ struct ThreadState {
 
 /// Registry of every thread that ever traced. States are shared_ptr so a
 /// thread exiting does not invalidate its (still unread) buffer.
+///
+/// The task-parallel engine's pool backend spawns short-lived workers (a
+/// fresh team per band when OpenMP is absent), so "every thread that ever
+/// traced" is unbounded over a long run. Exited threads' buffers are
+/// therefore *merged on flush*: any aggregation pass folds the counters
+/// and events of dead threads into the `retired` accumulators and drops
+/// their states, keeping the registry bounded by the number of *live*
+/// threads while totals stay exactly thread-count-invariant (a worker's
+/// counts survive its thread).
 struct Registry {
   std::mutex mu;
   std::vector<std::shared_ptr<ThreadState>> states;
   int next_tid = 0;
+  std::array<long long, kNumCounters> retired_counters{};
+  std::vector<Event> retired_events;
 };
 
 Registry& registry() {
   static Registry r;
   return r;
+}
+
+/// Fold the buffers of exited threads into the retired accumulators.
+/// Caller holds r.mu. A state whose only owner is the registry belongs to
+/// a thread whose thread_local handle has been destroyed — no new writes
+/// can arrive, so the merge is race-free.
+void compact_locked(Registry& r) {
+  auto dead_begin = std::partition(
+      r.states.begin(), r.states.end(),
+      [](const std::shared_ptr<ThreadState>& s) { return s.use_count() > 1; });
+  for (auto it = dead_begin; it != r.states.end(); ++it) {
+    ThreadState& s = **it;
+    const std::lock_guard<std::mutex> state_lock(s.mu);
+    for (int c = 0; c < kNumCounters; ++c) {
+      r.retired_counters[static_cast<std::size_t>(c)] +=
+          s.counters[static_cast<std::size_t>(c)].load(
+              std::memory_order_relaxed);
+    }
+    r.retired_events.insert(r.retired_events.end(), s.events.begin(),
+                            s.events.end());
+  }
+  r.states.erase(dead_begin, r.states.end());
 }
 
 ThreadState& local_state() {
@@ -145,9 +178,10 @@ void count(Counter c, long long delta) {
 }
 
 long long value(Counter c) {
-  long long total = 0;
   Registry& r = registry();
   const std::lock_guard<std::mutex> lock(r.mu);
+  compact_locked(r);
+  long long total = r.retired_counters[static_cast<std::size_t>(c)];
   for (const auto& s : r.states) {
     total += s->counters[static_cast<std::size_t>(c)].load(
         std::memory_order_relaxed);
@@ -156,9 +190,10 @@ long long value(Counter c) {
 }
 
 CounterSnapshot snapshot() {
-  CounterSnapshot out{};
   Registry& r = registry();
   const std::lock_guard<std::mutex> lock(r.mu);
+  compact_locked(r);
+  CounterSnapshot out = r.retired_counters;
   for (const auto& s : r.states) {
     for (int c = 0; c < kNumCounters; ++c) {
       out[static_cast<std::size_t>(c)] +=
@@ -177,6 +212,8 @@ void reset() {
     for (auto& c : s->counters) c.store(0, std::memory_order_relaxed);
     s->events.clear();
   }
+  r.retired_counters.fill(0);
+  r.retired_events.clear();
   g_epoch_ns.store(steady_ns(), std::memory_order_relaxed);
 }
 
@@ -233,6 +270,8 @@ std::vector<Event> events() {
   std::vector<Event> out;
   Registry& r = registry();
   const std::lock_guard<std::mutex> lock(r.mu);
+  compact_locked(r);
+  out = r.retired_events;
   for (const auto& s : r.states) {
     const std::lock_guard<std::mutex> state_lock(s->mu);
     out.insert(out.end(), s->events.begin(), s->events.end());

@@ -1,0 +1,210 @@
+// Property tests for the injection color-set partitioner
+// (sparse::ColorSets): randomized source layouts — including deliberately
+// coincident and sub-support-width adjacent sites, the worst cases for a
+// scatter race — must partition into layers where
+//   * every site appears in exactly one layer,
+//   * no two same-layer sites share a support grid point (a layer can
+//     scatter in parallel with no atomics and no lost updates), and
+//   * for every grid point the touching sites carry strictly ascending
+//     colors in site order — the invariant that makes layer-serial,
+//     site-parallel injection reproduce the serial accumulation order
+//     *bitwise*, not merely race-free (float addition does not commute).
+// The end-to-end check drives inject_colored at 8 threads against
+// inject_cached and requires exact equality of every grid value.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tempest/grid/grid3.hpp"
+#include "tempest/sparse/operators.hpp"
+
+namespace sp = tempest::sparse;
+namespace tg = tempest::grid;
+using tempest::real_t;
+
+namespace {
+
+constexpr tg::Extents3 kE{24, 20, 16};
+
+/// A randomized layout seasoned with the partitioner's adversarial cases:
+/// coincident duplicates (identical coordinates) and adjacent clusters
+/// closer than the interpolation support width.
+sp::CoordList random_layout(unsigned seed, int n) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> ux(1.0, kE.nx - 2.0);
+  std::uniform_real_distribution<double> uy(1.0, kE.ny - 2.0);
+  std::uniform_real_distribution<double> uz(1.0, kE.nz - 2.0);
+  sp::CoordList coords;
+  for (int i = 0; i < n; ++i) coords.push_back({ux(rng), uy(rng), uz(rng)});
+  // Coincident: duplicate a handful of existing sites verbatim.
+  for (int i = 0; i < n / 4 && i < static_cast<int>(coords.size()); ++i) {
+    coords.push_back(coords[static_cast<std::size_t>(i)]);
+  }
+  // Adjacent: offsets well inside one support width of an existing site.
+  std::uniform_real_distribution<double> eps(0.05, 0.45);
+  for (int i = 0; i < n / 4 && i < static_cast<int>(coords.size()); ++i) {
+    const sp::Coord3& c = coords[static_cast<std::size_t>(i)];
+    coords.push_back({c.x + eps(rng), c.y, c.z});
+  }
+  return coords;
+}
+
+long long key_of(const sp::SupportPoint& p) {
+  return (static_cast<long long>(p.x) * kE.ny + p.y) * kE.nz + p.z;
+}
+
+struct Partition {
+  sp::SupportCache cache;
+  sp::ColorSets colors;
+  int nsites = 0;
+};
+
+Partition build(unsigned seed, int n, sp::InterpKind kind) {
+  Partition out;
+  const sp::CoordList coords = random_layout(seed, n);
+  const sp::SparseTimeSeries series(coords, /*nt=*/1);
+  out.cache = sp::SupportCache(series, kind, kE);
+  out.colors = sp::ColorSets(out.cache, kE);
+  out.nsites = series.npoints();
+  return out;
+}
+
+}  // namespace
+
+class ColorPartition
+    : public ::testing::TestWithParam<std::pair<unsigned, sp::InterpKind>> {};
+
+TEST_P(ColorPartition, EverySiteInExactlyOneLayer) {
+  const auto [seed, kind] = GetParam();
+  const Partition p = build(seed, 32, kind);
+  std::vector<int> seen(static_cast<std::size_t>(p.nsites), 0);
+  for (const auto& layer : p.colors.layers) {
+    for (const int s : layer) {
+      ASSERT_GE(s, 0);
+      ASSERT_LT(s, p.nsites);
+      ++seen[static_cast<std::size_t>(s)];
+    }
+  }
+  for (int s = 0; s < p.nsites; ++s) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(s)], 1) << "site " << s;
+  }
+}
+
+TEST_P(ColorPartition, SameColorSitesShareNoGridPoint) {
+  const auto [seed, kind] = GetParam();
+  const Partition p = build(seed, 32, kind);
+  EXPECT_GE(p.colors.colors(), 2)
+      << "layout has coincident sites; one color would mean no conflicts "
+         "were detected";
+  for (const auto& layer : p.colors.layers) {
+    std::set<long long> touched;
+    for (const int s : layer) {
+      for (const sp::SupportPoint& pt :
+           p.cache.per_point[static_cast<std::size_t>(s)]) {
+        EXPECT_TRUE(touched.insert(key_of(pt)).second)
+            << "grid point (" << pt.x << "," << pt.y << "," << pt.z
+            << ") shared within one color layer";
+      }
+    }
+  }
+}
+
+TEST_P(ColorPartition, ColorsAscendInSiteOrderPerGridPoint) {
+  const auto [seed, kind] = GetParam();
+  const Partition p = build(seed, 32, kind);
+  std::vector<int> color_of(static_cast<std::size_t>(p.nsites), -1);
+  for (int c = 0; c < p.colors.colors(); ++c) {
+    for (const int s : p.colors.layers[static_cast<std::size_t>(c)]) {
+      color_of[static_cast<std::size_t>(s)] = c;
+    }
+  }
+  // For every grid point: walking sites in serial order, the colors of the
+  // sites touching it must strictly increase — executing layers in
+  // ascending color order therefore applies the touches in serial order.
+  std::map<long long, int> last_color;
+  for (int s = 0; s < p.nsites; ++s) {
+    for (const sp::SupportPoint& pt :
+         p.cache.per_point[static_cast<std::size_t>(s)]) {
+      const long long k = key_of(pt);
+      const auto it = last_color.find(k);
+      if (it != last_color.end()) {
+        EXPECT_GT(color_of[static_cast<std::size_t>(s)], it->second)
+            << "site " << s << " touches a grid point out of serial order";
+      }
+      last_color[k] =
+          std::max(last_color.count(k) ? last_color[k] : -1,
+                   color_of[static_cast<std::size_t>(s)]);
+    }
+  }
+}
+
+TEST_P(ColorPartition, ParallelInjectionBitwiseEqualsSerial) {
+  const auto [seed, kind] = GetParam();
+  const sp::CoordList coords = random_layout(seed, 32);
+  const int nt = 3;
+  sp::SparseTimeSeries src(coords, nt);
+  std::mt19937 rng(seed ^ 0x9e3779b9u);
+  std::uniform_real_distribution<float> amp(-1.0f, 1.0f);
+  for (int t = 0; t < nt; ++t) {
+    for (int s = 0; s < src.npoints(); ++s) src.at(t, s) = amp(rng);
+  }
+  const sp::SupportCache cache(src, kind, kE);
+  const sp::ColorSets colors(cache, kE);
+  const auto scale = [](int, int, int z) { return 1.0 + 0.001 * z; };
+
+  tg::Grid3<real_t> u_serial(kE, /*halo=*/2, real_t{0});
+  tg::Grid3<real_t> u_parallel(kE, /*halo=*/2, real_t{0});
+  for (int t = 0; t < nt; ++t) {
+    sp::inject_cached(u_serial, src, t, cache, scale);
+    sp::inject_colored(u_parallel, src, t, cache, colors, /*threads=*/8,
+                       scale);
+  }
+  EXPECT_EQ(tg::max_abs_diff(u_serial, u_parallel), 0.0);
+}
+
+TEST(ColorPartitionEdge, CoincidentSitesGetDistinctAscendingColors) {
+  const sp::CoordList coords{{5.5, 5.5, 5.5}, {5.5, 5.5, 5.5},
+                             {5.5, 5.5, 5.5}};
+  const sp::SparseTimeSeries series(coords, 1);
+  const sp::SupportCache cache(series, sp::InterpKind::Trilinear, kE);
+  const sp::ColorSets colors(cache, kE);
+  ASSERT_EQ(colors.colors(), 3);
+  for (int c = 0; c < 3; ++c) {
+    ASSERT_EQ(colors.layers[static_cast<std::size_t>(c)].size(), 1u);
+    EXPECT_EQ(colors.layers[static_cast<std::size_t>(c)][0], c)
+        << "coincident sites must be layered in serial site order";
+  }
+}
+
+TEST(ColorPartitionEdge, DisjointSitesAllShareColorZero) {
+  // On-grid points three cells apart: trilinear supports are single points
+  // with no overlap, so the greedy layering needs exactly one color.
+  sp::CoordList coords;
+  for (int i = 0; i < 5; ++i) {
+    coords.push_back({3.0 + 3.0 * i, 4.0, 5.0});
+  }
+  const sp::SparseTimeSeries series(coords, 1);
+  const sp::SupportCache cache(series, sp::InterpKind::Trilinear, kE);
+  const sp::ColorSets colors(cache, kE);
+  EXPECT_EQ(colors.colors(), 1);
+  EXPECT_EQ(colors.layers[0].size(), coords.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomLayouts, ColorPartition,
+    ::testing::Values(std::make_pair(11u, sp::InterpKind::Trilinear),
+                      std::make_pair(12u, sp::InterpKind::Trilinear),
+                      std::make_pair(13u, sp::InterpKind::WindowedSinc),
+                      std::make_pair(14u, sp::InterpKind::WindowedSinc)),
+    [](const ::testing::TestParamInfo<std::pair<unsigned, sp::InterpKind>>&
+           info) {
+      return std::string("seed") + std::to_string(info.param.first) +
+             (info.param.second == sp::InterpKind::Trilinear ? "_trilinear"
+                                                             : "_sinc");
+    });

@@ -19,6 +19,7 @@
 #include "tempest/sparse/survey.hpp"
 #include "tempest/sparse/wavelet.hpp"
 #include "tempest/trace/trace.hpp"
+#include "tempest/util/threads.hpp"
 
 namespace tr = tempest::trace;
 
@@ -375,4 +376,88 @@ TEST_F(TraceTest, EnabledCounterOverheadIsBounded) {
   EXPECT_LT(ms, 2000.0) << "enabled-mode counter cost exploded";
 }
 
+#endif  // !defined(TEMPEST_TRACE_DISABLED)
+
+#if !defined(TEMPEST_TRACE_DISABLED)
+// --- Concurrent-span / thread-count invariance regression ----------------
+//
+// The task-parallel engine records counters and spans from short-lived
+// worker threads (the pool backend spawns a fresh team per band). The trace
+// layer must (a) never lose a retired worker's counts, and (b) produce a
+// v1 metrics sink whose deterministic rows — counters and span counts —
+// are byte-identical whether the instrumented region ran on 1 thread or an
+// oversubscribed 8. span_ms rows are wall-clock and excluded by contract.
+
+namespace {
+
+/// The deterministic subset of the v1 CSV: `counter,...` and
+/// `span_count,...` rows, in sink order.
+std::string deterministic_rows(const std::string& csv) {
+  std::istringstream is(csv);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("counter,", 0) == 0 || line.rfind("span_count,", 0) == 0) {
+      out << line << '\n';
+    }
+  }
+  return out.str();
+}
+
+/// An instrumented parallel workload: `threads` workers record spans and
+/// counters through a 10-node staircase chain (i depends on i-1 and i-2,
+/// the same two-predecessor shape the engine's tile graphs generate).
+void traced_workload(int threads) {
+  tempest::util::TaskDag dag(10);
+  for (int i = 1; i < 10; ++i) dag.add_edge(i - 1, i);
+  for (int i = 2; i < 10; ++i) dag.add_edge(i - 2, i);
+  dag.run(threads, [](int node) {
+    TEMPEST_TRACE_SPAN_ARG("worker.task", "test", node);
+    TEMPEST_TRACE_COUNT(CellsUpdated, 100 + node);
+    TEMPEST_TRACE_COUNT(BlocksExecuted, 2);
+  });
+}
+
+std::string metrics_csv_of_workload(int threads) {
+  tr::reset();
+  tr::set_enabled(true);
+  traced_workload(threads);
+  std::ostringstream os;
+  tr::write_metrics_csv(os);
+  tr::set_enabled(false);
+  return os.str();
+}
+
+}  // namespace
+
+TEST_F(TraceTest, CountersSurviveWorkerThreadExit) {
+  tr::set_enabled(true);
+  // Pool workers are joined before run() returns; their thread_local
+  // buffers may be destroyed any time after. Totals must include them.
+  tempest::util::TaskDag dag(16);
+  dag.run(/*threads=*/4, [](int) { TEMPEST_TRACE_COUNT(CellsUpdated, 5); });
+  EXPECT_EQ(tr::value(tr::Counter::CellsUpdated), 16 * 5);
+  // A second team after the first one's threads retired must still add up.
+  dag.run(/*threads=*/4, [](int) { TEMPEST_TRACE_COUNT(CellsUpdated, 5); });
+  EXPECT_EQ(tr::value(tr::Counter::CellsUpdated), 2 * 16 * 5);
+}
+
+TEST_F(TraceTest, SpansSurviveWorkerThreadExit) {
+  tr::set_enabled(true);
+  traced_workload(/*threads=*/8);
+  EXPECT_EQ(tr::events().size(), 10u)
+      << "spans recorded on exited pool threads were dropped";
+}
+
+TEST_F(TraceTest, MetricsV1RowsAreThreadCountInvariant) {
+  const std::string serial = metrics_csv_of_workload(/*threads=*/1);
+  const std::string parallel = metrics_csv_of_workload(/*threads=*/8);
+  EXPECT_EQ(deterministic_rows(serial), deterministic_rows(parallel));
+  // And not vacuously: the workload must actually have produced rows.
+  // 10 tasks, each adding 100 + node: 10 * 100 + (0 + 1 + ... + 9) = 1045.
+  EXPECT_NE(deterministic_rows(serial).find("counter,cells_updated,1045"),
+            std::string::npos);
+  EXPECT_NE(deterministic_rows(serial).find("span_count,worker.task,10"),
+            std::string::npos);
+}
 #endif  // !defined(TEMPEST_TRACE_DISABLED)

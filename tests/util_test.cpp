@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "tempest/util/align.hpp"
 #include "tempest/util/cli.hpp"
@@ -9,6 +12,7 @@
 #include "tempest/util/rng.hpp"
 #include "tempest/util/stats.hpp"
 #include "tempest/util/table.hpp"
+#include "tempest/util/threads.hpp"
 #include "tempest/util/timer.hpp"
 
 namespace tu = tempest::util;
@@ -178,4 +182,110 @@ TEST(Table, AsciiAndCsv) {
 TEST(Table, RejectsWrongArity) {
   tu::Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), tu::PreconditionError);
+}
+
+// --- Thread policy + task-graph substrate --------------------------------
+
+TEST(Threads, SelectBackendMatchesRuntime) {
+  EXPECT_EQ(tu::select_backend(1), tu::TaskBackend::Serial);
+  EXPECT_EQ(tu::select_backend(0), tu::TaskBackend::Serial);
+  const tu::TaskBackend multi = tu::select_backend(4);
+  if (tu::openmp_runtime()) {
+    EXPECT_EQ(multi, tu::TaskBackend::OpenMP);
+  } else {
+    EXPECT_EQ(multi, tu::TaskBackend::Pool);
+  }
+  EXPECT_STRNE(tu::to_string(multi), tu::to_string(tu::TaskBackend::Serial));
+}
+
+TEST(Threads, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    std::vector<std::atomic<int>> hits(97);
+    tu::parallel_for(97, threads,
+                     [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+    for (int i = 0; i < 97; ++i) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(Threads, ParallelForPropagatesException) {
+  for (const int threads : {1, 8}) {
+    EXPECT_THROW(
+        tu::parallel_for(16, threads,
+                         [](int i) {
+                           if (i == 7) throw std::runtime_error("boom");
+                         }),
+        std::runtime_error)
+        << "threads=" << threads;
+  }
+}
+
+namespace {
+
+/// A staircase DAG matching the engine's wavefront tile graphs: node
+/// (ix, iy) on an ni x nj grid depends on (ix-1, iy) and (ix, iy-1) —
+/// the worst-case two-predecessor shape the OpenMP backend supports.
+tu::TaskDag staircase(int ni, int nj) {
+  tu::TaskDag dag(ni * nj);
+  for (int ix = 0; ix < ni; ++ix) {
+    for (int iy = 0; iy < nj; ++iy) {
+      const int node = ix * nj + iy;
+      if (ix > 0) dag.add_edge((ix - 1) * nj + iy, node);
+      if (iy > 0) dag.add_edge(ix * nj + (iy - 1), node);
+    }
+  }
+  return dag;
+}
+
+}  // namespace
+
+TEST(TaskDag, HonorsStaircaseEdgesAtEveryThreadCount) {
+  const int ni = 5, nj = 4;
+  const tu::TaskDag dag = staircase(ni, nj);
+  EXPECT_EQ(dag.max_preds(), 2);
+  for (const int threads : {1, 2, 8}) {
+    std::vector<std::atomic<int>> done(static_cast<std::size_t>(ni * nj));
+    std::atomic<bool> violated{false};
+    dag.run(threads, [&](int node) {
+      for (const int p : dag.preds(node)) {
+        if (done[static_cast<std::size_t>(p)].load() == 0) {
+          violated.store(true);
+        }
+      }
+      done[static_cast<std::size_t>(node)].store(1);
+    });
+    EXPECT_FALSE(violated.load()) << "threads=" << threads;
+    for (int i = 0; i < ni * nj; ++i) {
+      EXPECT_EQ(done[static_cast<std::size_t>(i)].load(), 1) << "node " << i;
+    }
+  }
+}
+
+TEST(TaskDag, SerialRunIsAscendingNodeOrder) {
+  const tu::TaskDag dag = staircase(3, 3);
+  std::vector<int> order;
+  dag.run(1, [&](int node) { order.push_back(node); });
+  ASSERT_EQ(order.size(), 9u);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(TaskDag, RejectsBackwardEdge) {
+  tu::TaskDag dag(4);
+  EXPECT_THROW(dag.add_edge(2, 1), tu::PreconditionError);
+  EXPECT_THROW(dag.add_edge(1, 1), tu::PreconditionError);
+  EXPECT_THROW(dag.add_edge(0, 4), tu::PreconditionError);
+}
+
+TEST(TaskDag, PropagatesExceptionFromTaskBody) {
+  const tu::TaskDag dag = staircase(4, 4);
+  for (const int threads : {1, 8}) {
+    EXPECT_THROW(dag.run(threads,
+                         [](int node) {
+                           if (node == 5) throw std::runtime_error("boom");
+                         }),
+                 std::runtime_error)
+        << "threads=" << threads;
+  }
 }
