@@ -6,7 +6,10 @@
 // to the human-readable ASCII/CSV tables. Successive PRs diff these files
 // to track the perf trajectory (ROADMAP "fast as the hardware allows").
 //
-// Flag: --json=FILE (or bare --json for the default BENCH_<name>.json).
+// Flags: --json=FILE (or bare --json for the default BENCH_<name>.json);
+// --openmetrics=FILE (or bare --openmetrics for BENCH_<name>.om) exports
+// the same measurement window as an OpenMetrics textfile — trace counters,
+// obs latency histograms, PMU gauges — for Prometheus-style ingestion.
 // The JSON carries: the driver config, an environment fingerprint, PMU
 // availability (with the captured errno reason when degraded), per-case
 // wall times for *every* repetition plus min/median, trace work-counter
@@ -35,6 +38,8 @@
 #include <omp.h>
 #endif
 
+#include "tempest/obs/metrics.hpp"
+#include "tempest/obs/openmetrics.hpp"
 #include "tempest/perf/calibrate.hpp"
 #include "tempest/perf/pmu.hpp"
 #include "tempest/perf/report.hpp"
@@ -103,6 +108,14 @@ class Session {
       json_path_ = cli.get("json", "");
       if (json_path_.empty()) json_path_ = "BENCH_" + name_ + ".json";
     }
+    if (cli.has("openmetrics")) {
+      openmetrics_path_ = cli.get("openmetrics", "");
+      if (openmetrics_path_.empty()) {
+        openmetrics_path_ = "BENCH_" + name_ + ".om";
+      }
+      tempest::obs::reset_metrics();
+      tempest::obs::set_enabled(true);
+    }
     if (active()) {
       // Work counters feed the JSON even when no --trace/--metrics sink
       // was requested.
@@ -154,10 +167,22 @@ class Session {
     benchmark_runs_.push_back(std::move(run));
   }
 
-  /// Emit the JSON now (also called from the destructor; idempotent).
+  /// Emit the JSON and OpenMetrics sinks now (also called from the
+  /// destructor; idempotent).
   void write() {
-    if (written_ || !active()) return;
+    if (written_) return;
     written_ = true;
+    if (!openmetrics_path_.empty()) {
+      tempest::obs::OpenMetricsOptions om;
+      const tempest::perf::pmu::Sample delta = group_.read() - start_;
+      om.pmu = &delta;
+      if (tempest::obs::write_openmetrics(openmetrics_path_, om)) {
+        tempest::util::info("bench: wrote " + openmetrics_path_);
+      } else {
+        tempest::util::warn("bench: cannot write " + openmetrics_path_);
+      }
+    }
+    if (!active()) return;
     std::ofstream os(json_path_);
     if (!os) {
       tempest::util::warn("bench: cannot write " + json_path_);
@@ -352,6 +377,7 @@ class Session {
 
   std::string name_;
   std::string json_path_;
+  std::string openmetrics_path_;
   tempest::perf::pmu::CounterGroup group_;
   tempest::perf::pmu::Sample start_{};
   std::vector<std::pair<std::string, std::string>> config_;

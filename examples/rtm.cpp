@@ -20,7 +20,7 @@
 //               [--stride=4] [--out=rtm_image.csv]
 //               [--checkpoint=rtm.tpck] [--ckpt-every=50]
 //               [--trace=rtm_trace.json] [--metrics=rtm_metrics.csv]
-//               [--pmu]
+//               [--pmu] [--openmetrics=rtm.om]
 //
 // --trace writes a Chrome trace_event JSON (load in Perfetto or
 // chrome://tracing) with per-timestep injection/stencil/interpolation
@@ -29,6 +29,11 @@
 // deltas (cycles, cache misses, ...) where the kernel allows
 // perf_event_open, and prints a whole-run counter summary; on machines
 // without a PMU it degrades to a one-line notice.
+//
+// --openmetrics writes the run's trace counters and obs latency histograms
+// (tile/band/substep timings, JIT compile latency) — plus the whole-run PMU
+// deltas under --pmu — as an OpenMetrics textfile for node-exporter-style
+// scraping.
 //
 // --schedule selects the execution schedule of the two modelling passes
 // (any schedule is legal for any physics; wavefront is the default, diamond
@@ -50,6 +55,8 @@
 #include <vector>
 
 #include "tempest/io/io.hpp"
+#include "tempest/obs/metrics.hpp"
+#include "tempest/obs/openmetrics.hpp"
 #include "tempest/perf/pmu.hpp"
 #include "tempest/physics/acoustic.hpp"
 #include "tempest/resilience/checkpoint.hpp"
@@ -73,6 +80,11 @@ int main(int argc, char** argv) {
   const int ckpt_every = static_cast<int>(cli.get_int("ckpt-every", 50));
   const trace::Session trace_session(cli.get("trace", ""),
                                      cli.get("metrics", ""));
+  const std::string openmetrics = cli.get("openmetrics", "");
+  if (!openmetrics.empty()) {
+    obs::reset_metrics();
+    obs::set_enabled(true);
+  }
   const bool use_pmu = cli.get_flag("pmu");
   std::optional<perf::pmu::PmuRegion> pmu_run;
   if (use_pmu) {
@@ -259,6 +271,20 @@ int main(int argc, char** argv) {
   });
   io::save_slice_csv(out, image_f, e.ny / 2);
   std::cout << "image slice written to " << out << "\n";
+
+  if (!openmetrics.empty()) {
+    obs::OpenMetricsOptions om;
+    perf::pmu::Sample pmu_sample;
+    if (pmu_run) {
+      pmu_sample = pmu_run->delta();
+      om.pmu = &pmu_sample;
+    }
+    if (obs::write_openmetrics(openmetrics, om)) {
+      std::cout << "OpenMetrics written to " << openmetrics << "\n";
+    } else {
+      std::cerr << "cannot write OpenMetrics to " << openmetrics << "\n";
+    }
+  }
 
   if (pmu_run) {
     const perf::pmu::Sample s = pmu_run->delta();

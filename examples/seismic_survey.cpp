@@ -27,11 +27,19 @@
 //               [--retries=3] [--retry-base-ms=50]
 //               [--survey-json=BENCH_survey.json] [--out=gather.csv]
 //               [--trace=survey_trace.json] [--metrics=survey_metrics.csv]
+//               [--openmetrics=survey.om] [--no-obs]
 //
 // --survey-json writes the schema-versioned machine-readable report
 // (shots/hour, p50/p99 shot latency, per-shot outcomes). --out exports the
 // last shot's gather as CSV for plotting. Exit status is nonzero when any
 // shot was quarantined.
+//
+// Observability is on by default: every attempt runs under a
+// crash-persistent flight recorder (<jobs-dir>/blackbox/shot_<k>.tfbr,
+// decode with tools/blackbox_dump), the report uses the v2 schema with
+// latency histograms, and --openmetrics exports the survey-wide counters
+// and histograms as an OpenMetrics textfile for Prometheus scraping.
+// --no-obs restores the exact v1 behaviour and output.
 
 #include <cstdio>
 #include <iostream>
@@ -60,6 +68,8 @@ int main(int argc, char** argv) {
   spec.retry.max_attempts = static_cast<int>(cli.get_int("retries", 3));
   spec.retry.base_ms = cli.get_double("retry-base-ms", 50.0);
   spec.survey_json = cli.get("survey-json", "");
+  spec.obs = !cli.get_flag("no-obs");
+  spec.openmetrics = cli.get("openmetrics", "");
   const std::string out_csv = cli.get("out", "");
   const trace::Session trace_session(cli.get("trace", ""),
                                      cli.get("metrics", ""));

@@ -1,17 +1,23 @@
 #!/usr/bin/env python3
-"""Validate BENCH_*.json files emitted by the bench harnesses.
+"""Validate BENCH_*.json and OpenMetrics files emitted by the harnesses.
 
-Stdlib-only schema check for two document families, dispatched on the
-top-level "schema" field:
+Stdlib-only schema check for three document families — JSON files are
+dispatched on the top-level "schema" field, *.om files are parsed as
+OpenMetrics text expositions:
 
   * "tempest-bench-v1" — written by bench::Session (bench/session.hpp).
     PMU-less runs are *valid* as long as they say so (pmu.available/
     hardware flags + a captured reason) and still carry timings and
     modelled numbers.
-  * "tempest-survey-v1" — written by the crash-tolerant survey runtime
-    (jobs::write_survey_json): per-shot outcomes, retry/degradation
-    counts, and throughput/latency aggregates, checked for internal
-    consistency (counts add up, aggregates match the rows).
+  * "tempest-survey-v1" / "tempest-survey-v2" — written by the
+    crash-tolerant survey runtime (jobs::write_survey_json): per-shot
+    outcomes, retry/degradation counts, and throughput/latency
+    aggregates, checked for internal consistency (counts add up,
+    aggregates match the rows). v2 additionally carries the obs latency
+    histograms, checked for bucket monotonicity and count consistency.
+  * OpenMetrics textfiles (obs::write_openmetrics, --openmetrics=...):
+    metric-name lint, strictly increasing le-bucket bounds, cumulative
+    non-decreasing counts, +Inf bucket == _count, terminal `# EOF`.
 
 Used by scripts/check.sh --bench / --chaos and the CI perf-smoke and
 chaos jobs.
@@ -21,6 +27,7 @@ Exit 0 when every file validates; 1 with per-file diagnostics otherwise.
 """
 
 import json
+import re
 import sys
 
 SCHEMA = "tempest-bench-v1"
@@ -106,13 +113,76 @@ def check_validation(errors, v, i):
         fail(errors, f"{where}: verdict {verdict} with no measured bytes")
 
 
-SURVEY_SCHEMA = "tempest-survey-v1"
+SURVEY_SCHEMAS = ("tempest-survey-v1", "tempest-survey-v2")
 SHOT_STATES = {"done", "quarantined", "pending", "running"}
 
 
+def check_latency_histograms(errors, doc):
+    """Validate the v2 "latency_histograms" object: every metric carries a
+    cumulative le-bucket list (strictly increasing bounds, non-decreasing
+    counts, final cumulative == count), and the shot_seconds sample count
+    is consistent with the number of completed shots."""
+    hists = doc.get("latency_histograms")
+    if not isinstance(hists, dict) or not hists:
+        fail(errors, "latency_histograms: expected a non-empty object (v2)")
+        return
+    for name, h in hists.items():
+        where = f"latency_histograms.{name}"
+        if not isinstance(h, dict):
+            fail(errors, f"{where}: expected an object")
+            continue
+        count = check_number(errors, h, "count", where, minimum=0)
+        check_number(errors, h, "sum_seconds", where, minimum=0.0)
+        check_number(errors, h, "min_seconds", where, minimum=0.0)
+        check_number(errors, h, "max_seconds", where, minimum=0.0)
+        buckets = h.get("buckets")
+        if not isinstance(buckets, list):
+            fail(errors, f"{where}.buckets: expected a list")
+            continue
+        last_le, last_cum = -1.0, 0
+        for i, b in enumerate(buckets):
+            le = check_number(errors, b, "le", f"{where}.buckets[{i}]",
+                              minimum=0.0)
+            cum = check_number(errors, b, "count", f"{where}.buckets[{i}]",
+                               minimum=0)
+            if le is not None:
+                if le <= last_le:
+                    fail(errors, f"{where}.buckets[{i}]: le {le} not "
+                                 f"strictly increasing (prev {last_le})")
+                last_le = le
+            if cum is not None:
+                if cum < last_cum:
+                    fail(errors, f"{where}.buckets[{i}]: cumulative count "
+                                 f"{cum} decreased (prev {last_cum})")
+                last_cum = cum
+        if isinstance(count, int) and buckets and last_cum != count:
+            fail(errors, f"{where}: final cumulative {last_cum} != "
+                         f"count {count}")
+        if isinstance(count, int) and count > 0 and not buckets:
+            fail(errors, f"{where}: count {count} but no buckets")
+    shot = hists.get("shot_seconds")
+    done = doc.get("done")
+    if isinstance(shot, dict) and isinstance(done, int):
+        n = shot.get("count")
+        if isinstance(n, int):
+            # Every completed shot records exactly one ShotSeconds sample;
+            # a resumed run skips already-done shots, so only a fresh run
+            # pins equality.
+            if doc.get("recovered") is False and n != done:
+                fail(errors, f"latency_histograms.shot_seconds.count {n} "
+                             f"!= done {done} on a fresh run")
+            if n > done:
+                fail(errors, f"latency_histograms.shot_seconds.count {n} "
+                             f"> done {done}")
+
+
 def check_survey_file(doc):
-    """Validate a "tempest-survey-v1" document for internal consistency."""
+    """Validate a tempest-survey-v1/v2 document for internal consistency."""
     errors = []
+    if doc.get("schema") == "tempest-survey-v2":
+        check_latency_histograms(errors, doc)
+    elif "latency_histograms" in doc:
+        fail(errors, "latency_histograms present in a v1 document")
     for key in ("physics", "requested_schedule"):
         if not isinstance(doc.get(key), str) or not doc[key]:
             fail(errors, f"{key}: missing")
@@ -226,15 +296,89 @@ def check_fig9_parallel(errors, doc):
                          f"the fingerprint) — the runtime is not linked")
 
 
+METRIC_NAME_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
+
+
+def check_openmetrics_file(path):
+    """Lint an OpenMetrics text exposition (obs::write_openmetrics)."""
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return [f"unreadable: {e}"]
+    if not lines or lines[-1] != "# EOF":
+        fail(errors, "missing terminal '# EOF' line")
+
+    # Histogram state, keyed by metric base name.
+    buckets = {}   # name -> [(le_string, cumulative)]
+    counts = {}    # name -> _count value
+    for ln, line in enumerate(lines, start=1):
+        if not line or line.startswith("#"):
+            if line.startswith("# TYPE ") or line.startswith("# UNIT "):
+                parts = line.split()
+                if len(parts) < 4 or not METRIC_NAME_RE.match(parts[2]):
+                    fail(errors, f"line {ln}: bad metric name in {line!r}")
+            continue
+        # Sample line: name[{labels}] value
+        head, _, value = line.rpartition(" ")
+        name = head.split("{", 1)[0]
+        if not METRIC_NAME_RE.match(name):
+            fail(errors, f"line {ln}: metric name {name!r} fails the lint")
+            continue
+        try:
+            float(value)
+        except ValueError:
+            fail(errors, f"line {ln}: non-numeric sample value {value!r}")
+            continue
+        if name.endswith("_bucket") and 'le="' in head:
+            le = head.split('le="', 1)[1].split('"', 1)[0]
+            buckets.setdefault(name[:-len("_bucket")], []).append(
+                (le, float(value)))
+        elif name.endswith("_count"):
+            counts[name[:-len("_count")]] = float(value)
+
+    for metric, series in buckets.items():
+        last_le, last_cum = -1.0, -1.0
+        inf_cum = None
+        for le, cum in series:
+            if cum < last_cum:
+                fail(errors, f"{metric}: cumulative bucket count {cum} "
+                             f"decreased (prev {last_cum})")
+            last_cum = cum
+            if le == "+Inf":
+                inf_cum = cum
+            else:
+                try:
+                    le_v = float(le)
+                except ValueError:
+                    fail(errors, f"{metric}: unparseable le {le!r}")
+                    continue
+                if le_v <= last_le:
+                    fail(errors, f"{metric}: le {le_v} not strictly "
+                                 f"increasing (prev {last_le})")
+                last_le = le_v
+        if inf_cum is None:
+            fail(errors, f"{metric}: no +Inf bucket")
+        elif metric in counts and inf_cum != counts[metric]:
+            fail(errors, f"{metric}: +Inf bucket {inf_cum} != "
+                         f"_count {counts[metric]}")
+        if metric not in counts:
+            fail(errors, f"{metric}: buckets without a _count series")
+    return errors
+
+
 def check_file(path):
     errors = []
+    if path.endswith(".om"):
+        return check_openmetrics_file(path)
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         return [f"unreadable: {e}"]
 
-    if doc.get("schema") == SURVEY_SCHEMA:
+    if doc.get("schema") in SURVEY_SCHEMAS:
         return check_survey_file(doc)
 
     if doc.get("schema") != SCHEMA:
@@ -339,10 +483,12 @@ def main(argv):
             print(f"FAIL {path}")
             for e in errors:
                 print(f"  - {e}")
+        elif path.endswith(".om"):
+            print(f"OK   {path} (OpenMetrics)")
         else:
             with open(path, encoding="utf-8") as f:
                 doc = json.load(f)
-            if doc.get("schema") == SURVEY_SCHEMA:
+            if doc.get("schema") in SURVEY_SCHEMAS:
                 print(f"OK   {path} ({doc.get('shots')} shots, "
                       f"{doc.get('done')} done, "
                       f"{doc.get('degraded')} degraded, "

@@ -13,8 +13,12 @@
 #                chaos harness (tools/chaos_runner) with a fixed seed:
 #                five SIGKILLs of a 3-shot survey, one checkpoint
 #                bit-flip, final gathers must be bit-identical to an
-#                uninterrupted run; then run a journaled survey and
-#                schema-check its BENCH_survey.json
+#                uninterrupted run (every fired kill must also leave a
+#                CRC-clean flight-recorder black box behind); then
+#                SIGKILL a live survey directly and decode its .tfbr
+#                with tools/blackbox_dump, resume it, and check the
+#                box is recycled; finally run a journaled survey and
+#                schema-check its BENCH_survey.json + OpenMetrics file
 #   --tidy       run clang-tidy (bugprone + performance, see .clang-tidy)
 #                over the engine, physics and analysis layers; findings are
 #                errors (blocking CI gate) — returns non-zero on any hit
@@ -69,9 +73,9 @@ run_bench_smoke() {
 run_chaos() {
   echo "==> configure (asan)"
   cmake --preset asan
-  echo "==> build chaos_runner + seismic_survey (asan)"
+  echo "==> build chaos_runner + seismic_survey + blackbox_dump (asan)"
   cmake --build --preset asan -j "$(nproc)" --target chaos_runner \
-    --target seismic_survey
+    --target seismic_survey --target blackbox_dump
   # detect_leaks=0: the worker dies by SIGKILL mid-run by design; leak
   # reports from killed children are the experiment, not a defect.
   asan_env="${ASAN_OPTIONS:-detect_leaks=0}"
@@ -83,13 +87,39 @@ run_chaos() {
   ASAN_OPTIONS="${asan_env}" build-asan/tools/chaos_runner \
     --size=20 --steps=36 --shots=3 --so=4 --schedule=wavefront \
     --kills=5 --seed=7 --dir=build-asan/chaos_wf
-  echo "==> survey smoke + BENCH_survey.json schema check"
+  echo "==> black box: SIGKILL a live survey, decode its flight recorder"
+  rm -rf build-asan/chaos_bb
+  # TEMPEST_CHAOS_KILL_AT arms resilience::fault::kill_after_progress inside
+  # the survey itself: the process raises SIGKILL at the third progress tick,
+  # so no flush or destructor runs — only the mmap'd recorder survives.
+  TEMPEST_CHAOS_KILL_AT=3 ASAN_OPTIONS="${asan_env}" \
+    build-asan/examples/seismic_survey \
+    --size=20 --steps=30 --shots=2 --so=4 --jobs-dir=build-asan/chaos_bb \
+    >/dev/null 2>&1 || true
+  set -- build-asan/chaos_bb/blackbox/shot_*.tfbr
+  if [ ! -e "$1" ]; then
+    echo "chaos: SIGKILL'd survey left no black box in chaos_bb/blackbox" >&2
+    exit 1
+  fi
+  ASAN_OPTIONS="${asan_env}" build-asan/tools/blackbox_dump --verify "$@"
+  ASAN_OPTIONS="${asan_env}" build-asan/tools/blackbox_dump --tail=5 "$1"
+  echo "==> black box: resume the killed survey; box must be recycled"
+  ASAN_OPTIONS="${asan_env}" build-asan/examples/seismic_survey \
+    --size=20 --steps=30 --shots=2 --so=4 --jobs-dir=build-asan/chaos_bb \
+    >/dev/null
+  if ls build-asan/chaos_bb/blackbox/shot_*.tfbr >/dev/null 2>&1; then
+    echo "chaos: live black boxes remain after a successful resume" >&2
+    exit 1
+  fi
+  echo "==> survey smoke + BENCH_survey.json / survey.om schema check"
   rm -rf build-asan/chaos_survey
   ASAN_OPTIONS="${asan_env}" build-asan/examples/seismic_survey \
     --size=20 --steps=30 --shots=3 --so=4 --jobs-dir=build-asan/chaos_survey \
-    --survey-json=build-asan/chaos_survey/BENCH_survey.json >/dev/null
+    --survey-json=build-asan/chaos_survey/BENCH_survey.json \
+    --openmetrics=build-asan/chaos_survey/survey.om >/dev/null
   if command -v python3 >/dev/null 2>&1; then
-    python3 scripts/bench_check.py build-asan/chaos_survey/BENCH_survey.json
+    python3 scripts/bench_check.py build-asan/chaos_survey/BENCH_survey.json \
+      build-asan/chaos_survey/survey.om
   else
     echo "==> python3 not found; skipping JSON schema validation"
   fi

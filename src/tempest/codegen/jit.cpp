@@ -19,6 +19,7 @@
 #include "tempest/util/align.hpp"
 #include "tempest/physics/acoustic.hpp"
 #include "tempest/resilience/fault.hpp"
+#include "tempest/obs/metrics.hpp"
 #include "tempest/trace/trace.hpp"
 #include "tempest/util/backoff.hpp"
 #include "tempest/util/error.hpp"
@@ -154,6 +155,7 @@ JitModule::JitModule(const std::string& c_source,
                      const std::string& symbol_name,
                      const std::string& extra_flags) {
   TEMPEST_TRACE_SPAN("jit.compile", "codegen");
+  TEMPEST_OBS_TIME(JitCompileSeconds);
   TEMPEST_TRACE_COUNT(JitCompiles, 1);
   char c_path[] = "/tmp/tempest_jit_XXXXXX.c";
   const int fd = ::mkstemps(c_path, 2);

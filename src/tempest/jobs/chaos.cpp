@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "tempest/jobs/survey.hpp"
+#include "tempest/obs/recorder.hpp"
 #include "tempest/util/error.hpp"
 #include "tempest/util/log.hpp"
 #include "tempest/util/rng.hpp"
@@ -111,6 +112,39 @@ ChildResult spawn_worker(const std::string& self,
   return run_child(argv, env);
 }
 
+#if !defined(TEMPEST_TRACE_DISABLED)
+/// Every .tfbr the dead worker left behind must pass CRC verification, and
+/// at least one must decode to a non-empty event stream (the victim shot's
+/// final moments). Returns "" on success, a diagnostic otherwise.
+std::string check_blackboxes(const std::string& blackbox_dir) {
+  std::size_t boxes = 0;
+  std::size_t with_events = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(blackbox_dir, ec)) {
+    if (entry.path().extension() != ".tfbr") continue;
+    const std::string path = entry.path().string();
+    boxes += 1;
+    std::string err;
+    if (!obs::verify_blackbox(path, &err)) {
+      return "black box '" + path + "' failed verification: " + err;
+    }
+    if (!obs::read_blackbox(path).events.empty()) with_events += 1;
+  }
+  if (ec) return "cannot scan '" + blackbox_dir + "': " + ec.message();
+  if (boxes == 0) {
+    return "no black box left behind in '" + blackbox_dir + "'";
+  }
+  if (with_events == 0) {
+    return "no black box in '" + blackbox_dir + "' holds any events";
+  }
+  util::info("chaos: " + std::to_string(boxes) +
+             " black box(es) verified, " + std::to_string(with_events) +
+             " with decodable events");
+  return "";
+}
+#endif
+
 }  // namespace
 
 std::string run_chaos(const ChaosSpec& spec, const std::string& self) {
@@ -154,6 +188,17 @@ std::string run_chaos(const ChaosSpec& spec, const std::string& self) {
     util::info("chaos: kill " + std::to_string(k) + " fired at tick " +
                std::to_string(kill_at) + " (signal " +
                std::to_string(r.signal) + ")");
+#if !defined(TEMPEST_TRACE_DISABLED)
+    // Post-mortem contract: a SIGKILL'd worker must leave its victim
+    // shot's flight recorder behind, CRC-verifiable and holding at least
+    // one decodable record of the shot's final moments.
+    {
+      const std::string err = check_blackboxes(chaos_dir + "/blackbox");
+      if (!err.empty()) {
+        return "chaos: after kill " + std::to_string(k) + ": " + err;
+      }
+    }
+#endif
     if (spec.corrupt && k == spec.kills / 2) {
       // Bit-flip the newest checkpoint of shot 0 (if present): recovery
       // must fall back to the rotated predecessor, not die.

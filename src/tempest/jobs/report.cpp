@@ -34,9 +34,19 @@ void finalize_aggregates(SurveyReport& report) {
       report.quarantined += 1;
     }
   }
-  std::sort(latencies.begin(), latencies.end());
-  report.p50_shot_seconds = percentile(latencies, 50.0);
-  report.p99_shot_seconds = percentile(latencies, 99.0);
+  if (report.obs) {
+    // v2: quantiles from the shared histogram (see report.hpp for the
+    // rule) — the same numbers any fleet-level aggregator derives from the
+    // exported buckets.
+    const obs::Histogram& h =
+        report.latency[static_cast<std::size_t>(obs::Metric::ShotSeconds)];
+    report.p50_shot_seconds = static_cast<double>(h.quantile(0.50)) / 1e9;
+    report.p99_shot_seconds = static_cast<double>(h.quantile(0.99)) / 1e9;
+  } else {
+    std::sort(latencies.begin(), latencies.end());
+    report.p50_shot_seconds = percentile(latencies, 50.0);
+    report.p99_shot_seconds = percentile(latencies, 99.0);
+  }
   report.shots_per_hour =
       report.total_seconds > 0.0
           ? static_cast<double>(report.done) * 3600.0 / report.total_seconds
@@ -48,7 +58,7 @@ void write_survey_json(const std::string& path, const SurveyReport& report) {
   TEMPEST_REQUIRE_MSG(os.good(), "cannot open '" + path + "' for write");
   util::JsonWriter w(os);
   w.begin_object();
-  w.field("schema", "tempest-survey-v1");
+  w.field("schema", report.obs ? "tempest-survey-v2" : "tempest-survey-v1");
   w.field("physics", report.physics);
   w.field("requested_schedule", report.requested_schedule);
   w.field("size", report.size);
@@ -62,6 +72,39 @@ void write_survey_json(const std::string& path, const SurveyReport& report) {
   w.field("shots_per_hour", report.shots_per_hour);
   w.field("p50_shot_seconds", report.p50_shot_seconds);
   w.field("p99_shot_seconds", report.p99_shot_seconds);
+  if (report.obs) {
+    // v2 only — v1 output stays byte-identical to the pre-obs schema. Each
+    // histogram is exported as cumulative le-buckets in seconds (only the
+    // occupied ones; cumulative counts are non-decreasing by construction
+    // and the final entry always equals "count").
+    w.key("latency_histograms");
+    w.begin_object();
+    for (int m = 0; m < obs::kNumMetrics; ++m) {
+      const obs::Histogram& h = report.latency[static_cast<std::size_t>(m)];
+      w.key(obs::to_string(static_cast<obs::Metric>(m)));
+      w.begin_object();
+      w.field("count", static_cast<unsigned long long>(h.count()));
+      w.field("sum_seconds", static_cast<double>(h.sum()) / 1e9);
+      w.field("min_seconds", static_cast<double>(h.min()) / 1e9);
+      w.field("max_seconds", static_cast<double>(h.max()) / 1e9);
+      w.key("buckets");
+      w.begin_array();
+      unsigned long long cum = 0;
+      for (int i = 0; i < obs::Histogram::kNumBuckets; ++i) {
+        const std::uint64_t n = h.bucket_count(i);
+        if (n == 0) continue;
+        cum += n;
+        w.begin_object();
+        w.field("le",
+                static_cast<double>(obs::Histogram::bucket_upper(i)) / 1e9);
+        w.field("count", cum);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+  }
   w.key("shot_reports");
   w.begin_array();
   for (const ShotReport& s : report.shots) {

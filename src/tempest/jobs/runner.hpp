@@ -65,10 +65,19 @@ class Runner {
  public:
   using ExecuteFn = std::function<AttemptResult(const Attempt&)>;
   using SleepFn = std::function<void(double /*ms*/)>;
+  /// Fired after each attempt's fate is journaled; `outcome` is one of
+  /// "done", "transient", "degraded", "quarantined". The survey uses this
+  /// to retain the attempt's flight-recorder black box on failure and
+  /// recycle it on success.
+  using OutcomeFn = std::function<void(const Attempt&, const char* outcome)>;
 
   Runner(JobQueue& queue, std::vector<LadderRung> ladder,
          util::BackoffPolicy policy, ExecuteFn execute,
          SleepFn sleep = util::sleep_ms);
+
+  void set_on_outcome(OutcomeFn on_outcome) {
+    on_outcome_ = std::move(on_outcome);
+  }
 
   /// Run until every job is Done or Quarantined. Returns the number of
   /// jobs that finished Done.
@@ -80,6 +89,7 @@ class Runner {
   util::BackoffPolicy policy_;
   ExecuteFn execute_;
   SleepFn sleep_;
+  OutcomeFn on_outcome_;
 };
 
 }  // namespace tempest::jobs

@@ -3,14 +3,19 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 
 #include "tempest/codegen/emit.hpp"
 #include "tempest/codegen/jit.hpp"
 #include "tempest/io/io.hpp"
 #include "tempest/jobs/runner.hpp"
 #include "tempest/jobs/watchdog.hpp"
+#include "tempest/obs/metrics.hpp"
+#include "tempest/obs/openmetrics.hpp"
+#include "tempest/obs/recorder.hpp"
 #include "tempest/physics/acoustic.hpp"
 #include "tempest/physics/elastic.hpp"
 #include "tempest/physics/tti.hpp"
@@ -72,6 +77,64 @@ std::uint64_t shot_fingerprint(std::uint64_t base, int shot,
   return s == Schedule::Reference || s == Schedule::SpaceBlocked;
 }
 
+#if !defined(TEMPEST_TRACE_DISABLED)
+/// Arms the flight recorder around one attempt: a fresh (truncated) black
+/// box under the live name, installed as the process-wide trace tap, with
+/// job-state bookends. Destruction detects how the attempt ended — a
+/// throw unwinding through the scope notes "attempt.fail" so the dead
+/// shot's last record names its failure mode; the file itself is retained
+/// or recycled later by the Runner outcome hook (and simply left behind
+/// when the process is SIGKILL'd, which is the whole point).
+class BlackboxScope {
+ public:
+  BlackboxScope(const SurveySpec& spec, const Attempt& a)
+      : shot_(a.job), level_(a.level) {
+    if (!spec.obs) return;
+    obs::FlightRecorder::Options o;
+    o.shot = static_cast<std::uint32_t>(a.job);
+    rec_ = obs::FlightRecorder::create(blackbox_live_path(spec, a.job), o);
+    if (rec_ != nullptr) {
+      obs::install_blackbox(rec_.get());
+      obs::note_job_state("attempt.start", a.job, a.level);
+    }
+  }
+  ~BlackboxScope() {
+    if (rec_ != nullptr) {
+      obs::note_job_state(
+          std::uncaught_exceptions() > 0 ? "attempt.fail" : "attempt.done",
+          shot_, level_);
+      obs::uninstall_blackbox();
+    }
+  }
+  BlackboxScope(const BlackboxScope&) = delete;
+  BlackboxScope& operator=(const BlackboxScope&) = delete;
+
+ private:
+  std::unique_ptr<obs::FlightRecorder> rec_;
+  int shot_ = 0;
+  int level_ = 0;
+};
+
+/// Runner outcome hook: success recycles the live black box, a degrade or
+/// quarantine retains it under a name carrying the verdict (and the rung
+/// it died on, for degrades — one kept file per failed rung). A transient
+/// failure leaves the live file in place for the retry to truncate.
+void retain_or_recycle_blackbox(const SurveySpec& spec, const Attempt& a,
+                                const std::string& outcome) {
+  const std::string live = blackbox_live_path(spec, a.job);
+  std::error_code ec;
+  if (outcome == "done") {
+    std::filesystem::remove(live, ec);
+  } else if (outcome == "degraded" || outcome == "quarantined") {
+    std::string kept = spec.jobs_dir + "/blackbox/shot_" +
+                       std::to_string(a.job) + "." + outcome;
+    if (outcome == "degraded") kept += "_l" + std::to_string(a.level);
+    kept += ".tfbr";
+    std::filesystem::rename(live, kept, ec);
+  }
+}
+#endif  // !TEMPEST_TRACE_DISABLED
+
 /// One attempt of one shot, generic over the uniform propagator surface
 /// (run/run_from/capture/restore). Throws on failure; the Runner's
 /// classify() decides retry vs degrade vs quarantine.
@@ -80,6 +143,9 @@ AttemptResult run_shot(const Model& model, const SurveySpec& spec,
                        const std::vector<SurveyRung>& ladder,
                        std::uint64_t base_fp, const Attempt& a) {
   const SurveyRung& rung = ladder.at(static_cast<std::size_t>(a.level));
+#if !defined(TEMPEST_TRACE_DISABLED)
+  const BlackboxScope blackbox(spec, a);
+#endif
   const int n = spec.n;
   const int nt = spec.nt;
   const double dt = model.critical_dt();
@@ -201,6 +267,7 @@ AttemptResult run_shot(const Model& model, const SurveySpec& spec,
   AttemptResult res;
   res.seconds = stats.seconds + stats.precompute_seconds;
   res.detail = rung.name;
+  TEMPEST_OBS_RECORD_NS(ShotSeconds, res.seconds * 1e9);
   return res;
 }
 
@@ -220,6 +287,13 @@ int drive(const Model& model, const SurveySpec& spec,
                   return run_shot<Propagator>(model, spec, ladder, base_fp,
                                               a);
                 });
+#if !defined(TEMPEST_TRACE_DISABLED)
+  if (spec.obs) {
+    runner.set_on_outcome([&spec](const Attempt& a, const char* outcome) {
+      retain_or_recycle_blackbox(spec, a, outcome);
+    });
+  }
+#endif
   return runner.run();
 }
 
@@ -257,11 +331,27 @@ std::string shot_gather_path(const SurveySpec& spec, int shot) {
   return spec.jobs_dir + "/shot_" + std::to_string(shot) + ".tpg";
 }
 
+std::string blackbox_live_path(const SurveySpec& spec, int shot) {
+  return spec.jobs_dir + "/blackbox/shot_" + std::to_string(shot) + ".tfbr";
+}
+
 SurveyReport run_survey(const SurveySpec& spec) {
   TEMPEST_REQUIRE(spec.n_shots > 0 && spec.nt >= 2 && spec.n >= 8);
   // Let the chaos harness arm its kill point in a child it spawned.
   resilience::fault::arm_kill_from_env();
   std::filesystem::create_directories(spec.jobs_dir);
+
+#if !defined(TEMPEST_TRACE_DISABLED)
+  const bool obs_on = spec.obs;
+  const bool obs_was_enabled = obs::enabled();
+  if (obs_on) {
+    std::filesystem::create_directories(spec.jobs_dir + "/blackbox");
+    obs::reset_metrics();
+    obs::set_enabled(true);
+  }
+#else
+  const bool obs_on = false;
+#endif
 
   const std::uint64_t base_fp = survey_fingerprint(spec);
   const bool jit_rung = spec.use_jit && spec.physics == "acoustic";
@@ -327,6 +417,16 @@ SurveyReport run_survey(const SurveySpec& spec) {
     row.detail = j.detail;
     report.shots.push_back(std::move(row));
   }
+  report.obs = obs_on;
+#if !defined(TEMPEST_TRACE_DISABLED)
+  if (obs_on) {
+    report.latency = obs::snapshot_metrics();
+    if (!spec.openmetrics.empty()) {
+      obs::write_openmetrics(spec.openmetrics);
+    }
+    obs::set_enabled(obs_was_enabled);
+  }
+#endif
   finalize_aggregates(report);
   if (!spec.survey_json.empty()) {
     write_survey_json(spec.survey_json, report);

@@ -38,7 +38,21 @@ struct SurveySpec {
   util::BackoffPolicy retry{};
 
   std::string survey_json;  ///< BENCH_survey.json path ("" = skip)
+
+  /// Observability (tempest::obs). When on, every attempt runs under a
+  /// crash-persistent flight recorder at <jobs_dir>/blackbox/shot_<k>.tfbr
+  /// (retained on degrade/quarantine, recycled on success), the latency
+  /// histograms are collected survey-wide, and the report uses the v2
+  /// schema. Off — or in a TEMPEST_TRACE=OFF build, which compiles the
+  /// whole layer out — the survey behaves and serializes exactly as v1.
+  bool obs = true;
+  std::string openmetrics;  ///< OpenMetrics textfile path ("" = skip)
 };
+
+/// The live black box of shot `shot` while an attempt is running (and the
+/// file a SIGKILL leaves behind): <jobs_dir>/blackbox/shot_<k>.tfbr.
+[[nodiscard]] std::string blackbox_live_path(const SurveySpec& spec,
+                                             int shot);
 
 /// One rung of the survey degradation ladder: a schedule, optionally with
 /// the JIT-compiled kernel in front of it.

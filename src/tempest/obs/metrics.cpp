@@ -1,0 +1,126 @@
+#include "tempest/obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tempest::obs {
+
+namespace {
+
+/// Per-thread histogram shard. The recording thread is the only writer;
+/// `mu` serialises its writes against the serial-phase snapshot that merges
+/// them. The uncontended lock costs tens of nanoseconds per record — noise
+/// next to the block of work the duration describes.
+struct Shard {
+  std::array<Histogram, kNumMetrics> hist;
+  std::mutex mu;
+};
+
+/// Registry of every thread that ever recorded; exited threads' shards are
+/// merged into `retired` on snapshot, exactly like the trace registry, so
+/// short-lived pool workers cannot grow the registry or lose samples.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Shard>> shards;
+  std::array<Histogram, kNumMetrics> retired;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Caller holds r.mu.
+void compact_locked(Registry& r) {
+  auto dead_begin = std::partition(
+      r.shards.begin(), r.shards.end(),
+      [](const std::shared_ptr<Shard>& s) { return s.use_count() > 1; });
+  for (auto it = dead_begin; it != r.shards.end(); ++it) {
+    Shard& s = **it;
+    const std::lock_guard<std::mutex> shard_lock(s.mu);
+    for (int m = 0; m < kNumMetrics; ++m) {
+      r.retired[static_cast<std::size_t>(m)].merge(
+          s.hist[static_cast<std::size_t>(m)]);
+    }
+  }
+  r.shards.erase(dead_begin, r.shards.end());
+}
+
+Shard& local_shard() {
+  thread_local std::shared_ptr<Shard> shard = [] {
+    auto s = std::make_shared<Shard>();
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.shards.push_back(s);
+    return s;
+  }();
+  return *shard;
+}
+
+std::atomic<bool> g_enabled{false};
+
+}  // namespace
+
+const char* to_string(Metric m) {
+  switch (m) {
+    case Metric::TileSeconds: return "tile_seconds";
+    case Metric::SubstepSeconds: return "substep_seconds";
+    case Metric::BandSeconds: return "band_seconds";
+    case Metric::ShotSeconds: return "shot_seconds";
+    case Metric::JitCompileSeconds: return "jit_compile_seconds";
+    case Metric::CheckpointWriteSeconds: return "checkpoint_write_seconds";
+  }
+  return "?";
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void record_ns(Metric m, std::int64_t ns) {
+  if (!enabled()) return;
+  Shard& s = local_shard();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.hist[static_cast<std::size_t>(m)].record(ns);
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+MetricSnapshot snapshot_metrics() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  compact_locked(r);
+  MetricSnapshot out = r.retired;
+  for (const auto& s : r.shards) {
+    const std::lock_guard<std::mutex> shard_lock(s->mu);
+    for (int m = 0; m < kNumMetrics; ++m) {
+      out[static_cast<std::size_t>(m)].merge(
+          s->hist[static_cast<std::size_t>(m)]);
+    }
+  }
+  return out;
+}
+
+Histogram metric_histogram(Metric m) {
+  return snapshot_metrics()[static_cast<std::size_t>(m)];
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& s : r.shards) {
+    const std::lock_guard<std::mutex> shard_lock(s->mu);
+    for (auto& h : s->hist) h.clear();
+  }
+  for (auto& h : r.retired) h.clear();
+}
+
+}  // namespace tempest::obs

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "tempest/obs/histogram.hpp"
+
+namespace tempest::obs {
+
+/// The runtime's latency distributions. Every metric is a Histogram of
+/// nanosecond durations with the shared fixed bucket layout, accumulated in
+/// per-thread shards and merged on snapshot — so the aggregate is invariant
+/// under thread count and merge order (only the wall-clock values themselves
+/// vary run to run).
+///
+///   TileSeconds            one space block handed to a kernel (all schedules)
+///   SubstepSeconds         one whole-domain substep sweep (barrier schedules)
+///   BandSeconds            one time band (temporal blocking) / one full
+///                          timestep including callbacks (barrier schedules)
+///   ShotSeconds            one winning shot attempt (time loop + precompute)
+///   JitCompileSeconds      one codegen::JitModule compile+load
+///   CheckpointWriteSeconds one resilience::Checkpointer::save
+enum class Metric : int {
+  TileSeconds = 0,
+  SubstepSeconds,
+  BandSeconds,
+  ShotSeconds,
+  JitCompileSeconds,
+  CheckpointWriteSeconds,
+};
+inline constexpr int kNumMetrics = 6;
+
+/// OpenMetrics-safe base name ("tile_seconds", ...).
+[[nodiscard]] const char* to_string(Metric m);
+
+/// Global runtime switch, independent of trace::enabled(). Off by default;
+/// when off, record_ns() is one relaxed load + branch.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+/// Record one duration into metric `m` on this thread's shard (no-op while
+/// disabled).
+void record_ns(Metric m, std::int64_t ns);
+
+/// Monotonic nanosecond clock shared by all obs timing (steady_clock).
+[[nodiscard]] std::int64_t now_ns();
+
+/// Merged view of every metric across all threads (including threads that
+/// have since exited — their shards are folded into retired accumulators,
+/// exactly like the trace registry). Call from serial code.
+using MetricSnapshot = std::array<Histogram, kNumMetrics>;
+[[nodiscard]] MetricSnapshot snapshot_metrics();
+[[nodiscard]] Histogram metric_histogram(Metric m);
+
+/// Zero every shard on every thread.
+void reset_metrics();
+
+/// RAII duration: records [construction, destruction) into `m` when the
+/// metrics runtime is enabled. Prefer the TEMPEST_OBS_TIME macro, which
+/// compiles out under TEMPEST_TRACE_DISABLED.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Metric m)
+      : m_(m), active_(enabled()), start_(active_ ? now_ns() : 0) {}
+  ~ScopedLatency() {
+    if (active_) record_ns(m_, now_ns() - start_);
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Metric m_;
+  bool active_;
+  std::int64_t start_;
+};
+
+}  // namespace tempest::obs
+
+#define TEMPEST_OBS_CONCAT_IMPL(a, b) a##b
+#define TEMPEST_OBS_CONCAT(a, b) TEMPEST_OBS_CONCAT_IMPL(a, b)
+
+// Instrumentation macros: compiled out together with the trace macros under
+// -DTEMPEST_TRACE=OFF, so an un-instrumented build carries zero obs cost.
+#if defined(TEMPEST_TRACE_DISABLED)
+#define TEMPEST_OBS_TIME(metric) ((void)0)
+#define TEMPEST_OBS_RECORD_NS(metric, ns) ((void)0)
+#else
+#define TEMPEST_OBS_TIME(metric)                                           \
+  ::tempest::obs::ScopedLatency TEMPEST_OBS_CONCAT(tempest_obs_latency_,   \
+                                                   __LINE__)(              \
+      ::tempest::obs::Metric::metric)
+#define TEMPEST_OBS_RECORD_NS(metric, ns)                                  \
+  ::tempest::obs::record_ns(::tempest::obs::Metric::metric,                \
+                            static_cast<std::int64_t>(ns))
+#endif

@@ -8,6 +8,7 @@
 
 #include "tempest/io/io.hpp"
 #include "tempest/resilience/fault.hpp"
+#include "tempest/obs/metrics.hpp"
 #include "tempest/trace/trace.hpp"
 #include "tempest/util/crc32.hpp"
 #include "tempest/util/error.hpp"
@@ -97,6 +98,7 @@ bool Checkpointer::exists() const {
 
 void Checkpointer::save(const Checkpoint& ck) const {
   TEMPEST_TRACE_SPAN("checkpoint.save", "resilience");
+  TEMPEST_OBS_TIME(CheckpointWriteSeconds);
   TEMPEST_REQUIRE_MSG(!ck.slots.empty(), "checkpoint carries no time slices");
   const auto& e0 = ck.slots.front().extents();
   const int halo0 = ck.slots.front().halo();

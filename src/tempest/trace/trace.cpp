@@ -2,11 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#define TEMPEST_TRACE_HAVE_SIGNALS 1
+#endif
 
 namespace tempest::trace {
 
@@ -84,6 +90,7 @@ ThreadState& local_state() {
 std::atomic<bool> g_enabled{false};
 std::atomic<std::int64_t> g_epoch_ns{0};
 std::atomic<const SpanEnricher*> g_enricher{nullptr};
+std::atomic<const EventTap*> g_tap{nullptr};
 
 std::int64_t steady_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -172,9 +179,17 @@ bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 
 void count(Counter c, long long delta) {
-  if (!enabled() || delta == 0) return;
+  if (delta == 0) return;
+  // A tap keeps the counters live even while full tracing is off, so an
+  // obs-only run (flight recorder / OpenMetrics, no Chrome trace) still
+  // produces real work totals.
+  const EventTap* tap = g_tap.load(std::memory_order_acquire);
+  if (!enabled() && tap == nullptr) return;
   local_state().counters[static_cast<std::size_t>(c)].fetch_add(
       delta, std::memory_order_relaxed);
+  if (tap != nullptr && tap->counter != nullptr) {
+    tap->counter(tap->ctx, c, delta);
+  }
 }
 
 long long value(Counter c) {
@@ -220,9 +235,15 @@ void reset() {
 ScopedSpan::ScopedSpan(const char* name, const char* cat)
     : name_(name), cat_(cat), start_ns_(0), arg_(0), has_arg_(false),
       active_(enabled()) {
-  if (active_) {
-    enricher_ = g_enricher.load(std::memory_order_acquire);
-    if (enricher_ != nullptr) enricher_->sample(slot_start_.data());
+  tap_ = g_tap.load(std::memory_order_acquire);
+  if (active_ || tap_ != nullptr) {
+    if (active_) {
+      enricher_ = g_enricher.load(std::memory_order_acquire);
+      if (enricher_ != nullptr) enricher_->sample(slot_start_.data());
+    }
+    if (tap_ != nullptr && tap_->span_enter != nullptr) {
+      tap_->span_enter(tap_->ctx, name_, cat_, arg_, has_arg_);
+    }
     start_ns_ = now_ns();
   }
 }
@@ -230,16 +251,26 @@ ScopedSpan::ScopedSpan(const char* name, const char* cat)
 ScopedSpan::ScopedSpan(const char* name, const char* cat, std::int64_t arg)
     : name_(name), cat_(cat), start_ns_(0), arg_(arg), has_arg_(true),
       active_(enabled()) {
-  if (active_) {
-    enricher_ = g_enricher.load(std::memory_order_acquire);
-    if (enricher_ != nullptr) enricher_->sample(slot_start_.data());
+  tap_ = g_tap.load(std::memory_order_acquire);
+  if (active_ || tap_ != nullptr) {
+    if (active_) {
+      enricher_ = g_enricher.load(std::memory_order_acquire);
+      if (enricher_ != nullptr) enricher_->sample(slot_start_.data());
+    }
+    if (tap_ != nullptr && tap_->span_enter != nullptr) {
+      tap_->span_enter(tap_->ctx, name_, cat_, arg_, has_arg_);
+    }
     start_ns_ = now_ns();
   }
 }
 
 ScopedSpan::~ScopedSpan() {
-  if (!active_) return;
+  if (!active_ && tap_ == nullptr) return;
   const std::int64_t end = now_ns();
+  if (tap_ != nullptr && tap_->span_exit != nullptr) {
+    tap_->span_exit(tap_->ctx, name_, start_ns_, end - start_ns_);
+  }
+  if (!active_) return;
   Event ev{name_, cat_, 0, start_ns_, end - start_ns_, arg_, has_arg_};
   if (enricher_ != nullptr) {
     std::array<std::int64_t, kMaxSpanSlots> now{};
@@ -264,6 +295,14 @@ void set_span_enricher(const SpanEnricher* enricher) {
 
 const SpanEnricher* span_enricher() {
   return g_enricher.load(std::memory_order_acquire);
+}
+
+void set_event_tap(const EventTap* tap) {
+  g_tap.store(tap, std::memory_order_release);
+}
+
+const EventTap* event_tap() {
+  return g_tap.load(std::memory_order_acquire);
 }
 
 std::vector<Event> events() {
@@ -399,16 +438,89 @@ bool write_metrics(const std::string& path) {
   return static_cast<bool>(os);
 }
 
+namespace {
+
+/// Crash-flush state for the armed Session. Paths are written once at arm
+/// time (before any fault can fire the hooks) and only cleared after the
+/// flushed flag is already set, so the handlers never race a mutation.
+struct CrashFlush {
+  std::string trace_path;
+  std::string metrics_path;
+  std::atomic<bool> flushed{true};  ///< true: nothing (left) to write
+  bool hooks_installed = false;
+};
+
+CrashFlush& crash_flush_state() {
+  static CrashFlush cf;
+  return cf;
+}
+
+#if defined(TEMPEST_TRACE_HAVE_SIGNALS)
+void crash_signal_handler(int sig) {
+  // Best-effort: ofstream is not async-signal-safe, but for the fatal
+  // signals we install on (and only where no other runtime claimed the
+  // signal) a truncated-but-valid trace beats certain loss. The flushed
+  // exchange in crash_flush_now() makes a double fault inside the flush
+  // fall straight through to the re-raise.
+  crash_flush_now();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+#endif
+
+/// Install the atexit + fatal-signal hooks, once per process. A signal
+/// handler is installed only where the current disposition is the default
+/// one — sanitizer runtimes (ASan's SEGV machinery) and application
+/// handlers keep theirs.
+void install_crash_hooks() {
+  CrashFlush& cf = crash_flush_state();
+  if (cf.hooks_installed) return;
+  cf.hooks_installed = true;
+  std::atexit([] { crash_flush_now(); });
+#if defined(TEMPEST_TRACE_HAVE_SIGNALS)
+  const int fatal[] = {SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL};
+  for (const int sig : fatal) {
+    struct sigaction current {};
+    if (sigaction(sig, nullptr, &current) != 0) continue;
+    const bool is_default = (current.sa_flags & SA_SIGINFO) == 0 &&
+                            current.sa_handler == SIG_DFL;
+    if (!is_default) continue;
+    struct sigaction action {};
+    action.sa_handler = crash_signal_handler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;
+    sigaction(sig, &action, nullptr);
+  }
+#endif
+}
+
+}  // namespace
+
+void crash_flush_now() {
+  CrashFlush& cf = crash_flush_state();
+  if (cf.flushed.exchange(true, std::memory_order_acq_rel)) return;
+  if (!cf.trace_path.empty()) write_chrome_trace(cf.trace_path);
+  if (!cf.metrics_path.empty()) write_metrics(cf.metrics_path);
+}
+
 Session::Session(std::string trace_path, std::string metrics_path)
     : trace_path_(std::move(trace_path)),
       metrics_path_(std::move(metrics_path)) {
   if (!trace_path_.empty() || !metrics_path_.empty()) {
     reset();
     set_enabled(true);
+    CrashFlush& cf = crash_flush_state();
+    cf.trace_path = trace_path_;
+    cf.metrics_path = metrics_path_;
+    install_crash_hooks();
+    cf.flushed.store(false, std::memory_order_release);
   }
 }
 
 Session::~Session() {
+  // Disarm the crash hook before writing: the destructor pass is the
+  // complete one, and a subsequent atexit flush must not overwrite it.
+  crash_flush_state().flushed.store(true, std::memory_order_release);
   if (!trace_path_.empty()) write_chrome_trace(trace_path_);
   if (!metrics_path_.empty()) write_metrics(metrics_path_);
 }

@@ -101,6 +101,27 @@ struct SpanEnricher {
 void set_span_enricher(const SpanEnricher* enricher);
 [[nodiscard]] const SpanEnricher* span_enricher();
 
+/// Event tap: a set of raw callbacks fired synchronously on the recording
+/// thread for every span boundary and counter delta — the feed the obs
+/// flight recorder drinks from. Unlike the in-memory buffers the tap fires
+/// even while enabled() is false, so a black box can observe a run without
+/// paying for full span buffering; counters likewise accumulate whenever a
+/// tap is installed. Callbacks must be wait-free-ish and reentrant-safe
+/// (they run inside instrumented regions). The struct must have static
+/// storage duration; install/clear from serial code only.
+struct EventTap {
+  void* ctx = nullptr;
+  void (*span_enter)(void* ctx, const char* name, const char* cat,
+                     std::int64_t arg, bool has_arg) = nullptr;
+  void (*span_exit)(void* ctx, const char* name, std::int64_t start_ns,
+                    std::int64_t dur_ns) = nullptr;
+  void (*counter)(void* ctx, Counter c, long long delta) = nullptr;
+};
+
+/// Install (or clear, with nullptr) the event tap.
+void set_event_tap(const EventTap* tap);
+[[nodiscard]] const EventTap* event_tap();
+
 /// One completed span. Names/categories are string literals at the call
 /// sites (never freed, never copied on the hot path).
 struct Event {
@@ -134,6 +155,7 @@ class ScopedSpan {
   bool has_arg_;
   bool active_;
   const SpanEnricher* enricher_ = nullptr;  ///< non-null: sampled at start
+  const EventTap* tap_ = nullptr;           ///< non-null: fires enter/exit
   std::array<std::int64_t, kMaxSpanSlots> slot_start_{};
 };
 
@@ -159,6 +181,14 @@ bool write_metrics(const std::string& path);  ///< .csv -> CSV, else JSON
 /// Flag-driven session for the example/bench binaries: enables tracing when
 /// either path is non-empty, and writes the requested sinks (Chrome trace
 /// JSON to `trace_path`, metrics to `metrics_path`) on destruction.
+///
+/// Crash flush: constructing a Session also arms a best-effort crash hook
+/// (std::atexit plus fatal-signal handlers for SIGABRT/SIGSEGV/SIGBUS/
+/// SIGFPE/SIGILL, installed only where no other handler is present so
+/// sanitizer runtimes keep theirs). If the process dies before the
+/// destructor runs, the hook writes whatever spans have completed — a
+/// truncated-but-valid trace instead of nothing. The flush is idempotent:
+/// a clean destructor pass disarms it.
 class Session {
  public:
   Session(std::string trace_path, std::string metrics_path);
@@ -170,6 +200,11 @@ class Session {
   std::string trace_path_;
   std::string metrics_path_;
 };
+
+/// Write the armed Session's sinks immediately if they have not been
+/// written yet (no-op otherwise). Exposed for the crash-flush regression
+/// test; called automatically from the atexit/signal hooks.
+void crash_flush_now();
 
 }  // namespace tempest::trace
 

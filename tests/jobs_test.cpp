@@ -530,6 +530,94 @@ TEST(Report, AggregatesAndJson) {
   EXPECT_NE(text.find("\"shots_per_hour\""), std::string::npos);
   EXPECT_NE(text.find("\"quarantined\": 1"), std::string::npos);
   EXPECT_NE(text.find("\"shot_reports\""), std::string::npos);
+  // v1 output must never grow v2 fields.
+  EXPECT_EQ(text.find("latency_histograms"), std::string::npos);
+}
+
+namespace {
+
+/// Five Done shots at 10/20/30/40/50 ms — the shared fixture for the
+/// quantile golden tests below.
+jb::SurveyReport five_shot_report() {
+  jb::SurveyReport rep;
+  rep.physics = "acoustic";
+  rep.requested_schedule = "wavefront";
+  rep.n_shots = 5;
+  rep.total_seconds = 0.15;
+  for (int i = 0; i < 5; ++i) {
+    jb::ShotReport s;
+    s.shot = i;
+    s.state = "done";
+    s.seconds = 0.010 * (i + 1);
+    rep.shots.push_back(s);
+  }
+  return rep;
+}
+
+}  // namespace
+
+// Golden: the legacy v1 nearest-rank percentiles are a compatibility
+// contract — adding the histogram path must not move them by a single bit.
+TEST(Report, V1NearestRankQuantilesUnchanged) {
+  jb::SurveyReport rep = five_shot_report();
+  ASSERT_FALSE(rep.obs);
+  jb::finalize_aggregates(rep);
+  EXPECT_DOUBLE_EQ(rep.p50_shot_seconds, 0.030);
+  EXPECT_DOUBLE_EQ(rep.p99_shot_seconds, 0.050);
+}
+
+// Golden: the v2 histogram quantile rule (inclusive upper bound of the
+// first bucket whose cumulative count reaches ceil(q*N), clamped to
+// [min, max]). For {10,20,30,40,50} ms the p50 bucket is [29360128,
+// 31457279] ns and the p99 clamps to the observed max. Pinned values: any
+// drift here is a bucket-layout or quantile-rule change and must be a
+// deliberate schema event.
+TEST(Report, V2HistogramQuantilesGolden) {
+  jb::SurveyReport rep = five_shot_report();
+  rep.obs = true;
+  auto& shot_hist = rep.latency[static_cast<std::size_t>(
+      tempest::obs::Metric::ShotSeconds)];
+  for (const jb::ShotReport& s : rep.shots) {
+    shot_hist.record(static_cast<std::int64_t>(s.seconds * 1e9));
+  }
+  jb::finalize_aggregates(rep);
+  EXPECT_DOUBLE_EQ(rep.p50_shot_seconds, 31457279.0 / 1e9);
+  EXPECT_NEAR(rep.p50_shot_seconds, 0.0314573, 1e-7);
+  EXPECT_DOUBLE_EQ(rep.p99_shot_seconds, 0.050);
+  // The documented bias bound: estimate >= exact, within one bucket width.
+  EXPECT_GE(rep.p50_shot_seconds, 0.030);
+  EXPECT_LE(rep.p50_shot_seconds, 0.030 * 1.125);
+}
+
+TEST(Report, V2SchemaCarriesLatencyHistograms) {
+  jb::SurveyReport rep = five_shot_report();
+  rep.obs = true;
+  auto& shot_hist = rep.latency[static_cast<std::size_t>(
+      tempest::obs::Metric::ShotSeconds)];
+  for (const jb::ShotReport& s : rep.shots) {
+    shot_hist.record(static_cast<std::int64_t>(s.seconds * 1e9));
+  }
+  jb::finalize_aggregates(rep);
+
+  TempPath file(".json");
+  jb::write_survey_json(file.path(), rep);
+  std::ifstream is(file.path());
+  const std::string text((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"schema\": \"tempest-survey-v2\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"latency_histograms\""), std::string::npos);
+  // Every metric appears, even the empty ones (count 0, no buckets).
+  for (int m = 0; m < tempest::obs::kNumMetrics; ++m) {
+    EXPECT_NE(text.find(std::string("\"") +
+                        tempest::obs::to_string(
+                            static_cast<tempest::obs::Metric>(m)) +
+                        "\""),
+              std::string::npos);
+  }
+  // The shot histogram's bucket list is cumulative and ends at the count.
+  EXPECT_NE(text.find("\"count\": 5"), std::string::npos);
+  EXPECT_NE(text.find("\"buckets\""), std::string::npos);
 }
 
 // --- Versioned auxiliary blobs ------------------------------------------

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "tempest/obs/metrics.hpp"
 #include "tempest/physics/acoustic.hpp"
 #include "tempest/physics/elastic.hpp"
 #include "tempest/physics/tti.hpp"
@@ -39,6 +40,7 @@ namespace tg = tempest::grid;
 namespace tc = tempest::core;
 namespace tr = tempest::trace;
 namespace tu = tempest::util;
+namespace obs = tempest::obs;
 using tempest::real_t;
 
 namespace {
@@ -66,12 +68,15 @@ struct Artifacts {
   std::vector<tg::Grid3<real_t>> fields;
   sp::SparseTimeSeries rec;
   tr::CounterSnapshot counters{};
+  obs::MetricSnapshot latency{};
 };
 
 Artifacts run_cell(const Case& c, int threads) {
   Artifacts out;
   tr::set_enabled(true);
   tr::reset();
+  obs::reset_metrics();
+  obs::set_enabled(true);
   ph::PropagatorOptions opts;
   opts.tiles = tc::TileSpec{4, 8, 8, 4, 4};
   opts.threads = threads;
@@ -129,6 +134,8 @@ Artifacts run_cell(const Case& c, int threads) {
   }
 
   out.counters = tr::snapshot();
+  out.latency = obs::snapshot_metrics();
+  obs::set_enabled(false);
   tr::set_enabled(false);
   return out;
 }
@@ -172,6 +179,18 @@ TEST_P(ParallelDeterminism, BitIdenticalAtAnyThreadCount) {
           << tr::to_string(static_cast<tr::Counter>(i)) << " at " << threads
           << " threads";
     }
+
+    // The obs latency histograms shard per thread and merge on snapshot;
+    // the *sample counts* (one per tile / substep / band) are as exact as
+    // the work counters at every thread count. Only the duration values
+    // themselves are wall-clock and excluded by contract.
+    for (int m = 0; m < obs::kNumMetrics; ++m) {
+      EXPECT_EQ(serial.latency[static_cast<std::size_t>(m)].count(),
+                got.latency[static_cast<std::size_t>(m)].count())
+          << GetParam() << " metric "
+          << obs::to_string(static_cast<obs::Metric>(m)) << " at " << threads
+          << " threads";
+    }
   }
 
 #if !defined(TEMPEST_TRACE_DISABLED)
@@ -180,8 +199,56 @@ TEST_P(ParallelDeterminism, BitIdenticalAtAnyThreadCount) {
                 static_cast<int>(tr::Counter::CellsUpdated))],
             0)
       << GetParam();
+  // And so must the histogram oracle: every schedule executes tiles.
+  EXPECT_GT(
+      serial.latency[static_cast<std::size_t>(obs::Metric::TileSeconds)]
+          .count(),
+      0u)
+      << GetParam();
 #endif
 }
+
+#if !defined(TEMPEST_TRACE_DISABLED)
+// Full-bucket invariance through the real shard registry: when the recorded
+// *values* are deterministic (not wall-clock), the merged histogram must be
+// equal bucket-for-bucket no matter how the samples were partitioned across
+// worker threads — merge is element-wise addition, so aggregation order
+// cannot show through.
+TEST(ObsHistogramDeterminism, ShardedRecordingIsThreadCountInvariant) {
+  constexpr int kTasks = 64;
+  const auto run = [](int threads) {
+    obs::reset_metrics();
+    obs::set_enabled(true);
+    tu::TaskDag dag(kTasks);
+    for (int i = 1; i < kTasks; ++i) dag.add_edge(i - 1, i);
+    dag.run(threads, [](int node) {
+      // Deterministic per-node durations spanning several octaves.
+      obs::record_ns(obs::Metric::TileSeconds,
+                     static_cast<std::int64_t>(node + 1) * 1000);
+      obs::record_ns(obs::Metric::BandSeconds,
+                     std::int64_t{1} << (node % 30));
+    });
+    const obs::MetricSnapshot snap = obs::snapshot_metrics();
+    obs::set_enabled(false);
+    obs::reset_metrics();
+    return snap;
+  };
+
+  const obs::MetricSnapshot serial = run(1);
+  ASSERT_EQ(
+      serial[static_cast<std::size_t>(obs::Metric::TileSeconds)].count(),
+      static_cast<std::uint64_t>(kTasks));
+  for (const int threads : {2, 8}) {
+    const obs::MetricSnapshot got = run(threads);
+    for (int m = 0; m < obs::kNumMetrics; ++m) {
+      EXPECT_EQ(serial[static_cast<std::size_t>(m)],
+                got[static_cast<std::size_t>(m)])
+          << obs::to_string(static_cast<obs::Metric>(m)) << " at " << threads
+          << " threads";
+    }
+  }
+}
+#endif  // !defined(TEMPEST_TRACE_DISABLED)
 
 namespace {
 

@@ -8,12 +8,18 @@
 #include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 #include "tempest/physics/acoustic.hpp"
 #include "tempest/sparse/survey.hpp"
@@ -461,3 +467,166 @@ TEST_F(TraceTest, MetricsV1RowsAreThreadCountInvariant) {
             std::string::npos);
 }
 #endif  // !defined(TEMPEST_TRACE_DISABLED)
+
+// --- Event tap -------------------------------------------------------------
+//
+// The tap is the wiring between the trace layer and the obs flight
+// recorder: span enter/exit and counter deltas flow through the installed
+// callbacks, whether or not the in-memory trace runtime is enabled.
+
+namespace {
+
+struct TapLog {
+  std::vector<std::string> calls;
+  std::int64_t last_arg = 0;
+  long long counter_total = 0;
+};
+
+/// The tap callbacks cannot capture, so the log lives behind a function
+/// static (reset per test).
+TapLog* tap_log() {
+  static TapLog log;
+  return &log;
+}
+
+TapLog& reset_tap_log() {
+  TapLog* log = tap_log();
+  *log = TapLog{};
+  return *log;
+}
+
+const tr::EventTap kTestTap{
+    nullptr,
+    [](void*, const char* name, const char*, std::int64_t arg, bool has) {
+      TapLog* log = tap_log();
+      log->calls.push_back(std::string("enter:") + name);
+      if (has) log->last_arg = arg;
+    },
+    [](void*, const char* name, std::int64_t, std::int64_t dur_ns) {
+      TapLog* log = tap_log();
+      log->calls.push_back(std::string("exit:") + name);
+      EXPECT_GE(dur_ns, 0);
+    },
+    [](void*, tr::Counter, long long delta) {
+      tap_log()->counter_total += delta;
+    }};
+
+}  // namespace
+
+TEST_F(TraceTest, EventTapSeesSpansAndCountersWhileTraceDisabled) {
+  TapLog& log = reset_tap_log();
+  ASSERT_FALSE(tr::enabled());
+  tr::set_event_tap(&kTestTap);
+  EXPECT_EQ(tr::event_tap(), &kTestTap);
+  {
+    tr::ScopedSpan span("tap.span", "test", 11);
+    tr::count(tr::Counter::CellsUpdated, 7);
+  }
+  tr::set_event_tap(nullptr);
+  EXPECT_EQ(tr::event_tap(), nullptr);
+
+  ASSERT_EQ(log.calls.size(), 2u);
+  EXPECT_EQ(log.calls[0], "enter:tap.span");
+  EXPECT_EQ(log.calls[1], "exit:tap.span");
+  EXPECT_EQ(log.last_arg, 11);
+  EXPECT_EQ(log.counter_total, 7);
+  // With a tap installed, counter totals accumulate even while the trace
+  // runtime is off — the exported totals must be real.
+  EXPECT_EQ(tr::value(tr::Counter::CellsUpdated), 7);
+  // The in-memory event buffer stays untouched (trace was disabled).
+  EXPECT_TRUE(tr::events().empty());
+}
+
+TEST_F(TraceTest, EventTapAndTraceRuntimeComposeWhenBothEnabled) {
+  TapLog& log = reset_tap_log();
+  tr::set_enabled(true);
+  tr::set_event_tap(&kTestTap);
+  {
+    tr::ScopedSpan span("both.span", "test");
+  }
+  tr::set_event_tap(nullptr);
+  EXPECT_EQ(log.calls.size(), 2u);
+  EXPECT_EQ(tr::events().size(), 1u);
+}
+
+TEST_F(TraceTest, UninstalledTapCostsNothingSemantically) {
+  reset_tap_log();
+  ASSERT_EQ(tr::event_tap(), nullptr);
+  ASSERT_FALSE(tr::enabled());
+  tr::count(tr::Counter::CellsUpdated, 99);
+  {
+    tr::ScopedSpan span("no.tap", "test");
+  }
+  EXPECT_EQ(tr::value(tr::Counter::CellsUpdated), 0);
+  EXPECT_TRUE(tap_log()->calls.empty());
+}
+
+// --- Crash flush -----------------------------------------------------------
+//
+// A Session must leave parseable sinks behind even when the process dies
+// abnormally: the fatal-signal hook flushes before the default disposition
+// re-raises. The regression forks a child that SIGABRTs itself inside an
+// armed Session and asserts the parent can load the trace it left behind.
+
+#if (defined(__unix__) || defined(__APPLE__)) && \
+    !defined(TEMPEST_TRACE_DISABLED)
+TEST_F(TraceTest, CrashedSessionLeavesParseableTraceBehind) {
+  const std::string trace_path =
+      ::testing::TempDir() + "trace_crash_out.json";
+  const std::string metrics_path =
+      ::testing::TempDir() + "trace_crash_out.csv";
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: die by SIGABRT mid-span, the way a TEMPEST_REQUIRE failure or
+    // a libc abort would. No explicit flush — the hooks must do it.
+    tr::Session session(trace_path, metrics_path);
+    tr::count(tr::Counter::CellsUpdated, 21);
+    tr::ScopedSpan span("doomed.phase", "test");
+    std::abort();
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  std::ifstream tf(trace_path);
+  ASSERT_TRUE(tf.is_open()) << "crashed session left no trace file";
+  std::string text((std::istreambuf_iterator<char>(tf)),
+                   std::istreambuf_iterator<char>());
+  JsonReader reader(text);
+  EXPECT_TRUE(reader.parse()) << "crash-flushed trace is not valid JSON:\n"
+                              << text.substr(0, 400);
+
+  std::ifstream mf(metrics_path);
+  ASSERT_TRUE(mf.is_open()) << "crashed session left no metrics file";
+  std::string metrics((std::istreambuf_iterator<char>(mf)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(metrics.find("counter,cells_updated,21"), std::string::npos);
+
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST_F(TraceTest, CrashFlushNowIsIdempotentAndDisarmsWithSession) {
+  const std::string trace_path =
+      ::testing::TempDir() + "trace_flushnow_out.json";
+  {
+    tr::Session session(trace_path, "");
+    tr::count(tr::Counter::CellsUpdated, 5);
+    tr::crash_flush_now();  // first call writes...
+    tr::crash_flush_now();  // ...second is a no-op
+    std::ifstream tf(trace_path);
+    ASSERT_TRUE(tf.is_open());
+  }
+  // The destructor saw the sinks already written and must not re-arm:
+  // another flush after the Session is gone writes nothing new.
+  std::remove(trace_path.c_str());
+  tr::crash_flush_now();
+  std::ifstream tf(trace_path);
+  EXPECT_FALSE(tf.is_open());
+}
+#endif  // unix && !TEMPEST_TRACE_DISABLED

@@ -1,0 +1,211 @@
+// Post-mortem decoder for flight-recorder black boxes (.tfbr): the CLI end
+// of tempest::obs::FlightRecorder. Three modes, combinable:
+//
+//   blackbox_dump FILE...                 summary + last events + open spans
+//   blackbox_dump --verify FILE...        integrity check only; exit 0 iff
+//                                         every file passes verify_blackbox()
+//   blackbox_dump --tail=N FILE...        show the last N decoded events
+//   blackbox_dump --chrome=OUT FILE       convert one box to Chrome-trace
+//                                         JSON (load in about://tracing)
+//
+// The tool never writes to the box; a corrupt header is reported and counts
+// as failure, torn slots are reported per the recovery rules (see
+// recorder.hpp) and are only fatal under --verify when they exceed the
+// writer-lane count.
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tempest/obs/recorder.hpp"
+#include "tempest/util/cli.hpp"
+#include "tempest/util/json.hpp"
+
+namespace {
+
+using tempest::obs::BlackboxContents;
+using tempest::obs::BlackboxEvent;
+
+/// One formatted row of the human-readable tail.
+void print_event(const BlackboxEvent& e) {
+  std::printf("  %8llu  %12.6f ms  %-8s  %-28s  tid %2u",
+              static_cast<unsigned long long>(e.seq),
+              static_cast<double>(e.ts_ns) / 1e6,
+              tempest::obs::kind_name(e.kind), e.name.c_str(), e.tid);
+  switch (e.kind) {
+    case tempest::obs::kSpanEnter:
+      if (e.b != 0) std::printf("  arg=%lld", static_cast<long long>(e.a));
+      break;
+    case tempest::obs::kSpanExit:
+      std::printf("  dur=%.6f ms", static_cast<double>(e.a) / 1e6);
+      break;
+    case tempest::obs::kCounterDelta:
+      std::printf("  delta=%lld", static_cast<long long>(e.a));
+      break;
+    case tempest::obs::kHealth:
+      std::printf("  max|u|=%g  step=%lld", std::bit_cast<double>(e.a),
+                  static_cast<long long>(e.b));
+      break;
+    case tempest::obs::kJobState:
+      std::printf("  shot=%lld  level=%lld", static_cast<long long>(e.a),
+                  static_cast<long long>(e.b));
+      break;
+    default:
+      std::printf("  a=%lld  b=%lld", static_cast<long long>(e.a),
+                  static_cast<long long>(e.b));
+      break;
+  }
+  std::printf("\n");
+}
+
+void print_summary(const std::string& path, const BlackboxContents& box,
+                   std::size_t tail) {
+  const std::uint64_t decoded = box.events.size();
+  const std::uint64_t overwritten =
+      box.total_recorded >= decoded + box.torn_slots
+          ? box.total_recorded - decoded - box.torn_slots
+          : 0;
+  std::printf("%s: shot %u, %u lanes x %u slots, %llu recorded "
+              "(%llu decoded, %u torn, %llu overwritten by ring wrap)\n",
+              path.c_str(), box.geom.shot, box.geom.lanes,
+              box.geom.lane_capacity,
+              static_cast<unsigned long long>(box.total_recorded),
+              static_cast<unsigned long long>(decoded), box.torn_slots,
+              static_cast<unsigned long long>(overwritten));
+  const std::size_t n = std::min<std::size_t>(tail, box.events.size());
+  if (n > 0) {
+    std::printf("last %zu event(s):\n", n);
+    for (std::size_t i = box.events.size() - n; i < box.events.size(); ++i) {
+      print_event(box.events[i]);
+    }
+  }
+  if (!box.open_spans.empty()) {
+    std::printf("open at death (outermost first):\n");
+    for (const std::string& s : box.open_spans) {
+      std::printf("  %s\n", s.c_str());
+    }
+  }
+}
+
+/// Chrome-trace JSON: exited spans become complete ("X") events, spans still
+/// open at death become begin ("B") events with no matching end — exactly how
+/// the trace viewer renders a crash. Everything else is an instant event.
+void write_chrome(const std::string& out, const BlackboxContents& box) {
+  std::ofstream os(out);
+  if (!os.good()) {
+    std::cerr << "blackbox_dump: cannot open '" << out << "' for write\n";
+    std::exit(2);
+  }
+  tempest::util::JsonWriter w(os);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const BlackboxEvent& e : box.events) {
+    if (e.kind == tempest::obs::kSpanEnter) continue;  // folded into exits
+    w.begin_object();
+    w.field("name", e.name);
+    w.field("pid", static_cast<long long>(box.geom.shot));
+    w.field("tid", static_cast<long long>(e.tid));
+    if (e.kind == tempest::obs::kSpanExit) {
+      w.field("ph", "X");
+      w.field("ts", static_cast<double>(e.ts_ns - e.a) / 1e3);
+      w.field("dur", static_cast<double>(e.a) / 1e3);
+    } else {
+      w.field("ph", "i");
+      w.field("ts", static_cast<double>(e.ts_ns) / 1e3);
+      w.field("s", "t");
+      w.key("args");
+      w.begin_object();
+      if (e.kind == tempest::obs::kHealth) {
+        w.field("max_abs", std::bit_cast<double>(e.a));
+        w.field("step", static_cast<long long>(e.b));
+      } else {
+        w.field("a", static_cast<long long>(e.a));
+        w.field("b", static_cast<long long>(e.b));
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  // Spans open at the moment of death: begin events the viewer draws as
+  // running off the right edge of the trace.
+  for (const BlackboxEvent& e : box.events) {
+    if (e.kind != tempest::obs::kSpanEnter) continue;
+    bool open = false;
+    for (const std::string& s : box.open_spans) {
+      if (s == e.name) {
+        open = true;
+        break;
+      }
+    }
+    if (!open) continue;
+    w.begin_object();
+    w.field("name", e.name);
+    w.field("ph", "B");
+    w.field("ts", static_cast<double>(e.ts_ns) / 1e3);
+    w.field("pid", static_cast<long long>(box.geom.shot));
+    w.field("tid", static_cast<long long>(e.tid));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os.flush();
+  if (!os.good()) {
+    std::cerr << "blackbox_dump: writing '" << out << "' failed\n";
+    std::exit(2);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tempest::util::Cli cli(argc, argv);
+  const std::vector<std::string>& files = cli.positional();
+  if (files.empty()) {
+    std::cerr << "usage: blackbox_dump [--verify] [--tail=N] [--chrome=OUT] "
+                 "FILE.tfbr...\n";
+    return 2;
+  }
+  const bool verify = cli.get_flag("verify");
+  const auto tail = static_cast<std::size_t>(cli.get_int("tail", 20));
+  const std::string chrome = cli.get("chrome", "");
+  if (!chrome.empty() && files.size() != 1) {
+    std::cerr << "blackbox_dump: --chrome takes exactly one input file\n";
+    return 2;
+  }
+
+  int failures = 0;
+  for (const std::string& path : files) {
+    if (verify) {
+      std::string err;
+      if (tempest::obs::verify_blackbox(path, &err)) {
+        std::printf("%s: OK\n", path.c_str());
+      } else {
+        std::printf("%s: FAIL (%s)\n", path.c_str(), err.c_str());
+        ++failures;
+        continue;
+      }
+      if (chrome.empty() && !cli.has("tail")) continue;
+    }
+    try {
+      const BlackboxContents box = tempest::obs::read_blackbox(path);
+      print_summary(path, box, tail);
+      if (!chrome.empty()) {
+        write_chrome(chrome, box);
+        std::printf("wrote Chrome trace to %s (%zu events)\n", chrome.c_str(),
+                    box.events.size());
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "blackbox_dump: " << e.what() << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
