@@ -20,8 +20,9 @@
 #                box is recycled; finally run a journaled survey and
 #                schema-check its BENCH_survey.json + OpenMetrics file
 #   --tidy       run clang-tidy (bugprone + performance, see .clang-tidy)
-#                over the engine, physics and analysis layers; findings are
-#                errors (blocking CI gate) — returns non-zero on any hit
+#                over the engine, physics, analysis, dsl and codegen
+#                layers; findings are errors (blocking CI gate) — returns
+#                non-zero on any hit
 #   --ubsan      full suite under the standalone UBSan preset
 #                (-fsanitize=undefined,float-cast-overflow, no recovery)
 #   --tsan       the `parallel`-labelled tests under the ThreadSanitizer
@@ -30,9 +31,12 @@
 #                same dependence edges, oversubscribed via
 #                TEMPEST_THREADS=8 so races surface on any host
 #   --analyze    build the schedule-legality verifier and sweep every
-#                physics kernel x schedule x sparse on/off x lowering
-#                stage, printing the diagnostic table; non-zero when any
-#                verdict contradicts the paper's legality theorem
+#                physics kernel — hand-written and DSL-lowered — x
+#                schedule x sparse on/off x lowering stage, printing the
+#                diagnostic table; non-zero when any verdict contradicts
+#                the paper's legality theorem; repeated at space orders
+#                4 and 8 so the DSL lowering's structural summaries are
+#                exercised at more than one radius
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -144,14 +148,16 @@ run_tidy() {
   fi
   echo "==> configure (default, compile-commands export)"
   cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  echo "==> clang-tidy (src/tempest/{core,physics,analysis})"
-  # The schedule-execution engine, the kernels it drives, and the legality
-  # verifier that gates them; .clang-tidy scopes the checks, promotes every
-  # warning to an error (blocking), and pulls the matching headers in via
+  echo "==> clang-tidy (src/tempest/{core,physics,analysis,dsl,codegen})"
+  # The schedule-execution engine, the kernels it drives, the legality
+  # verifier that gates them, and the typed-IR frontend + emitter that now
+  # author kernels; .clang-tidy scopes the checks, promotes every warning
+  # to an error (blocking), and pulls the matching headers in via
   # HeaderFilterRegex.
   clang-tidy -p build \
     src/tempest/core/*.cpp src/tempest/physics/*.cpp \
-    src/tempest/analysis/*.cpp
+    src/tempest/analysis/*.cpp src/tempest/dsl/*.cpp \
+    src/tempest/codegen/*.cpp
   echo "==> tidy passed"
 }
 
@@ -162,6 +168,8 @@ run_analyze() {
   cmake --build --preset default -j "$(nproc)" --target schedule_verifier
   echo "==> schedule-legality sweep (kernels x schedules x sparse x stages)"
   build/tools/schedule_verifier
+  echo "==> schedule-legality sweep at space order 8 (DSL radius coverage)"
+  build/tools/schedule_verifier --so=8
 }
 
 if [ "${1:-}" = "--bench" ]; then

@@ -1,7 +1,6 @@
 #include "tempest/analysis/access.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <sstream>
 
 #include "tempest/util/error.hpp"
@@ -53,171 +52,30 @@ bool Statement::inside_loop(const std::string& dim) const {
 
 namespace {
 
-/// Axis role of one index position of a field.
-enum class Axis { Time, X, Y, Z, Pt };
-
-/// Index signature of the arrays the lowering pipeline emits. Unknown
-/// fields fall back on arity: 4 indices reads as a (t, x, y, z) grid
-/// field, 2 as a (t, point) table.
-struct FieldSig {
-  std::vector<Axis> axes;
-  bool grid = true;
-};
-
-FieldSig signature_for(const std::string& field, std::size_t arity,
-                       const AccessSummary& kernel) {
-  if (field == kernel.field || field == "u") {
-    return {{Axis::Time, Axis::X, Axis::Y, Axis::Z}, true};
-  }
-  if (field == "rec" || field == "src_dcmp") {
-    return {{Axis::Time, Axis::Pt}, false};
-  }
-  if (field == "w_dcmp") return {{Axis::Pt}, false};
-  if (field == "SM" || field == "SID" || field == "RM" || field == "RID") {
-    return {{Axis::X, Axis::Y, Axis::Z}, true};
-  }
-  if (field == "Sp_SID" || field == "Sp_RID") {
-    // Packed per-column tables: affine in (x, y), packed along z.
-    return {{Axis::X, Axis::Y, Axis::Pt}, true};
-  }
-  if (arity == 4) return {{Axis::Time, Axis::X, Axis::Y, Axis::Z}, true};
-  if (arity == 2) return {{Axis::Time, Axis::Pt}, false};
-  return {std::vector<Axis>(arity, Axis::Pt), false};
+/// Convert the typed subscript carried by the IR into the analyzer's
+/// extent form (same taxonomy: affine interval or star).
+Extent extent_of(const dsl::ir::Subscript& s) {
+  if (s.star) return Extent::unknown();
+  return Extent::range(s.lo, s.hi);
 }
 
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-std::string strip(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c != ' ') out.push_back(c);
-  }
-  return out;
-}
-
-/// Split bracket content on top-level commas (nested [..] / (..) ignored).
-std::vector<std::string> split_indices(const std::string& inner) {
-  std::vector<std::string> parts;
-  int depth = 0;
-  std::string cur;
-  for (char c : inner) {
-    if (c == '[' || c == '(') ++depth;
-    if (c == ']' || c == ')') --depth;
-    if (c == ',' && depth == 0) {
-      parts.push_back(cur);
-      cur.clear();
-      continue;
-    }
-    cur.push_back(c);
-  }
-  parts.push_back(cur);
-  return parts;
-}
-
-/// Parse one index expression against the enclosing loop dims: `v` or
-/// `v+k` / `v-k` with `v` an enclosing loop variable is affine with offset
-/// ±k; anything else (coordinate variables like `xs`, nested indirection
-/// like `SID[x,y,z]`) is star.
-Extent classify_index(const std::string& raw,
-                      const std::vector<std::string>& loops) {
-  const std::string e = strip(raw);
-  if (e.empty()) return Extent::unknown();
-  if (e.find('[') != std::string::npos) return Extent::unknown();
-  std::size_t i = 0;
-  while (i < e.size() && ident_char(e[i])) ++i;
-  const std::string var = e.substr(0, i);
-  if (std::find(loops.begin(), loops.end(), var) == loops.end()) {
-    return Extent::unknown();
-  }
-  if (i == e.size()) return Extent::affine(0);
-  if ((e[i] == '+' || e[i] == '-') && i + 1 < e.size()) {
-    const std::string rest = e.substr(i + 1);
-    if (std::all_of(rest.begin(), rest.end(), [](char c) {
-          return std::isdigit(static_cast<unsigned char>(c)) != 0;
-        })) {
-      const int k = std::stoi(rest);
-      return Extent::affine(e[i] == '+' ? k : -k);
-    }
-  }
-  return Extent::unknown();
-}
-
-/// Parse every `field[i0, i1, ...]` occurrence of a statement's pseudocode.
-/// The access left of the (first, top-level) assignment operator is the
-/// write; `+=` makes it a read as well.
-std::vector<Access> parse_accesses(const std::string& text,
-                                   const std::vector<std::string>& loops,
-                                   const AccessSummary& kernel) {
-  // Locate the assignment operator ('+=' or a single '=' that is not part
-  // of '==') outside any bracket.
-  std::size_t assign = std::string::npos;
-  bool accumulate = false;
-  int depth = 0;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    if (c == '[' || c == '(') ++depth;
-    if (c == ']' || c == ')') --depth;
-    if (depth != 0 || c != '=') continue;
-    if (i + 1 < text.size() && text[i + 1] == '=') continue;
-    if (i > 0 && (text[i - 1] == '=' || text[i - 1] == '!' ||
-                  text[i - 1] == '<' || text[i - 1] == '>')) {
-      continue;
-    }
-    assign = i;
-    accumulate = i > 0 && text[i - 1] == '+';
-    break;
-  }
-
+/// Structural extraction: the statement already carries its typed access
+/// list (attached when the lowering pass built it); translate 1:1,
+/// preserving order — dependence discovery order, and therefore the golden
+/// diagnostics, follow the statement's textual access order.
+std::vector<Access> typed_accesses(const dsl::ir::Node& node) {
   std::vector<Access> out;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    if (text[i] != '[') continue;
-    // Identifier immediately before the bracket.
-    std::size_t b = i;
-    while (b > 0 && ident_char(text[b - 1])) --b;
-    if (b == i) continue;
-    const std::string field = text.substr(b, i - b);
-    // Matching close bracket.
-    int d = 0;
-    std::size_t j = i;
-    for (; j < text.size(); ++j) {
-      if (text[j] == '[') ++d;
-      if (text[j] == ']' && --d == 0) break;
-    }
-    if (j == text.size()) continue;
-    const auto indices = split_indices(text.substr(i + 1, j - i - 1));
-    const FieldSig sig = signature_for(field, indices.size(), kernel);
-
+  out.reserve(node.accesses.size());
+  for (const dsl::ir::Access& ia : node.accesses) {
     Access a;
-    a.field = field;
-    a.grid = sig.grid;
-    a.dx = a.dy = a.dz = Extent::affine(0);
-    for (std::size_t k = 0; k < indices.size() && k < sig.axes.size(); ++k) {
-      const Extent ext = classify_index(indices[k], loops);
-      switch (sig.axes[k]) {
-        case Axis::Time:
-          // Time indexing is affine in every nest the pipeline emits.
-          a.time = ext.star ? 0 : ext.lo;
-          break;
-        case Axis::X: a.dx = ext; break;
-        case Axis::Y: a.dy = ext; break;
-        case Axis::Z: a.dz = ext; break;
-        case Axis::Pt: break;  // point axes are never tiled
-      }
-    }
-    const bool lhs = assign != std::string::npos && b < assign;
-    if (lhs) {
-      a.is_write = true;
-      out.push_back(a);
-      if (accumulate) {
-        a.is_write = false;
-        out.push_back(a);  // '+=' also reads the target location
-      }
-    } else {
-      a.is_write = false;
-      out.push_back(a);
-    }
+    a.field = ia.field;
+    a.is_write = ia.is_write;
+    a.time = ia.time;
+    a.grid = ia.grid;
+    a.dx = extent_of(ia.x);
+    a.dy = extent_of(ia.y);
+    a.dz = extent_of(ia.z);
+    out.push_back(std::move(a));
   }
   return out;
 }
@@ -279,9 +137,13 @@ void walk(const dsl::ir::Node& node, std::vector<std::string>& loops,
   s.tag = node.tag;
   s.loops = loops;
   s.under_time_loop = s.inside_loop("t");
-  s.accesses = node.tag == "stencil"
+  // Opaque stencil calls (no typed list attached) expand from the kernel's
+  // declared summary; every other statement carries its accesses
+  // structurally. DSL-lowered stencil statements attach their own exact
+  // footprint and bypass the summary.
+  s.accesses = node.tag == "stencil" && node.accesses.empty()
                    ? stencil_accesses(kernel)
-                   : parse_accesses(node.text, loops, kernel);
+                   : typed_accesses(node);
   s.cls = classify_statement(node.tag, s.accesses);
   out.push_back(std::move(s));
 }

@@ -104,11 +104,13 @@ struct AccessSummary {
   int write_radius = 0;
 };
 
-/// Walk a lowered nest and extract every statement's accesses. Statement
-/// ids follow execution order; the stencil statement is expanded per the
-/// kernel summary, sparse/fused/precompute statements are parsed from
-/// their pseudocode text (indices that are not enclosing loop variables,
-/// such as the `xs, ys, zs` of `map(s, i)`, become star extents).
+/// Walk a lowered nest and extract every statement's accesses — purely
+/// structurally. Statement ids follow execution order; an opaque stencil
+/// statement (no typed access list attached) is expanded per the kernel
+/// summary, every other statement carries its typed `ir::Access` list from
+/// the lowering pass (indirected subscripts such as the `xs, ys, zs` of
+/// `map(s, i)` arrive as star extents). The pseudocode text is never
+/// parsed.
 [[nodiscard]] std::vector<Statement> extract_accesses(
     const dsl::ir::Node& root, const AccessSummary& kernel);
 

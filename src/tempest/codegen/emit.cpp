@@ -93,8 +93,8 @@ static void inject_block(float* restrict un, const float* restrict m,
 )";
 }
 
-void emit_spaceblocked_schedule(std::ostringstream& os,
-                                const core::TileSpec& t) {
+void emit_spaceblocked_schedule(std::ostringstream& os, const core::TileSpec& t,
+                                const std::string& update_call) {
   os << R"(
   for (int tstep = t_begin; tstep < t_end; ++tstep) {
     float* un = slots[(tstep + 1) % 3];
@@ -110,10 +110,8 @@ void emit_spaceblocked_schedule(std::ostringstream& os,
      << t.block_y
      << ") {\n"
         "        const int ye = MIN(yb + "
-     << t.block_y << R"(, ny);
-        update_block(un, uc, up, m, damp, sx, sy, xb, xe, yb, ye, 0, nz,
-                     inv_h2, idt2, i2dt);
-      }
+     << t.block_y << ", ny);\n"
+     << update_call << R"(      }
     }
     if (npts > 0) {
       inject_block(un, m, sx, sy, ny, 0, nx, 0, ny, tstep, cs_offsets,
@@ -124,7 +122,7 @@ void emit_spaceblocked_schedule(std::ostringstream& os,
 }
 
 void emit_wavefront_schedule(std::ostringstream& os, const core::TileSpec& t,
-                             int slope) {
+                             int slope, const std::string& update_call) {
   os << "  const int slope = " << slope << ";\n"
      << "  const int tile_t = " << t.tile_t << ", tile_x = " << t.tile_x
      << ", tile_y = " << t.tile_y << ";\n"
@@ -152,9 +150,8 @@ void emit_wavefront_schedule(std::ostringstream& os, const core::TileSpec& t,
             const int xe = MIN(xb + block_x, xhi);
             for (int yb = ylo; yb < yhi; yb += block_y) {
               const int ye = MIN(yb + block_y, yhi);
-              update_block(un, uc, up, m, damp, sx, sy, xb, xe, yb, ye, 0,
-                           nz, inv_h2, idt2, i2dt);
-            }
+)" << update_call
+     << R"(            }
           }
           if (npts > 0) {
             inject_block(un, m, sx, sy, ny, xlo, xhi, ylo, yhi, tstep,
@@ -193,10 +190,136 @@ std::string emit_acoustic_c(const KernelSpec& spec) {
   float* slots[3] = {u0, u1, u2};
 )";
   if (spec.wavefront) {
-    emit_wavefront_schedule(os, spec.tiles,
-                            stencil::radius_for_order(spec.space_order));
+    emit_wavefront_schedule(
+        os, spec.tiles, stencil::radius_for_order(spec.space_order),
+        "              update_block(un, uc, up, m, damp, sx, sy, xb, xe, yb, "
+        "ye, 0,\n"
+        "                           nz, inv_h2, idt2, i2dt);\n");
   } else {
-    emit_spaceblocked_schedule(os, spec.tiles);
+    emit_spaceblocked_schedule(
+        os, spec.tiles,
+        "        update_block(un, uc, up, m, damp, sx, sy, xb, xe, yb, ye, 0, "
+        "nz,\n"
+        "                     inv_h2, idt2, i2dt);\n");
+  }
+  os << "}\n";
+  return os.str();
+}
+
+namespace {
+
+/// Render a typed update expression as a C float expression. Loads resolve
+/// against the hoisted row pointers (`ucr` = t, `upr` = t-1), params against
+/// `p<i>r`; constants are emitted as float literals of their real_t-rounded
+/// value, so the compiled expression performs exactly the arithmetic the
+/// DslKernel tape performs.
+std::string render_expr(const dsl::ir::Expr& e,
+                        const std::vector<std::string>& params) {
+  using K = dsl::ir::Expr::Kind;
+  switch (e.kind) {
+    case K::Const:
+      return flit(static_cast<double>(static_cast<float>(e.value)));
+    case K::Load: {
+      std::string idx = "z";
+      if (e.dx != 0) idx += " + (" + std::to_string(e.dx) + ")*sx";
+      if (e.dy != 0) idx += " + (" + std::to_string(e.dy) + ")*sy";
+      if (e.dz != 0) idx += " + (" + std::to_string(e.dz) + ")";
+      return (e.dt == 0 ? "ucr[" : "upr[") + idx + "]";
+    }
+    case K::Param: {
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        if (params[i] == e.name) {
+          return "p" + std::to_string(i) + "r[z]";
+        }
+      }
+      TEMPEST_REQUIRE_MSG(false, "unbound parameter in update tree: " +
+                                     e.name);
+      return {};
+    }
+    case K::Binary:
+      return "(" + render_expr(*e.a, params) + " " + e.op + " " +
+             render_expr(*e.b, params) + ")";
+  }
+  TEMPEST_REQUIRE_MSG(false, "malformed update tree");
+  return {};
+}
+
+/// The generic per-block stencil body: same loop skeleton and SIMD contract
+/// as the acoustic template, update expression generated from the tree.
+void emit_dsl_update_block(std::ostringstream& os,
+                           const dsl::LoweredKernel& lowered,
+                           int simd_width) {
+  os << R"(
+static void update_block(float* restrict un, const float* restrict uc,
+                         const float* restrict up,
+                         const float* const* restrict prm, long sx, long sy,
+                         int x0, int x1, int y0, int y1, int z0, int z1) {
+  for (int x = x0; x < x1; ++x) {
+    for (int y = y0; y < y1; ++y) {
+      const long row = (long)x * sx + (long)y * sy;
+      float* restrict unr = un + row;
+      const float* restrict ucr = uc + row;
+      const float* restrict upr = up + row;
+)";
+  for (std::size_t i = 0; i < lowered.params.size(); ++i) {
+    os << "      const float* restrict p" << i << "r = prm[" << i
+       << "] + row;  /* " << lowered.params[i] << " */\n";
+  }
+  if (simd_width > 0) {
+    os << "#pragma omp simd simdlen(" << simd_width << ")\n";
+  } else {
+    os << "#pragma omp simd\n";
+  }
+  os << "      for (int z = z0; z < z1; ++z) {\n"
+     << "        unr[z] = " << render_expr(*lowered.update, lowered.params)
+     << ";\n"
+     << R"(      }
+    }
+  }
+}
+)";
+}
+
+}  // namespace
+
+std::string emit_dsl_c(const dsl::LoweredKernel& lowered,
+                       const KernelSpec& spec) {
+  TEMPEST_REQUIRE(spec.space_order >= 2 && spec.space_order % 2 == 0);
+  TEMPEST_REQUIRE(spec.tiles.valid());
+  TEMPEST_REQUIRE_MSG(spec.space_order == lowered.space_order,
+                      "spec space order must match the lowering");
+  TEMPEST_REQUIRE_MSG(lowered.update != nullptr,
+                      "lowered kernel has no update tree");
+  std::ostringstream os;
+  os << "/* Generated by tempest::codegen — DSL kernel \"" << lowered.name
+     << "\" O(2," << lowered.space_order << "), "
+     << (spec.wavefront ? "wave-front temporally blocked (Listing 6)"
+                        : "space-blocked baseline")
+     << " schedule, fused compressed source injection (Listing 5). */\n"
+     << "#define MIN(a, b) ((a) < (b) ? (a) : (b))\n"
+     << "#define MAX(a, b) ((a) > (b) ? (a) : (b))\n";
+
+  emit_dsl_update_block(os, lowered, spec.simd_width);
+  emit_inject_block(os);
+
+  os << "\nvoid " << spec.symbol()
+     << R"((float* u0, float* u1, float* u2, const float* m,
+            const float* const* prm, int nx, int ny, int nz, long sx,
+            long sy, int t_begin, int t_end, float dt2,
+            const int* cs_offsets, const int* cs_zid, const float* dcmp,
+            int npts) {
+  float* slots[3] = {u0, u1, u2};
+)";
+  const std::string call =
+      "              update_block(un, uc, up, prm, sx, sy, xb, xe, yb, ye, "
+      "0, nz);\n";
+  if (spec.wavefront) {
+    emit_wavefront_schedule(os, spec.tiles, lowered.radius(), call);
+  } else {
+    emit_spaceblocked_schedule(
+        os, spec.tiles,
+        "        update_block(un, uc, up, prm, sx, sy, xb, xe, yb, ye, 0, "
+        "nz);\n");
   }
   os << "}\n";
   return os.str();

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "tempest/core/wavefront.hpp"
+#include "tempest/dsl/lower.hpp"
 
 namespace tempest::codegen {
 
@@ -23,10 +24,15 @@ struct KernelSpec {
   /// plain `omp simd` and lets the compiler pick. A hint, not an ABI
   /// change — every width computes identical results.
   int simd_width = 8;
+  /// Kernel name baked into the emitted symbol. The hand-maintained
+  /// acoustic emitter keeps the historical "acoustic" default; DSL-lowered
+  /// kernels carry their LoweredKernel name so several generated modules
+  /// can coexist in one process.
+  std::string kernel = "acoustic";
 
   /// Emitted entry point name.
   [[nodiscard]] std::string symbol() const {
-    return std::string("tempest_acoustic_") +
+    return "tempest_" + kernel + "_" +
            (wavefront ? "wavefront" : "spaceblocked") + "_so" +
            std::to_string(space_order);
   }
@@ -49,5 +55,28 @@ void SYMBOL(float* u0, float* u1, float* u2,
 
 /// Emit the full C translation unit for `spec`.
 [[nodiscard]] std::string emit_acoustic_c(const KernelSpec& spec);
+
+/// The C signature generated for DSL-lowered kernels. The per-point update
+/// is baked in as a float expression (FD weights and equation constants as
+/// literals, in the exact association the lowering produced, compiled with
+/// -ffp-contract=off), so the only varying inputs are the coefficient grids:
+/// prm[i] is the interior origin of lowered.params[i].
+inline constexpr const char* kDslSignatureDoc = R"(
+void SYMBOL(float* u0, float* u1, float* u2,
+            const float* m, const float* const* prm,
+            int nx, int ny, int nz,
+            long sx, long sy,
+            int t_begin, int t_end, float dt2,
+            const int* cs_offsets, const int* cs_zid,
+            const float* dcmp, int npts);
+)";
+
+/// Emit the full C translation unit for a DSL-lowered kernel: the same
+/// schedule skeletons and fused compressed injection as the acoustic
+/// emitter, with the update body generated from the typed expression tree
+/// instead of the hand-maintained template. `spec.kernel` should be
+/// `lowered.name`; `spec.space_order` must match the lowering.
+[[nodiscard]] std::string emit_dsl_c(const dsl::LoweredKernel& lowered,
+                                     const KernelSpec& spec);
 
 }  // namespace tempest::codegen

@@ -16,6 +16,7 @@
 #include <fstream>
 
 #include "tempest/dsl/interpreter.hpp"
+#include "tempest/dsl/kernel.hpp"
 #include "tempest/util/align.hpp"
 #include "tempest/physics/acoustic.hpp"
 #include "tempest/resilience/fault.hpp"
@@ -252,6 +253,17 @@ analysis::LegalityReport verify_kernel_spec(const KernelSpec& spec) {
                                     /*receivers=*/false, sched);
 }
 
+analysis::LegalityReport verify_dsl_spec(const dsl::LoweredKernel& lowered,
+                                         const KernelSpec& spec) {
+  const analysis::AccessSummary kernel = lowered.summary();
+  const analysis::ScheduleDescriptor sched =
+      spec.wavefront ? analysis::ScheduleDescriptor::wavefront(
+                           kernel.radius, std::max(1, spec.tiles.tile_t))
+                     : analysis::ScheduleDescriptor::space_blocked();
+  return analysis::verify_canonical(kernel, /*stage=*/2, /*sources=*/true,
+                                    /*receivers=*/false, sched);
+}
+
 JitAcoustic::JitAcoustic(const physics::AcousticModel& model, KernelSpec spec)
     : model_(model),
       spec_(spec),
@@ -329,6 +341,82 @@ void JitAcoustic::run(const sparse::SparseTimeSeries& src) {
      u_.slot(0).stride_x(), u_.slot(0).stride_y(), 1, nt, inv_h2, idt2, i2dt,
      dt2, cs.raw_offsets(), reinterpret_cast<const int*>(cs.raw_entries()),
      dcmp.data(), dcmp.npts());
+}
+
+JitDsl::JitDsl(const dsl::Eq& eq, const physics::AcousticModel& model,
+               KernelSpec spec, dsl::ParamBindings bindings)
+    : model_(model),
+      spec_(std::move(spec)),
+      dt_(model.critical_dt()),
+      lowered_(dsl::lower_kernel(eq, spec_.space_order, model.geom.spacing,
+                                 dt_, spec_.kernel)),
+      bindings_(std::move(bindings)),
+      source_(emit_dsl_c(lowered_, spec_)),
+      u_(3, model.geom.extents, model.geom.radius()) {
+  TEMPEST_REQUIRE_MSG(model.geom.space_order == spec_.space_order,
+                      "model space order must match the generated kernel");
+  // Binding errors are caller bugs — surface them before any compile.
+  (void)dsl::resolve_params(lowered_, model_, bindings_);
+  analysis::require_legal(verify_dsl_spec(lowered_, spec_));
+  try {
+    module_.emplace(source_, spec_.symbol());
+  } catch (const util::PreconditionError& e) {
+    util::warn(
+        std::string("JIT compilation failed; falling back to the typed-IR "
+                    "interpreter (orders of magnitude slower, same bits): ") +
+        e.what());
+  }
+}
+
+void JitDsl::run(const sparse::SparseTimeSeries& src) {
+  const int nt = src.nt();
+  TEMPEST_REQUIRE(nt >= 2);
+  u_.fill(real_t{0});
+
+  if (!module_.has_value()) {
+    // Typed-IR fallback: walks the identical update tree in real_t, so the
+    // final wavefield matches the compiled module bit-for-bit.
+    dsl::TypedInterpreter interp(lowered_, model_, dt_, bindings_);
+    u_.at(nt) = interp.run(src, sparse::InterpKind::Trilinear);
+    return;
+  }
+
+  const auto& e = model_.geom.extents;
+  const core::SourceMasks masks =
+      core::build_source_masks(e, src, sparse::InterpKind::Trilinear);
+  const core::DecomposedSource dcmp =
+      core::decompose_sources(masks, src, sparse::InterpKind::Trilinear);
+  const core::CompressedSparse cs(masks.sm, masks.sid);
+
+  const auto grids = dsl::resolve_params(lowered_, model_, bindings_);
+  std::vector<const float*> prm;
+  prm.reserve(grids.size());
+  constexpr auto base_aligned = [](const void* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % util::kAlignment == 0;
+  };
+  for (std::size_t i = 0; i < grids.size(); ++i) {
+    TEMPEST_REQUIRE_MSG(
+        grids[i]->stride_x() == u_.slot(0).stride_x() &&
+            grids[i]->stride_y() == u_.slot(0).stride_y(),
+        "parameter grid '" + lowered_.params[i] +
+            "' does not match the wavefield layout");
+    TEMPEST_REQUIRE_MSG(base_aligned(grids[i]->raw()),
+                        "parameter allocations lost their 64-byte alignment");
+    prm.push_back(grids[i]->origin());
+  }
+  TEMPEST_REQUIRE_MSG(base_aligned(u_.slot(0).raw()) &&
+                          base_aligned(u_.slot(1).raw()) &&
+                          base_aligned(u_.slot(2).raw()) &&
+                          base_aligned(model_.m.raw()),
+                      "field allocations lost their 64-byte alignment");
+
+  auto* fn = module_->as<DslKernelC>();
+  const float dt2 = static_cast<float>(dt_ * dt_);
+  fn(u_.slot(0).origin(), u_.slot(1).origin(), u_.slot(2).origin(),
+     model_.m.origin(), prm.data(), e.nx, e.ny, e.nz, u_.slot(0).stride_x(),
+     u_.slot(0).stride_y(), 1, nt, dt2, cs.raw_offsets(),
+     reinterpret_cast<const int*>(cs.raw_entries()), dcmp.data(),
+     dcmp.npts());
 }
 
 }  // namespace tempest::codegen

@@ -33,6 +33,12 @@ class JitCompileError : public util::TransientError {
 [[nodiscard]] analysis::LegalityReport verify_kernel_spec(
     const KernelSpec& spec);
 
+/// The same gate for a DSL-lowered kernel: verifies the spec's schedule
+/// against the *lowered* access summary (whatever radius / time reads the
+/// equation actually has) instead of the hand-written acoustic one.
+[[nodiscard]] analysis::LegalityReport verify_dsl_spec(
+    const dsl::LoweredKernel& lowered, const KernelSpec& spec);
+
 /// JIT host: compiles a C translation unit with the system C compiler into
 /// a shared object and loads one symbol — the run-time half of the
 /// Devito-style code generation workflow. The temporary artifacts live
@@ -53,9 +59,13 @@ class JitModule {
   /// the compile line (default: optimise + vectorise; -fopenmp-simd honours
   /// the generated `omp simd simdlen` pragmas without pulling in the
   /// OpenMP runtime, so JIT-compiled kernels stay single-threaded objects
-  /// the task-parallel engine can schedule).
+  /// the task-parallel engine can schedule; -ffp-contract=off mirrors the
+  /// engine build — the JIT'd C evaluates the same expression trees as the
+  /// AOT kernels and the DslKernel tape, and bitwise cross-artifact
+  /// comparisons require all three to round identically).
   JitModule(const std::string& c_source, const std::string& symbol_name,
-            const std::string& extra_flags = "-O3 -fopenmp-simd");
+            const std::string& extra_flags =
+                "-O3 -fopenmp-simd -ffp-contract=off");
 
   JitModule(JitModule&& other) noexcept;
   JitModule& operator=(JitModule&& other) noexcept;
@@ -114,6 +124,51 @@ class JitAcoustic {
   const physics::AcousticModel& model_;
   KernelSpec spec_;
   double dt_;
+  std::string source_;
+  std::optional<JitModule> module_;
+  grid::TimeBuffer<real_t> u_;
+};
+
+/// The C ABI every generated DSL kernel implements (see
+/// emit.hpp::kDslSignatureDoc): coefficient grids arrive as an array of
+/// interior origins in lowered.params order.
+using DslKernelC = void(float* u0, float* u1, float* u2, const float* m,
+                        const float* const* prm, int nx, int ny, int nz,
+                        long sx, long sy, int t_begin, int t_end, float dt2,
+                        const int* cs_offsets, const int* cs_zid,
+                        const float* dcmp, int npts);
+
+/// Emit + compile + drive a DSL-lowered kernel — the fully generic half of
+/// the Devito-style workflow: any equation dsl::lower_kernel accepts
+/// becomes a compiled translation unit, legality-checked against its own
+/// access summary before the compiler runs. On toolchain failure run()
+/// degrades to the typed-IR interpreter, which evaluates the identical
+/// expression tree in real_t, so results are bit-identical either way.
+class JitDsl {
+ public:
+  JitDsl(const dsl::Eq& eq, const physics::AcousticModel& model,
+         KernelSpec spec, dsl::ParamBindings bindings = {});
+
+  /// Propagate: zeroes the buffer, runs ops t in [1, nt) with fused
+  /// injection from the decomposed sources.
+  void run(const sparse::SparseTimeSeries& src);
+
+  [[nodiscard]] bool used_interpreter_fallback() const {
+    return !module_.has_value();
+  }
+  [[nodiscard]] const grid::Grid3<real_t>& wavefield(int t) const {
+    return u_.at(t);
+  }
+  [[nodiscard]] double dt() const { return dt_; }
+  [[nodiscard]] const std::string& source_code() const { return source_; }
+  [[nodiscard]] const dsl::LoweredKernel& lowered() const { return lowered_; }
+
+ private:
+  const physics::AcousticModel& model_;
+  KernelSpec spec_;
+  double dt_;
+  dsl::LoweredKernel lowered_;
+  dsl::ParamBindings bindings_;
   std::string source_;
   std::optional<JitModule> module_;
   grid::TimeBuffer<real_t> u_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tempest/dsl/kernel.hpp"
 #include "tempest/grid/time_buffer.hpp"
 #include "tempest/sparse/operators.hpp"
 #include "tempest/stencil/apply.hpp"
@@ -138,6 +139,97 @@ grid::Grid3<real_t> Interpreter::run(const sparse::SparseTimeSeries& src,
     sparse::inject(next, src, t, kind, inj_scale);
   }
   // Return a copy of the final wavefield.
+  return u.at(nt);
+}
+
+namespace {
+
+/// real_t walk of a typed update tree — the same arithmetic the DslKernel
+/// tape performs, expressed recursively.
+real_t eval_typed(const ir::Expr& e, const grid::TimeBuffer<real_t>& u,
+                  const std::vector<const grid::Grid3<real_t>*>& prm,
+                  const std::vector<std::string>& names, int t, int x, int y,
+                  int z, const LoadObserver& observer) {
+  switch (e.kind) {
+    case ir::Expr::Kind::Const:
+      return static_cast<real_t>(e.value);
+    case ir::Expr::Kind::Load: {
+      if (observer) observer(e.name, e.dt, e.dx, e.dy, e.dz);
+      return u.at(t + e.dt)(x + e.dx, y + e.dy, z + e.dz);
+    }
+    case ir::Expr::Kind::Param: {
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == e.name) return (*prm[i])(x, y, z);
+      }
+      TEMPEST_REQUIRE_MSG(false, "unknown parameter: " + e.name);
+      return real_t{0};
+    }
+    case ir::Expr::Kind::Binary: {
+      const real_t l =
+          eval_typed(*e.a, u, prm, names, t, x, y, z, observer);
+      const real_t r =
+          eval_typed(*e.b, u, prm, names, t, x, y, z, observer);
+      switch (e.op) {
+        case '+': return l + r;
+        case '-': return l - r;
+        case '*': return l * r;
+        case '/': return l / r;
+        default: break;
+      }
+      TEMPEST_REQUIRE_MSG(false, "unknown operator in typed update tree");
+      return real_t{0};
+    }
+  }
+  return real_t{0};
+}
+
+}  // namespace
+
+TypedInterpreter::TypedInterpreter(const LoweredKernel& lowered,
+                                   const physics::AcousticModel& model,
+                                   double dt, ParamBindings bindings)
+    : lowered_(lowered),
+      model_(model),
+      dt_(dt),
+      bindings_(std::move(bindings)) {
+  TEMPEST_REQUIRE(dt > 0.0);
+  TEMPEST_REQUIRE_MSG(lowered.update != nullptr,
+                      "typed interpreter needs a lowered update tree");
+}
+
+real_t TypedInterpreter::eval_at(const grid::TimeBuffer<real_t>& u, int t,
+                                 int x, int y, int z,
+                                 const LoadObserver& observer) const {
+  const auto prm = resolve_params(lowered_, model_, bindings_);
+  return eval_typed(*lowered_.update, u, prm, lowered_.params, t, x, y, z,
+                    observer);
+}
+
+grid::Grid3<real_t> TypedInterpreter::run(const sparse::SparseTimeSeries& src,
+                                          sparse::InterpKind kind) const {
+  const auto& e = model_.geom.extents;
+  grid::TimeBuffer<real_t> u(3, e, model_.geom.radius(), real_t{0});
+  const int nt = src.nt();
+  const auto prm = resolve_params(lowered_, model_, bindings_);
+
+  const auto& m_grid = model_.m;
+  const double dt2 = dt_ * dt_;
+  auto inj_scale = [&](int x, int y, int z) {
+    return dt2 / m_grid(x, y, z);
+  };
+
+  for (int t = 1; t < nt; ++t) {
+    auto& next = u.at(t + 1);
+    for (int x = 0; x < e.nx; ++x) {
+      for (int y = 0; y < e.ny; ++y) {
+        for (int z = 0; z < e.nz; ++z) {
+          next(x, y, z) = eval_typed(*lowered_.update, u, prm,
+                                     lowered_.params, t, x, y, z, {});
+        }
+      }
+    }
+    sparse::inject(next, src, t, kind, inj_scale);
+  }
   return u.at(nt);
 }
 

@@ -23,6 +23,48 @@ Node stmt(std::string text, std::string tag) {
   return n;
 }
 
+Node stmt(std::string text, std::string tag, std::vector<Access> accesses,
+          ExprPtr update) {
+  Node n = stmt(std::move(text), std::move(tag));
+  n.accesses = std::move(accesses);
+  n.update = std::move(update);
+  return n;
+}
+
+ExprPtr cnst(double v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Const;
+  e->value = v;
+  return e;
+}
+
+ExprPtr load(std::string field, int dt, int dx, int dy, int dz) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Load;
+  e->name = std::move(field);
+  e->dt = dt;
+  e->dx = dx;
+  e->dy = dy;
+  e->dz = dz;
+  return e;
+}
+
+ExprPtr pref(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Param;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr bin(char op, ExprPtr a, ExprPtr b) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Binary;
+  e->op = op;
+  e->a = std::move(a);
+  e->b = std::move(b);
+  return e;
+}
+
 namespace {
 void render(const Node& n, std::ostringstream& os, int depth) {
   const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');

@@ -1,15 +1,78 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace tempest::dsl::ir {
 
+/// One subscript dimension of a typed array access. Three shapes cover the
+/// listings: an affine offset from the loop index (`x - 2`, radius-style
+/// intervals collapse to lo == hi for point accesses), a bounded interval
+/// (the stencil's `-r..r` halo), and an indirection through `map(s, i)` or a
+/// mask table, whose target is statically unknowable (a `*` extent).
+struct Subscript {
+  bool star = false;  ///< indirect / statically unknowable position
+  int lo = 0;         ///< affine offset interval, inclusive
+  int hi = 0;
+
+  [[nodiscard]] static Subscript affine(int offset) {
+    return Subscript{false, offset, offset};
+  }
+  [[nodiscard]] static Subscript range(int lo, int hi) {
+    return Subscript{false, lo, hi};
+  }
+  [[nodiscard]] static Subscript indirect() { return Subscript{true, 0, 0}; }
+
+  friend bool operator==(const Subscript&, const Subscript&) = default;
+};
+
+/// A typed array access carried by a Stmt: which field, read or write, the
+/// time offset relative to the surrounding `t` loop, and the spatial (or
+/// point-index) subscripts. `grid == false` marks sparse-side arrays (`rec`,
+/// `src_dcmp`, `w_dcmp`) whose subscripts never participate in spatial
+/// dependence distances.
+struct Access {
+  std::string field;
+  bool is_write = false;
+  int time = 0;       ///< offset from the time-loop index (u[t+1] -> +1)
+  Subscript x, y, z;  ///< spatial subscripts (ignored when !grid)
+  bool grid = true;   ///< indexed by grid coordinates (vs point/record index)
+
+  friend bool operator==(const Access&, const Access&) = default;
+};
+
+/// Discretised scalar expression tree attached to stencil statements: the
+/// right-hand side of the field update after FD lowering, evaluated
+/// pointwise in `real_t`. Loads address `field[t + dt, x + dx, y + dy,
+/// z + dz]`; Params are pointwise coefficient grids (`m`, `damp`, ...).
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind { Const, Load, Param, Binary };
+
+  Kind kind = Kind::Const;
+  double value = 0.0;   ///< Const: numeric literal (stored exact in double)
+  std::string name;     ///< Load: field name; Param: coefficient grid name
+  int dt = 0, dx = 0, dy = 0, dz = 0;  ///< Load: offsets
+  char op = '+';        ///< Binary: one of + - * /
+  ExprPtr a, b;         ///< Binary operands
+};
+
+[[nodiscard]] ExprPtr cnst(double v);
+[[nodiscard]] ExprPtr load(std::string field, int dt, int dx, int dy, int dz);
+[[nodiscard]] ExprPtr pref(std::string name);
+[[nodiscard]] ExprPtr bin(char op, ExprPtr a, ExprPtr b);
+
 /// Loop-nest IR the Operator lowers equations into. Deliberately close to
 /// the pseudocode listings of the paper: the transformation passes
 /// (precompute-and-fuse, iteration-space compression, time tiling) are tree
 /// rewrites whose printed form is asserted against Listings 1/4/5/6 shapes
-/// in tests.
+/// in tests. Statements carry *structured* semantics alongside the rendered
+/// pseudocode: a typed Access list (what the statement touches) and, for
+/// stencil updates, the discretised expression tree. `print` renders only
+/// the text, so the typed payload never perturbs the listing goldens.
 struct Node {
   enum class Kind { Loop, Stmt };
 
@@ -25,11 +88,15 @@ struct Node {
   std::string text;  ///< the statement as pseudocode
   std::string tag;   ///< semantic label: "stencil", "inject", "interp",
                      ///< "inject-fused", "interp-fused", "precompute", ...
+  std::vector<Access> accesses;  ///< typed reads/writes, in textual order
+  ExprPtr update;    ///< stencil statements: discretised RHS of the write
 };
 
 [[nodiscard]] Node loop(std::string dim, std::string lo, std::string hi,
                         std::vector<Node> body);
 [[nodiscard]] Node stmt(std::string text, std::string tag);
+[[nodiscard]] Node stmt(std::string text, std::string tag,
+                        std::vector<Access> accesses, ExprPtr update = nullptr);
 
 /// Render the tree as indented pseudocode (the Operator's ccode()).
 [[nodiscard]] std::string print(const Node& root);

@@ -1,0 +1,84 @@
+#pragma once
+
+// Finite-difference lowering of symbolic equations into the typed IR — the
+// generic frontend path that removes the three-way KernelClass bottleneck.
+//
+// `lower_kernel` takes a solved Eq (target = some field's forward reference,
+// rhs = the residual equation, as produced by dsl::solve) and discretises
+// Dt/Dt2/Laplace with stencil::coefficients at the requested space order,
+// producing a LoweredKernel: a pointwise update expression tree
+// (ir::ExprPtr), the typed access footprint of the stencil statement, and
+// the analysis::AccessSummary the legality verifier and engine consume.
+//
+// The lowering is *association-preserving*: the emitted tree reproduces the
+// operand order and grouping of the hand-written physics kernels (Laplacian
+// flux first, then the remaining equation terms in authoring order; factor
+// products folded left-to-right), so evaluating it in real_t — whether by
+// the DslKernel tape, the scalar interpreter's typed path, or the emitted C
+// — is bit-identical to the AOT kernels under the project's value-safe FP
+// flags.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tempest/analysis/access.hpp"
+#include "tempest/config.hpp"
+#include "tempest/dsl/expr.hpp"
+#include "tempest/dsl/ir.hpp"
+#include "tempest/grid/grid3.hpp"
+
+namespace tempest::dsl {
+
+/// Coefficient grids referenced by the equation beyond the model's own
+/// (`m`, `damp`, `vp` resolve against the AcousticModel automatically).
+/// Every bound grid must share the model fields' extents and halo.
+using ParamBindings = std::map<std::string, const grid::Grid3<real_t>*>;
+
+/// A symbolic equation discretised into typed IR: everything downstream
+/// (analysis, engine adapter, codegen, interpreter) consumes this instead of
+/// pattern-matched kernel classes.
+struct LoweredKernel {
+  std::string name = "dsl";    ///< kernel name (display, generated symbols)
+  std::string field = "u";     ///< the wavefield the update writes
+  int space_order = 4;
+  double spacing = 10.0;       ///< grid spacing h
+  double dt = 1.0;             ///< timestep (ms)
+
+  /// Pointwise update: field[t+1, x, y, z] = update, evaluated in real_t.
+  ir::ExprPtr update;
+
+  /// Coefficient grids referenced by the update, in first-use order. The
+  /// runtime adapter binds each name to a Grid3 (model fields or user
+  /// bindings).
+  std::vector<std::string> params;
+
+  /// Typed accesses of the stencil statement: the write at the centre plus
+  /// per-time-slice read hulls derived from the update tree's loads.
+  std::vector<ir::Access> accesses;
+
+  /// Stencil radius: max |spatial offset| over the update's loads.
+  [[nodiscard]] int radius() const;
+
+  /// Summary for the legality verifier / engine (radius, time_reads, ...).
+  [[nodiscard]] analysis::AccessSummary summary() const;
+
+  /// The opaque call rendered into the listings: "A_<name>(t, x, y, z)".
+  [[nodiscard]] std::string stencil_text() const;
+
+  /// The typed stencil statement (text + tag + accesses + update tree).
+  [[nodiscard]] ir::Node stencil_stmt() const;
+};
+
+/// Discretise `eq` (lhs must be a forward field reference; rhs the residual
+/// equation that equals zero) at the given space order / spacing / timestep.
+/// Supports any equation that is linear in the target's forward value with
+/// Dt/Dt2/Laplace derivatives of the target field and pointwise Param
+/// coefficients. Throws util::PreconditionError for shapes outside that
+/// fragment (tensor derivatives, multi-field coupling, division by the
+/// unknown).
+[[nodiscard]] LoweredKernel lower_kernel(const Eq& eq, int space_order,
+                                         double spacing, double dt,
+                                         std::string name = "dsl");
+
+}  // namespace tempest::dsl

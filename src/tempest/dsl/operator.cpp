@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tempest/dsl/kernel.hpp"
 #include "tempest/dsl/passes.hpp"
 #include "tempest/util/error.hpp"
 
@@ -12,6 +13,7 @@ const char* to_string(KernelClass k) {
     case KernelClass::IsoAcoustic: return "isotropic-acoustic";
     case KernelClass::TTI: return "anisotropic-acoustic-tti";
     case KernelClass::Elastic: return "isotropic-elastic";
+    case KernelClass::Generic: return "generic";
   }
   return "?";
 }
@@ -22,11 +24,17 @@ namespace {
 /// of the lowering. Rules:
 ///  * any equation using Div/GradSym derivatives  -> Elastic
 ///  * any equation using the rotated operators    -> TTI (two fields)
-///  * otherwise a Dt2 + Laplace scalar equation   -> IsoAcoustic
+///  * a Dt2 + Laplace scalar equation whose coefficients are the acoustic
+///    model's own (m, damp)                       -> IsoAcoustic (fast path)
+///  * any other scalar equation with a time derivative -> Generic, handled
+///    by the typed-IR frontend (lower_kernel + DslKernel) rather than a
+///    hand-written kernel.
 KernelClass classify(const std::vector<Eq>& updates) {
   TEMPEST_REQUIRE_MSG(!updates.empty(), "Operator needs update equations");
   bool any_rot = false, any_vec = false, any_lap = false, any_dt2 = false;
+  bool any_dt = false;
   std::vector<std::string> fields;
+  bool params_are_acoustic = true;
   for (const Eq& eq : updates) {
     if (contains_deriv(eq.rhs, DerivKind::Div, "") ||
         contains_deriv(eq.rhs, DerivKind::GradSym, "")) {
@@ -38,10 +46,14 @@ KernelClass classify(const std::vector<Eq>& updates) {
     }
     if (contains_deriv(eq.rhs, DerivKind::Laplace, "")) any_lap = true;
     if (contains_deriv(eq.rhs, DerivKind::Dt2, "")) any_dt2 = true;
+    if (contains_deriv(eq.rhs, DerivKind::Dt, "")) any_dt = true;
     for (const std::string& f : referenced_fields(eq.rhs)) {
       if (std::find(fields.begin(), fields.end(), f) == fields.end()) {
         fields.push_back(f);
       }
+    }
+    for (const std::string& p : referenced_params(eq.rhs)) {
+      if (p != "m" && p != "damp") params_are_acoustic = false;
     }
   }
   if (any_vec) {
@@ -55,11 +67,16 @@ KernelClass classify(const std::vector<Eq>& updates) {
     TEMPEST_REQUIRE_MSG(any_dt2, "TTI equations are second order in time");
     return KernelClass::TTI;
   }
-  TEMPEST_REQUIRE_MSG(any_lap && any_dt2,
-                      "unrecognised equation class: expected dt2 + laplace");
   TEMPEST_REQUIRE_MSG(fields.size() == 1,
-                      "isotropic acoustic is a single-field equation");
-  return KernelClass::IsoAcoustic;
+                      "scalar equations update a single wavefield");
+  if (any_lap && any_dt2 && params_are_acoustic) {
+    return KernelClass::IsoAcoustic;
+  }
+  TEMPEST_REQUIRE_MSG(any_dt2 || any_dt,
+                      "unrecognised equation class: no time derivative");
+  TEMPEST_REQUIRE_MSG(updates.size() == 1,
+                      "generic scalar equations lower one update at a time");
+  return KernelClass::Generic;
 }
 
 }  // namespace
@@ -104,6 +121,12 @@ analysis::AccessSummary Operator::access_summary(int space_order) const {
     case KernelClass::TTI: return physics::tti_access_summary(space_order);
     case KernelClass::Elastic:
       return physics::elastic_access_summary(space_order);
+    case KernelClass::Generic:
+      // The structural shape (radius, time slices read) does not depend on
+      // spacing or dt; lower with placeholder values.
+      return lower_kernel(updates_.front(), space_order, /*spacing=*/10.0,
+                          /*dt=*/1.0, "generic")
+          .summary();
   }
   TEMPEST_REQUIRE_MSG(false, "unreachable kernel class");
   return {};
@@ -161,8 +184,9 @@ std::string Operator::ccode() const {
 physics::RunStats Operator::apply(const physics::AcousticModel& model,
                                   const sparse::SparseTimeSeries& src,
                                   sparse::SparseTimeSeries* rec) const {
-  TEMPEST_REQUIRE_MSG(class_ == KernelClass::IsoAcoustic,
-                      "equations are not isotropic acoustic");
+  TEMPEST_REQUIRE_MSG(
+      class_ == KernelClass::IsoAcoustic || class_ == KernelClass::Generic,
+      "equations are not a scalar wavefield update");
   if (schedule_descriptor().time_tiled()) {
     analysis::require_legal(verify_stage(2, model.geom.space_order));
   }
@@ -170,6 +194,11 @@ physics::RunStats Operator::apply(const physics::AcousticModel& model,
   popts.tiles = options_.tiles;
   popts.interp = options_.interp;
   popts.dt = options_.dt;
+  if (class_ == KernelClass::Generic) {
+    DslPropagator prop(updates_.front(), model, popts, options_.bindings,
+                       "generic");
+    return prop.run(options_.schedule, src, rec);
+  }
   physics::AcousticPropagator prop(model, popts);
   return prop.run(options_.schedule, src, rec);
 }

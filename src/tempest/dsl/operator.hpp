@@ -7,6 +7,7 @@
 #include "tempest/analysis/legality.hpp"
 #include "tempest/dsl/expr.hpp"
 #include "tempest/dsl/ir.hpp"
+#include "tempest/dsl/lower.hpp"
 #include "tempest/physics/acoustic.hpp"
 #include "tempest/physics/elastic.hpp"
 #include "tempest/physics/tti.hpp"
@@ -19,7 +20,13 @@ namespace tempest::dsl {
 /// the ahead-of-time-compiled kernels in physics/ — the moral equivalent of
 /// dispatching to the generated code — while the IR pipeline exposes every
 /// intermediate schedule for inspection.
-enum class KernelClass { IsoAcoustic, TTI, Elastic };
+///
+/// The three hand-written classes are *fast paths*: any scalar equation
+/// outside their exact pattern (extra coefficient grids, different damping
+/// model, missing Laplacian, ...) classifies as Generic and runs through the
+/// typed-IR frontend — dsl::lower_kernel discretises it, DslKernel executes
+/// it under every schedule — instead of being rejected.
+enum class KernelClass { IsoAcoustic, TTI, Elastic, Generic };
 
 [[nodiscard]] const char* to_string(KernelClass k);
 
@@ -28,6 +35,9 @@ struct OperatorOptions {
   core::TileSpec tiles{};
   sparse::InterpKind interp = sparse::InterpKind::Trilinear;
   double dt = 0.0;  ///< 0 = model's critical dt
+  /// Coefficient grids for Generic-class equations whose parameter names
+  /// are not the model's own ("m", "damp", "vp" bind automatically).
+  ParamBindings bindings{};
 };
 
 /// The mini-Devito Operator: symbolic equations in, schedules and execution

@@ -6,9 +6,47 @@
 
 namespace tempest::dsl::passes {
 
+using ir::Access;
 using ir::loop;
 using ir::Node;
 using ir::stmt;
+using ir::Subscript;
+
+namespace {
+
+// Typed-access constructors. Every statement the pipeline emits carries its
+// access list structurally (the pseudocode text is display-only); the
+// subscript taxonomy matches the paper's: affine point/interval accesses,
+// mask-guarded accesses pinned to the column, and `map(s, i)`-style
+// indirection whose target is statically unknowable.
+Access on_grid(std::string field, bool is_write, int time, Subscript x,
+               Subscript y, Subscript z) {
+  Access a;
+  a.field = std::move(field);
+  a.is_write = is_write;
+  a.time = time;
+  a.x = x;
+  a.y = y;
+  a.z = z;
+  return a;
+}
+
+Access on_table(std::string field, bool is_write, int time) {
+  Access a;
+  a.field = std::move(field);
+  a.is_write = is_write;
+  a.time = time;
+  a.grid = false;
+  return a;
+}
+
+constexpr bool kW = true;
+constexpr bool kR = false;
+
+const Subscript kC0 = Subscript::affine(0);
+const Subscript kStar = Subscript::indirect();
+
+}  // namespace
 
 ir::Node build_timestepping(const std::string& kernel_stmt, bool has_sources,
                             bool has_receivers) {
@@ -22,14 +60,18 @@ ir::Node build_timestepping(const std::string& kernel_stmt, bool has_sources,
         "s", "1", "len(sources)",
         {loop("i", "1", "np",
               {stmt("xs, ys, zs = map(s, i)", "inject"),
-               stmt("u[t+1, xs, ys, zs] += f(src(t, s))", "inject")})}));
+               stmt("u[t+1, xs, ys, zs] += f(src(t, s))", "inject",
+                    {on_grid("u", kW, 1, kStar, kStar, kStar),
+                     on_grid("u", kR, 1, kStar, kStar, kStar)})})}));
   }
   if (has_receivers) {
     time_body.push_back(loop(
         "r", "1", "len(receivers)",
         {loop("i", "1", "np",
               {stmt("xr, yr, zr = map(r, i)", "interp"),
-               stmt("rec[t, r] += w(r, i) * u[t+1, xr, yr, zr]", "interp")})}));
+               stmt("rec[t, r] += w(r, i) * u[t+1, xr, yr, zr]", "interp",
+                    {on_table("rec", kW, 0), on_table("rec", kR, 0),
+                     on_grid("u", kR, 1, kStar, kStar, kStar)})})}));
   }
   return loop("t", "1", "nt", std::move(time_body));
 }
@@ -51,14 +93,30 @@ void precompute_and_fuse(ir::Node& root) {
     yloop->body.push_back(loop(
         "z2", "1", "nz",
         {stmt("u[t+1, x, y, z2] += SM[x, y, z2] * src_dcmp[t, SID[x, y, z2]]",
-              "inject-fused")}));
+              "inject-fused",
+              {on_grid("u", kW, 1, kC0, kC0, kC0),
+               on_grid("u", kR, 1, kC0, kC0, kC0),
+               on_grid("SM", kR, 0, kC0, kC0, kC0),
+               on_table("src_dcmp", kR, 0),
+               on_grid("SID", kR, 0, kC0, kC0, kC0)})}));
   }
   if (had_receivers) {
+    // The RID table appears inside the write's subscript: the lowering
+    // treats an indirection table read on the left of the assignment as a
+    // (conservative) write as well — the schedule may not reorder it past a
+    // later read of the same table.
     yloop->body.push_back(loop(
         "z3", "1", "nz",
         {stmt("rec[t, RID[x, y, z3]] += RM[x, y, z3] * w_dcmp[RID[x, y, z3]]"
               " * u[t+1, x, y, z3]",
-              "interp-fused")}));
+              "interp-fused",
+              {on_table("rec", kW, 0), on_table("rec", kR, 0),
+               on_grid("RID", kW, 0, kC0, kC0, kC0),
+               on_grid("RID", kR, 0, kC0, kC0, kC0),
+               on_grid("RM", kR, 0, kC0, kC0, kC0),
+               on_table("w_dcmp", kR, 0),
+               on_grid("RID", kR, 0, kC0, kC0, kC0),
+               on_grid("u", kR, 1, kC0, kC0, kC0)})}));
   }
 
   // Precompute prologue (Listings 2 and 3), hoisted before the time loop by
@@ -75,7 +133,10 @@ void precompute_and_fuse(ir::Node& root) {
     seq.body.push_back(
         stmt("decompose wavelets: src_dcmp[t, SID[xs,ys,zs]] += f(src(t, s))"
              " (Listing 3)",
-             "precompute"));
+             "precompute",
+             {on_table("src_dcmp", kW, 0), on_table("src_dcmp", kR, 0),
+              on_grid("SID", kW, 0, kStar, kStar, kStar),
+              on_grid("SID", kR, 0, kStar, kStar, kStar)}));
   }
   if (had_receivers) {
     seq.body.push_back(
@@ -92,19 +153,32 @@ void compress_iteration_space(ir::Node& root) {
   if (Node* z2 = ir::find_loop(root, "z2")) {
     z2->hi = "nnz_mask[x][y]";
     z2->body.clear();
-    z2->body.push_back(stmt("zind = Sp_SID[x, y, z2].z", "inject-fused"));
+    z2->body.push_back(stmt("zind = Sp_SID[x, y, z2].z", "inject-fused",
+                            {on_grid("Sp_SID", kR, 0, kC0, kC0, kC0)}));
+    // The packed column keeps (x, y) grid-aligned; the z target comes from
+    // the table, so the write lands at an unknowable z within the column.
     z2->body.push_back(
         stmt("u[t+1, x, y, zind] += src_dcmp[t, Sp_SID[x, y, z2].id]",
-             "inject-fused"));
+             "inject-fused",
+             {on_grid("u", kW, 1, kC0, kC0, kStar),
+              on_grid("u", kR, 1, kC0, kC0, kStar),
+              on_table("src_dcmp", kR, 0),
+              on_grid("Sp_SID", kR, 0, kC0, kC0, kC0)}));
   }
   if (Node* z3 = ir::find_loop(root, "z3")) {
     z3->hi = "rnnz_mask[x][y]";
     z3->body.clear();
-    z3->body.push_back(stmt("zind = Sp_RID[x, y, z3].z", "interp-fused"));
+    z3->body.push_back(stmt("zind = Sp_RID[x, y, z3].z", "interp-fused",
+                            {on_grid("Sp_RID", kR, 0, kC0, kC0, kC0)}));
     z3->body.push_back(
         stmt("rec[t, Sp_RID[x, y, z3].rec] += Sp_RID[x, y, z3].w"
              " * u[t+1, x, y, zind]",
-             "interp-fused"));
+             "interp-fused",
+             {on_table("rec", kW, 0), on_table("rec", kR, 0),
+              on_grid("Sp_RID", kW, 0, kC0, kC0, kC0),
+              on_grid("Sp_RID", kR, 0, kC0, kC0, kC0),
+              on_grid("Sp_RID", kR, 0, kC0, kC0, kC0),
+              on_grid("u", kR, 1, kC0, kC0, kStar)}));
   }
 }
 

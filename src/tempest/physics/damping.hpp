@@ -1,8 +1,12 @@
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+
 #include "tempest/config.hpp"
 #include "tempest/grid/grid3.hpp"
 #include "tempest/physics/model.hpp"
+#include "tempest/util/error.hpp"
 
 namespace tempest::physics {
 
@@ -17,5 +21,36 @@ namespace tempest::physics {
 [[nodiscard]] grid::Grid3<real_t> make_damping(const Geometry& g,
                                                double vp_ref = 1.5,
                                                double r0 = 0.001);
+
+/// Generalised sponge profile: same geometry and d0 scaling as
+/// make_damping, but with a configurable power-law ramp
+///   d(p) = d0 * ((L - dist(p)) / L)^exponent.
+/// exponent = 2 reproduces make_damping's quadratic profile; higher
+/// exponents concentrate the absorption near the outer faces (gentler at
+/// the interior seam, fewer seam reflections), linear (1) ramps hardest.
+/// Header-only so DSL-authored boundary variants — e.g. a sponge equation
+/// binding this grid as its own damping coefficient — extend the physics
+/// layer without touching its translation units.
+[[nodiscard]] inline grid::Grid3<real_t> make_sponge_profile(
+    const Geometry& g, double vp_ref = 1.5, double r0 = 0.001,
+    int exponent = 2) {
+  TEMPEST_REQUIRE(g.nbl >= 0 && vp_ref > 0.0 && r0 > 0.0 && r0 < 1.0);
+  TEMPEST_REQUIRE(exponent >= 1);
+  grid::Grid3<real_t> sponge(g.extents, g.radius(), real_t{0});
+  if (g.nbl == 0) return sponge;
+
+  const double len = g.nbl * g.spacing;                       // depth (m)
+  const double d0 = 1.5 * vp_ref / len * std::log(1.0 / r0);  // 1/ms
+
+  const auto& e = g.extents;
+  sponge.for_each_interior([&](int x, int y, int z) {
+    const int dist = std::min({x, e.nx - 1 - x, y, e.ny - 1 - y, z,
+                               e.nz - 1 - z});
+    if (dist >= g.nbl) return;
+    const double frac = static_cast<double>(g.nbl - dist) / g.nbl;
+    sponge(x, y, z) = static_cast<real_t>(d0 * std::pow(frac, exponent));
+  });
+  return sponge;
+}
 
 }  // namespace tempest::physics
