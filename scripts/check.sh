@@ -20,9 +20,10 @@
 #                box is recycled; finally run a journaled survey and
 #                schema-check its BENCH_survey.json + OpenMetrics file
 #   --tidy       run clang-tidy (bugprone + performance, see .clang-tidy)
-#                over the engine, physics, analysis, dsl and codegen
-#                layers; findings are errors (blocking CI gate) — returns
-#                non-zero on any hit
+#                over every library layer — engine, physics, analysis
+#                (including the statics passes), dsl, codegen, jobs, obs,
+#                util — plus the CLI tools; findings are errors (blocking
+#                CI gate) — returns non-zero on any hit
 #   --ubsan      full suite under the standalone UBSan preset
 #                (-fsanitize=undefined,float-cast-overflow, no recovery)
 #   --tsan       the `parallel`-labelled tests under the ThreadSanitizer
@@ -30,13 +31,21 @@
 #                task graphs run on the std::thread pool backend with the
 #                same dependence edges, oversubscribed via
 #                TEMPEST_THREADS=8 so races surface on any host
-#   --analyze    build the schedule-legality verifier and sweep every
-#                physics kernel — hand-written and DSL-lowered — x
-#                schedule x sparse on/off x lowering stage, printing the
-#                diagnostic table; non-zero when any verdict contradicts
-#                the paper's legality theorem; repeated at space orders
-#                4 and 8 so the DSL lowering's structural summaries are
-#                exercised at more than one radius
+#   --analyze    build the schedule-legality verifier and the statics
+#                sweep (tools/ir_lint) and run both as blocking gates:
+#                every physics kernel — hand-written and DSL-lowered — x
+#                schedule x sparse on/off x lowering stage through the
+#                legality verifier, then the statics passes (interval
+#                abstract interpretation, von Neumann/CFL proof, IR lint,
+#                tile-interference race proof) over the same kernels and
+#                schedules; both at space orders 4 and 8 so the DSL
+#                lowering's structural summaries are exercised at more
+#                than one radius. Non-zero when any verdict contradicts
+#                the paper's legality theorem, when the statics layer
+#                reports a false positive on a known-good kernel, or when
+#                any of ir_lint's seeded-wrong fixtures (unstable dt,
+#                out-of-halo load, undershot wavefront skew) is NOT
+#                rejected
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -148,28 +157,37 @@ run_tidy() {
   fi
   echo "==> configure (default, compile-commands export)"
   cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  echo "==> clang-tidy (src/tempest/{core,physics,analysis,dsl,codegen})"
-  # The schedule-execution engine, the kernels it drives, the legality
-  # verifier that gates them, and the typed-IR frontend + emitter that now
-  # author kernels; .clang-tidy scopes the checks, promotes every warning
-  # to an error (blocking), and pulls the matching headers in via
-  # HeaderFilterRegex.
+  echo "==> clang-tidy (engine, physics, analysis+statics, dsl, codegen," \
+       "jobs, obs, util, tools)"
+  # Every library layer plus the CLI tools: the schedule-execution engine,
+  # the kernels it drives, the legality verifier and the statics passes
+  # that gate them, the typed-IR frontend + emitter, the survey jobs
+  # runtime, the observability stack and the shared utilities; .clang-tidy
+  # scopes the checks, promotes every warning to an error (blocking), and
+  # pulls the matching headers in via HeaderFilterRegex.
   clang-tidy -p build \
     src/tempest/core/*.cpp src/tempest/physics/*.cpp \
-    src/tempest/analysis/*.cpp src/tempest/dsl/*.cpp \
-    src/tempest/codegen/*.cpp
+    src/tempest/analysis/*.cpp src/tempest/analysis/statics/*.cpp \
+    src/tempest/dsl/*.cpp src/tempest/codegen/*.cpp \
+    src/tempest/jobs/*.cpp src/tempest/obs/*.cpp src/tempest/util/*.cpp \
+    tools/*.cpp
   echo "==> tidy passed"
 }
 
 run_analyze() {
   echo "==> configure (default)"
   cmake --preset default >/dev/null
-  echo "==> build schedule_verifier"
-  cmake --build --preset default -j "$(nproc)" --target schedule_verifier
-  echo "==> schedule-legality sweep (kernels x schedules x sparse x stages)"
-  build/tools/schedule_verifier
-  echo "==> schedule-legality sweep at space order 8 (DSL radius coverage)"
-  build/tools/schedule_verifier --so=8
+  echo "==> build schedule_verifier + ir_lint"
+  cmake --build --preset default -j "$(nproc)" --target schedule_verifier \
+    --target ir_lint
+  echo "==> schedule-legality sweep (kernels x schedules x sparse x stages," \
+       "space orders 4 and 8)"
+  build/tools/schedule_verifier --so=4,8
+  echo "==> statics sweep (intervals + CFL + lint + interference," \
+       "space orders 4 and 8)"
+  build/tools/ir_lint --so=4,8
+  echo "==> statics seeded fixtures (must each be rejected)"
+  build/tools/ir_lint --seeded
 }
 
 if [ "${1:-}" = "--bench" ]; then

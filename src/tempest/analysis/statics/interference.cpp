@@ -1,0 +1,333 @@
+#include "tempest/analysis/statics/interference.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tempest::analysis::statics {
+
+namespace {
+
+/// One concrete footprint box: a circular-buffer slot and an x/y range
+/// (z is never tiled, so it never separates tasks and is omitted).
+struct Box {
+  int slot = 0;
+  int x0 = 0, x1 = 0;  ///< [x0, x1)
+  int y0 = 0, y1 = 0;
+  int t = 0;        ///< substep, for diagnostics
+  bool read = false;
+
+  [[nodiscard]] bool overlaps(const Box& o) const {
+    return slot == o.slot && x0 < o.x1 && o.x0 < x1 && y0 < o.y1 &&
+           o.y0 < y1;
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::ostringstream os;
+    os << (read ? "reads" : "writes") << " slot " << slot << " x[" << x0
+       << "," << x1 << ") y[" << y0 << "," << y1 << ") at substep t=" << t;
+    return os.str();
+  }
+};
+
+/// One task of the probed band with its enumerated footprints. `i`/`j`
+/// are lattice indices for the staircase order; diamond tasks use `i` as
+/// the period index and `diamond_kind` to tell peaks from valleys.
+struct Task {
+  std::string label;
+  int i = 0, j = 0;
+  int diamond_kind = 0;  ///< 0 = lattice tile, 1 = peak, 2 = valley
+  std::vector<Box> writes;
+  std::vector<Box> reads;
+};
+
+struct Geometry {
+  const TileModel& m;
+  int slots;
+
+  explicit Geometry(const TileModel& model) : m(model) {
+    const std::vector<int>& reads =
+        m.time_reads.empty() ? std::vector<int>{0} : m.time_reads;
+    int lo = m.write_dt;
+    int hi = m.write_dt;
+    for (int k : reads) {
+      lo = std::min(lo, k);
+      hi = std::max(hi, k);
+    }
+    slots = hi - lo + 1;
+  }
+
+  [[nodiscard]] int slot(int t) const {
+    return ((t % slots) + slots) % slots;
+  }
+
+  /// Append the substep's boxes for a clamped compute rect: the write at
+  /// slot t+write_dt over the rect, the stencil reads over the rect grown
+  /// by the halo radius, and (with receivers) the fused gather's in-rect
+  /// read of the freshly written slice.
+  void emit(Task& task, int t, int x0, int x1, int y0, int y1) const {
+    if (x0 >= x1 || y0 >= y1) return;
+    task.writes.push_back(
+        {slot(t + m.write_dt), x0, x1, y0, y1, t, false});
+    for (int k : m.time_reads) {
+      task.reads.push_back({slot(t + k), x0 - m.radius, x1 + m.radius,
+                            y0 - m.radius, y1 + m.radius, t, true});
+    }
+    if (m.receivers) {
+      task.reads.push_back({slot(t + m.write_dt), x0, x1, y0, y1, t, true});
+    }
+  }
+};
+
+int clamp_lo(int v) { return std::max(v, 0); }
+
+/// The lattice tasks of one wavefront/fused band (band start tt = 0: the
+/// geometry is translation-invariant in the band start modulo `slots`, so
+/// the first band is representative). Mirrors run_wavefront_tasks.
+std::vector<Task> wavefront_tasks(const Geometry& g, int tile_t) {
+  const TileModel& m = g.m;
+  const int slope = m.schedule.slope;
+  const int ni = std::min(
+      m.max_tiles,
+      (m.nx + slope * (tile_t - 1) + m.tile_x - 1) / m.tile_x);
+  const int nj = std::min(
+      m.max_tiles,
+      (m.ny + slope * (tile_t - 1) + m.tile_y - 1) / m.tile_y);
+  std::vector<Task> tasks;
+  for (int i = 0; i < ni; ++i) {
+    for (int j = 0; j < nj; ++j) {
+      Task task;
+      task.i = i;
+      task.j = j;
+      task.label =
+          "tile(" + std::to_string(i) + "," + std::to_string(j) + ")";
+      for (int t = 0; t < tile_t; ++t) {
+        const int xs = i * m.tile_x - slope * t;
+        const int ys = j * m.tile_y - slope * t;
+        g.emit(task, t, clamp_lo(xs), std::min(xs + m.tile_x, m.nx),
+               clamp_lo(ys), std::min(ys + m.tile_y, m.ny));
+      }
+      tasks.push_back(std::move(task));
+    }
+  }
+  return tasks;
+}
+
+/// The block tasks of one space-blocked substep: every block unordered,
+/// one substep per barrier.
+std::vector<Task> space_blocked_tasks(const Geometry& g) {
+  const TileModel& m = g.m;
+  const int ni = std::min(m.max_tiles, (m.nx + m.tile_x - 1) / m.tile_x);
+  const int nj = std::min(m.max_tiles, (m.ny + m.tile_y - 1) / m.tile_y);
+  std::vector<Task> tasks;
+  for (int i = 0; i < ni; ++i) {
+    for (int j = 0; j < nj; ++j) {
+      Task task;
+      task.i = i;
+      task.j = j;
+      task.label =
+          "block(" + std::to_string(i) + "," + std::to_string(j) + ")";
+      g.emit(task, 0, i * m.tile_x, std::min((i + 1) * m.tile_x, m.nx),
+             j * m.tile_y, std::min((j + 1) * m.tile_y, m.ny));
+      tasks.push_back(std::move(task));
+    }
+  }
+  return tasks;
+}
+
+/// The peak/valley tasks of one diamond band. Mirrors run_diamond_tasks:
+/// width = max(tile_x, 2*slope*height), peak bases at -W + k*W.
+std::vector<Task> diamond_tasks(const Geometry& g, int height) {
+  const TileModel& m = g.m;
+  const int slope = m.schedule.slope;
+  const int w = std::max(m.tile_x, 2 * slope * height);
+  const int total = (m.nx + 3 * w - 1) / w;  // bases -W, 0, W, ... < nx+W
+  const int periods = std::min(total, std::max(3, m.max_tiles));
+  std::vector<Task> tasks;
+  for (int k = 0; k < periods; ++k) {
+    const int base = -w + k * w;
+    Task peak;
+    peak.i = k;
+    peak.diamond_kind = 1;
+    peak.label = "peak(" + std::to_string(k) + ")";
+    for (int t = 0; t < height; ++t) {
+      const int shrink = slope * t;
+      g.emit(peak, t, clamp_lo(base + shrink),
+             std::min(base + w - shrink, m.nx), 0, m.ny);
+    }
+    tasks.push_back(std::move(peak));
+  }
+  for (int k = 0; k < periods; ++k) {
+    const int base = -w + k * w;
+    Task valley;
+    valley.i = k;
+    valley.diamond_kind = 2;
+    valley.label = "valley(" + std::to_string(k) + ")";
+    for (int t = 1; t < height; ++t) {  // zero-width at the band start
+      const int grow = slope * t;
+      g.emit(valley, t, clamp_lo(base + w - grow),
+             std::min(base + w + grow, m.nx), 0, m.ny);
+    }
+    tasks.push_back(std::move(valley));
+  }
+  return tasks;
+}
+
+/// Is there a path a -> b or b -> a in the band DAG?
+bool ordered(const SchedKind kind, const Task& a, const Task& b) {
+  if (kind == SchedKind::Wavefront || kind == SchedKind::Fused) {
+    // Staircase generating set {(i-1,j), (i,j-1)}: reachability is the
+    // componentwise partial order (see core::TileGraph::band_dag).
+    return (a.i <= b.i && a.j <= b.j) || (b.i <= a.i && b.j <= a.j);
+  }
+  if (kind == SchedKind::Diamond) {
+    // Valley k waits for peaks k and k+1; no other edges exist.
+    const Task& peak = a.diamond_kind == 1 ? a : b;
+    const Task& valley = a.diamond_kind == 2 ? a : b;
+    if (peak.diamond_kind != 1 || valley.diamond_kind != 2) return false;
+    return peak.i == valley.i || peak.i == valley.i + 1;
+  }
+  return true;  // Reference: a single serial task
+}
+
+Diagnostic conflict_diag(const ScheduleDescriptor& sched, const Task& a,
+                         const Box& wa, const Task& b, const Box& fb) {
+  Diagnostic d;
+  d.severity = Diagnostic::Severity::Error;
+  d.code = "tile-interference";
+  d.message = sched.str() + ": " + a.label + " and " + b.label +
+              " have no path in the band DAG, but " + a.label + " " +
+              wa.str() + " while " + b.label + " " + fb.str() +
+              " — concurrent tasks touch the same cells";
+  return d;
+}
+
+}  // namespace
+
+TileModel TileModel::from_summary(const AccessSummary& summary,
+                                  const ScheduleDescriptor& sched,
+                                  int tile_x, int tile_y, int nx, int ny,
+                                  bool receivers) {
+  TileModel m;
+  m.schedule = sched;
+  m.tile_x = tile_x;
+  m.tile_y = tile_y;
+  m.nx = nx;
+  m.ny = ny;
+  m.radius = summary.radius;
+  m.write_dt = 1;
+  m.time_reads = summary.time_reads;
+  m.receivers = receivers;
+  return m;
+}
+
+std::string InterferenceReport::str() const {
+  std::ostringstream os;
+  os << "interference[" << schedule.str() << "]: " << tasks << " task(s), "
+     << unordered_pairs << " unordered pair(s), " << conflicts
+     << " conflict(s) -> "
+     << (race_free() ? "race-free" : "INTERFERENCE");
+  for (const Diagnostic& d : diagnostics) os << "\n  " << d.str();
+  return os.str();
+}
+
+InterferenceReport prove_race_free(const TileModel& model) {
+  InterferenceReport report;
+  report.schedule = model.schedule;
+  const Geometry g(model);
+
+  std::vector<Task> tasks;
+  switch (model.schedule.kind) {
+    case SchedKind::Reference:
+      // One serial sweep: nothing runs concurrently.
+      tasks.emplace_back();
+      tasks.back().label = "sweep";
+      break;
+    case SchedKind::SpaceBlocked: tasks = space_blocked_tasks(g); break;
+    case SchedKind::Wavefront:
+      tasks = wavefront_tasks(g, std::max(1, model.schedule.tile_t));
+      break;
+    case SchedKind::Fused: tasks = wavefront_tasks(g, 1); break;
+    case SchedKind::Diamond:
+      tasks = diamond_tasks(g, std::max(1, model.schedule.tile_t));
+      break;
+  }
+  report.tasks = static_cast<int>(tasks.size());
+
+  constexpr int kMaxDiagnostics = 6;
+  for (std::size_t ai = 0; ai < tasks.size(); ++ai) {
+    for (std::size_t bi = ai + 1; bi < tasks.size(); ++bi) {
+      const Task& a = tasks[ai];
+      const Task& b = tasks[bi];
+      if (ordered(model.schedule.kind, a, b)) continue;
+      ++report.unordered_pairs;
+      const auto found = [&](const Task& w, const Box& wb, const Task& o,
+                             const Box& ob) {
+        ++report.conflicts;
+        if (report.conflicts <= kMaxDiagnostics) {
+          report.diagnostics.push_back(
+              conflict_diag(model.schedule, w, wb, o, ob));
+        }
+      };
+      // The proof obligation: writes of either task disjoint from both
+      // the writes and the reads of the other. One diagnostic per
+      // pair/obligation is enough — the first overlap names the pair.
+      const auto scan = [&](const Task& w, const Task& o,
+                            const std::vector<Box>& other) {
+        for (const Box& wb : w.writes) {
+          for (const Box& ob : other) {
+            if (wb.overlaps(ob)) {
+              found(w, wb, o, ob);
+              return;
+            }
+          }
+        }
+      };
+      scan(a, b, b.writes);  // write/write (symmetric, check once)
+      scan(a, b, b.reads);   // a writes what b reads
+      scan(b, a, a.reads);   // b writes what a reads
+    }
+  }
+  if (report.conflicts > kMaxDiagnostics) {
+    Diagnostic d;
+    d.severity = Diagnostic::Severity::Note;
+    d.code = "tile-interference";
+    d.message = "... and " +
+                std::to_string(report.conflicts - kMaxDiagnostics) +
+                " further conflicting pair(s) suppressed";
+    report.diagnostics.push_back(std::move(d));
+  }
+  if (report.race_free()) {
+    Diagnostic d;
+    d.severity = Diagnostic::Severity::Note;
+    d.code = "race-free";
+    d.message = std::to_string(report.tasks) + " task(s), " +
+                std::to_string(report.unordered_pairs) +
+                " unordered pair(s): all write/write and write/read "
+                "footprints disjoint";
+    report.diagnostics.push_back(std::move(d));
+  }
+  return report;
+}
+
+namespace {
+
+std::string interference_message(const InterferenceReport& report) {
+  std::ostringstream os;
+  os << "tile-interference: " << report.conflicts
+     << " unordered tile pair(s) with overlapping footprints under "
+     << report.schedule.str() << "\n"
+     << report.str();
+  return os.str();
+}
+
+}  // namespace
+
+TileInterferenceError::TileInterferenceError(InterferenceReport report)
+    : util::PreconditionError(interference_message(report)),
+      report_(std::move(report)) {}
+
+void require_race_free(const InterferenceReport& report) {
+  if (!report.race_free()) throw TileInterferenceError(report);
+}
+
+}  // namespace tempest::analysis::statics

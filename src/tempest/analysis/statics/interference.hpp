@@ -1,0 +1,107 @@
+#pragma once
+
+// Tile-interference race prover — the third statics pass: PR 7's
+// race-freedom, restated as a static theorem instead of a TSan observation.
+//
+// The task-parallel engine executes each temporal band as a DAG of
+// space-time tiles (core::TileGraph): wavefront/fused bands order tiles by
+// the staircase generating set {(i-1,j), (i,j-1)} whose transitive closure
+// is the componentwise partial order, diamond bands order each valley
+// after its two adjacent peaks, and barrier schedules run every block of a
+// substep unordered. Two tiles with *no path* in that DAG may execute
+// concurrently — so the proof obligation is:
+//
+//   for every unordered tile pair (a, b): the write footprint of `a` is
+//   disjoint from both the write and the read footprint of `b` (and
+//   symmetrically), where footprints are concrete (time-slot, x-range,
+//   y-range) boxes enumerated from the kernel's access descriptors over
+//   the band geometry the executors implement.
+//
+// The model mirrors run_wavefront_tasks / run_diamond_tasks exactly: tile
+// (i, j) of a band computes substeps t in [0, tile_t) over the skewed
+// rect [i*tile_x - slope*t, (i+1)*tile_x - slope*t) x [j*tile_y -
+// slope*t, ...) clamped to the domain; a substep writes its field's
+// circular buffer slot (t+1) mod slots over the rect, reads slots (t+k)
+// mod slots (k in time_reads) over the rect grown by the stencil radius,
+// and — when receivers are gathered — reads the freshly written slot over
+// the rect (the fused_sample staging). The slot arithmetic is what makes
+// the circular TimeBuffer aliasing (slice t and slice t + slots share
+// storage) part of the theorem rather than an unmodelled hazard.
+//
+// The probe lattice is truncated to max_tiles tiles per axis of the first
+// band: the geometry is translation-invariant in both the tile indices
+// and (modulo `slots`) the band start, so a conflict in any band shows up
+// in the probed one. The cross-check against the dynamic evidence (the
+// TSan lane, parallel_determinism_test) is an acceptance criterion of the
+// statics layer: the prover must return race-free exactly where TSan
+// observes no race.
+
+#include <string>
+#include <vector>
+
+#include "tempest/analysis/access.hpp"
+#include "tempest/analysis/legality.hpp"
+#include "tempest/util/error.hpp"
+
+namespace tempest::analysis::statics {
+
+/// Geometry of one task-parallel band, in the units the executors use
+/// (substeps along the time axis; for single-substep kernels a substep is
+/// a timestep). Plain ints so the prover stays below core/ in the layer
+/// graph — the engine fills it from its own TileSpec, the sweep tools
+/// from an AccessSummary.
+struct TileModel {
+  /// Family + skew slope (grid points per substep) + band height
+  /// (substeps). Reference/SpaceBlocked model the barrier schedules: one
+  /// serial sweep / one band of unordered single-substep blocks.
+  ScheduleDescriptor schedule;
+  int tile_x = 64;
+  int tile_y = 64;
+  int nx = 192;  ///< domain extent in x (y mirrors via ny)
+  int ny = 192;
+  int radius = 2;          ///< stencil halo reach (read grow)
+  int write_dt = 1;        ///< written slice offset from the substep index
+  std::vector<int> time_reads{0, -1};  ///< read slice offsets
+  bool receivers = false;  ///< model the fused gather's in-rect read
+  int max_tiles = 3;       ///< probe lattice cap per tiled axis
+
+  /// Build the model for a kernel summary under a schedule descriptor
+  /// (descriptor units: the summary's per-timestep reach).
+  [[nodiscard]] static TileModel from_summary(const AccessSummary& summary,
+                                              const ScheduleDescriptor& sched,
+                                              int tile_x = 64, int tile_y = 64,
+                                              int nx = 192, int ny = 192,
+                                              bool receivers = false);
+};
+
+/// Verdict of the interference proof for one tile model.
+struct InterferenceReport {
+  ScheduleDescriptor schedule;
+  int tasks = 0;                 ///< tasks enumerated in the probed band
+  long long unordered_pairs = 0; ///< pairs with no DAG path (checked)
+  int conflicts = 0;             ///< overlapping footprint pairs found
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] bool race_free() const { return conflicts == 0; }
+  [[nodiscard]] std::string str() const;
+};
+
+/// Enumerate every unordered tile pair of the probed band and check the
+/// write/write and write/read footprint disjointness obligation.
+[[nodiscard]] InterferenceReport prove_race_free(const TileModel& model);
+
+/// Thrown by the engine's pre-run gate when the proof fails; carries the
+/// report with the offending tile pairs named.
+class TileInterferenceError : public util::PreconditionError {
+ public:
+  explicit TileInterferenceError(InterferenceReport report);
+  [[nodiscard]] const InterferenceReport& report() const { return report_; }
+
+ private:
+  InterferenceReport report_;
+};
+
+/// Throw TileInterferenceError unless the report is race-free.
+void require_race_free(const InterferenceReport& report);
+
+}  // namespace tempest::analysis::statics

@@ -1,0 +1,290 @@
+#include "tempest/analysis/statics/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace tempest::analysis::statics {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Endpoint product with the interval-arithmetic convention 0 * inf = 0:
+/// a zero endpoint means the factor is exactly zero there, so the product
+/// endpoint is zero regardless of the other factor's magnitude.
+double end_mul(double a, double b) {
+  if (a == 0.0 || b == 0.0) return 0.0;
+  return a * b;
+}
+
+}  // namespace
+
+Interval::Interval() : lo(-kInf), hi(kInf) {}
+
+Interval::Interval(double lo_in, double hi_in) : lo(lo_in), hi(hi_in) {
+  if (!(lo <= hi)) {  // NaN endpoints collapse to top as well
+    lo = -kInf;
+    hi = kInf;
+  }
+}
+
+bool Interval::bounded() const { return std::isfinite(lo) && std::isfinite(hi); }
+
+bool Interval::is_point() const { return bounded() && lo == hi; }
+
+double Interval::mag() const { return std::max(std::fabs(lo), std::fabs(hi)); }
+
+std::string Interval::str() const {
+  std::ostringstream os;
+  os << "[" << lo << ", " << hi << "]";
+  return os.str();
+}
+
+Interval operator+(const Interval& a, const Interval& b) {
+  // Opposite-infinity endpoints cannot meet: lo endpoints are never +inf
+  // and hi endpoints never -inf by construction.
+  return {a.lo + b.lo, a.hi + b.hi};
+}
+
+Interval operator-(const Interval& a, const Interval& b) {
+  return {a.lo - b.hi, a.hi - b.lo};
+}
+
+Interval operator*(const Interval& a, const Interval& b) {
+  const double c[4] = {end_mul(a.lo, b.lo), end_mul(a.lo, b.hi),
+                       end_mul(a.hi, b.lo), end_mul(a.hi, b.hi)};
+  return {std::min({c[0], c[1], c[2], c[3]}),
+          std::max({c[0], c[1], c[2], c[3]})};
+}
+
+Interval operator/(const Interval& a, const Interval& b) {
+  if (b.contains(0.0)) return Interval::top();
+  if (!b.bounded()) {
+    // A sign-definite divisor reaching infinity: quotients shrink toward
+    // zero but 1/b still spans down to 0, so only magnitude is bounded.
+    const double m = a.mag();
+    if (!std::isfinite(m)) return Interval::top();
+    return {-m, m};
+  }
+  const double c[4] = {a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi};
+  return {std::min({c[0], c[1], c[2], c[3]}),
+          std::max({c[0], c[1], c[2], c[3]})};
+}
+
+Interval hull(const Interval& a, const Interval& b) {
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+BoundEnv conventional_bounds(const std::string& field, double vp_lo,
+                             double vp_hi, double amp) {
+  BoundEnv env;
+  env[field] = Interval{-amp, amp};
+  env["vp"] = Interval{vp_lo, vp_hi};
+  // Slowness-squared m = 1/vp^2, monotone decreasing in vp.
+  env["m"] = Interval{1.0 / (vp_hi * vp_hi), 1.0 / (vp_lo * vp_lo)};
+  // Sponge/damping profiles are non-negative and normalised (see
+  // physics::make_sponge_profile): zero in the interior, peak at the edge.
+  env["damp"] = Interval{0.0, 1.0};
+  env["eta"] = Interval{0.0, 1.0};
+  return env;
+}
+
+bool IntervalReport::clean() const {
+  return std::none_of(diagnostics.begin(), diagnostics.end(),
+                      [](const Diagnostic& d) {
+                        return d.severity == Diagnostic::Severity::Error;
+                      });
+}
+
+std::string IntervalReport::str() const {
+  std::ostringstream os;
+  os << "intervals: update in " << value.str() << ", " << foldable_subtrees
+     << " foldable subtree(s) (" << foldable_ops << " ops), "
+     << unbounded_inputs << " unbounded input(s)";
+  for (const Diagnostic& d : diagnostics) os << "\n  " << d.str();
+  return os.str();
+}
+
+namespace {
+
+void append_offset(std::ostringstream& os, char dim, int off, bool* any) {
+  if (off == 0) return;
+  os << (*any ? "," : "[") << dim << (off > 0 ? "+" : "") << off;
+  *any = true;
+}
+
+std::string const_str(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string expr_str(const dsl::ir::Expr& e) {
+  using Kind = dsl::ir::Expr::Kind;
+  switch (e.kind) {
+    case Kind::Const: return const_str(e.value);
+    case Kind::Param: return e.name;
+    case Kind::Load: {
+      std::ostringstream os;
+      os << e.name << "[t";
+      if (e.dt != 0) os << (e.dt > 0 ? "+" : "") << e.dt;
+      os << "]";
+      bool any = false;
+      append_offset(os, 'x', e.dx, &any);
+      append_offset(os, 'y', e.dy, &any);
+      append_offset(os, 'z', e.dz, &any);
+      if (any) os << "]";
+      return os.str();
+    }
+    case Kind::Binary: {
+      std::ostringstream os;
+      os << "(" << expr_str(*e.a) << " " << e.op << " " << expr_str(*e.b)
+         << ")";
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+/// Shared walk state for interpret(): diagnostics are appended in the
+/// evaluation order of the tree (left-to-right postorder), so goldens are
+/// deterministic.
+struct Walk {
+  const BoundEnv& env;
+  IntervalReport& report;
+  std::vector<std::string> unknown;  ///< names already reported as unbounded
+
+  Diagnostic note(std::string code, std::string message) {
+    Diagnostic d;
+    d.severity = Diagnostic::Severity::Note;
+    d.code = std::move(code);
+    d.message = std::move(message);
+    return d;
+  }
+
+  Diagnostic error(std::string code, std::string message) {
+    Diagnostic d;
+    d.severity = Diagnostic::Severity::Error;
+    d.code = std::move(code);
+    d.message = std::move(message);
+    return d;
+  }
+
+  Interval lookup(const dsl::ir::Expr& e, const char* what) {
+    const auto it = env.find(e.name);
+    if (it != env.end()) return it->second;
+    if (std::find(unknown.begin(), unknown.end(), e.name) == unknown.end()) {
+      unknown.push_back(e.name);
+      ++report.unbounded_inputs;
+      report.diagnostics.push_back(note(
+          "unbounded-input", std::string(what) + " '" + e.name +
+                                 "' has no declared bound; assuming "
+                                 "[-inf, +inf]"));
+    }
+    return Interval::top();
+  }
+
+  /// Returns the interval and whether the subtree is a compile-time
+  /// constant. Maximal constant subtrees with at least one operation are
+  /// reported as folding lint by the *parent* (or by interpret() for the
+  /// root), so nested constants are counted once.
+  struct Val {
+    Interval iv;
+    bool is_const = false;
+    int ops = 0;  ///< binary ops in the subtree (for fold statistics)
+  };
+
+  void report_fold(const dsl::ir::Expr& e, const Val& v) {
+    if (!v.is_const || v.ops == 0) return;
+    ++report.foldable_subtrees;
+    report.foldable_ops += v.ops;
+    report.diagnostics.push_back(
+        note("const-foldable",
+             "subexpression " + expr_str(e) + " always evaluates to " +
+                 const_str(v.iv.lo) + " (" + std::to_string(v.ops) +
+                 " op(s) re-evaluated per grid point)"));
+  }
+
+  Val visit(const dsl::ir::Expr& e) {
+    using Kind = dsl::ir::Expr::Kind;
+    switch (e.kind) {
+      case Kind::Const: return {Interval::point(e.value), true, 0};
+      case Kind::Load: return {lookup(e, "field"), false, 0};
+      case Kind::Param: return {lookup(e, "param"), false, 0};
+      case Kind::Binary: break;
+    }
+    const Val a = visit(*e.a);
+    const Val b = visit(*e.b);
+    Val out;
+    out.ops = a.ops + b.ops + 1;
+    out.is_const = a.is_const && b.is_const;
+    switch (e.op) {
+      case '+': out.iv = a.iv + b.iv; break;
+      case '-': out.iv = a.iv - b.iv; break;
+      case '*': out.iv = a.iv * b.iv; break;
+      case '/':
+        if (b.iv.contains(0.0)) {
+          report.diagnostics.push_back(error(
+              "possible-div-by-zero",
+              "divisor " + expr_str(*e.b) + " spans " + b.iv.str() +
+                  ", which contains zero; the quotient cannot be bounded"));
+          out.is_const = false;
+        }
+        out.iv = a.iv / b.iv;
+        break;
+      default: out.iv = Interval::top(); break;
+    }
+    // A constant child under a non-constant parent is a maximal foldable
+    // subtree; report it here so it is counted exactly once.
+    if (!out.is_const) {
+      if (a.is_const) report_fold(*e.a, a);
+      if (b.is_const) report_fold(*e.b, b);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+Interval eval(const dsl::ir::Expr& e, const BoundEnv& env) {
+  IntervalReport scratch;
+  Walk w{env, scratch, {}};
+  return w.visit(e).iv;
+}
+
+IntervalReport interpret(const dsl::LoweredKernel& kernel,
+                         const BoundEnv& env) {
+  IntervalReport report;
+  if (!kernel.update) {
+    Walk w{env, report, {}};
+    report.diagnostics.push_back(
+        w.error("empty-update", "lowered kernel '" + kernel.name +
+                                    "' carries no update expression"));
+    return report;
+  }
+  Walk w{env, report, {}};
+  const Walk::Val root = w.visit(*kernel.update);
+  w.report_fold(*kernel.update, root);
+  report.value = root.iv;
+  const bool divergent = !report.clean();
+  if (!root.iv.bounded() && !divergent && report.unbounded_inputs == 0) {
+    report.diagnostics.push_back(w.error(
+        "unbounded-update",
+        "update interval " + root.iv.str() +
+            " has no finite bound although every input is bounded"));
+  } else if (!root.iv.bounded() && !divergent) {
+    report.diagnostics.push_back(w.error(
+        "unbounded-update",
+        "update interval " + root.iv.str() +
+            " is unbounded (driven by the undeclared input bounds above)"));
+  }
+  return report;
+}
+
+}  // namespace tempest::analysis::statics

@@ -1,0 +1,109 @@
+#pragma once
+
+// Interval abstract interpretation over the typed expression tree — the
+// first of the three statics passes (see verify.hpp for the facade).
+//
+// The abstract domain is the lattice of closed real intervals with ±inf
+// endpoints: bottom is never needed (every expression evaluates), top is
+// [-inf, +inf]. Bounds enter through a BoundEnv mapping field/param names
+// to declared intervals — velocity models are positive, sponge profiles
+// live in [0, 1], wavefields are seeded from the source amplitude — and
+// propagate through the lowered update tree with standard interval
+// arithmetic. The transfer functions are sound over-approximations: the
+// concrete value of every subexpression lies inside its abstract interval
+// for any grid contents within the declared bounds, so the two hazard
+// verdicts are conservative:
+//
+//  * "possible-div-by-zero" — a divisor interval containing zero. The
+//    lowered update divides by the forward-coefficient chain (m * 1/dt^2
+//    + damp * 1/2dt for the acoustic family), so this catches a bound
+//    grid that can vanish before the NaN health monitor ever runs.
+//  * "unbounded-update" — the update's interval has an infinite endpoint:
+//    no static bound on growth exists (division blowup or an unbounded
+//    input), the failure mode the runtime health monitor detects only
+//    after the field has already diverged.
+//
+// Interval-level constant folding is reported as lint: a maximal subtree
+// whose interval collapses to a point independent of every grid value is
+// work the kernel re-evaluates at every grid point for a value known at
+// lowering time.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tempest/analysis/legality.hpp"
+#include "tempest/dsl/ir.hpp"
+#include "tempest/dsl/lower.hpp"
+
+namespace tempest::analysis::statics {
+
+/// A closed interval over the extended reals. Default-constructed is top
+/// ([-inf, +inf]); point intervals carry exact constants through the
+/// abstract evaluation so constant folding falls out of the same walk.
+struct Interval {
+  double lo;
+  double hi;
+
+  Interval();  ///< top
+  Interval(double lo, double hi);
+
+  [[nodiscard]] static Interval point(double v) { return {v, v}; }
+  [[nodiscard]] static Interval top() { return {}; }
+
+  [[nodiscard]] bool bounded() const;
+  [[nodiscard]] bool is_point() const;
+  [[nodiscard]] bool contains(double v) const { return lo <= v && v <= hi; }
+  /// Largest magnitude over the interval (inf when unbounded).
+  [[nodiscard]] double mag() const;
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+[[nodiscard]] Interval operator+(const Interval& a, const Interval& b);
+[[nodiscard]] Interval operator-(const Interval& a, const Interval& b);
+[[nodiscard]] Interval operator*(const Interval& a, const Interval& b);
+/// Division returns top when b contains zero (the caller diagnoses).
+[[nodiscard]] Interval operator/(const Interval& a, const Interval& b);
+/// Smallest interval containing both (lattice join).
+[[nodiscard]] Interval hull(const Interval& a, const Interval& b);
+
+/// Declared value bounds, keyed by field or coefficient-grid name. Names
+/// absent from the environment evaluate to top (and are reported).
+using BoundEnv = std::map<std::string, Interval>;
+
+/// The conventional seismic bounds the sweep tools use when no concrete
+/// model is in scope: vp in [vp_lo, vp_hi] km/s (Marmousi-like water to
+/// basement), m = 1/vp^2, damp/eta sponge coefficients in [0, 1], and the
+/// wavefield `field` seeded from the source amplitude [-amp, amp].
+[[nodiscard]] BoundEnv conventional_bounds(const std::string& field = "u",
+                                           double vp_lo = 1.5,
+                                           double vp_hi = 4.5,
+                                           double amp = 1.0);
+
+/// Verdict of the abstract interpretation of one lowered update tree.
+struct IntervalReport {
+  Interval value;  ///< interval of the full update expression
+  std::vector<Diagnostic> diagnostics;
+  int foldable_subtrees = 0;  ///< maximal constant subtrees with >= 1 op
+  int foldable_ops = 0;       ///< binary ops inside those subtrees
+  int unbounded_inputs = 0;   ///< loads/params with no declared bound
+
+  [[nodiscard]] bool clean() const;  ///< no Error-severity diagnostics
+  [[nodiscard]] std::string str() const;
+};
+
+/// Render a subexpression compactly for diagnostics ("(m * 0.01)",
+/// "u[t-1][x+2]").
+[[nodiscard]] std::string expr_str(const dsl::ir::Expr& e);
+
+/// Evaluate one expression tree in the interval domain (no diagnostics).
+[[nodiscard]] Interval eval(const dsl::ir::Expr& e, const BoundEnv& env);
+
+/// Abstractly interpret a lowered kernel's update tree under the declared
+/// bounds, collecting hazard diagnostics and constant-folding lint.
+[[nodiscard]] IntervalReport interpret(const dsl::LoweredKernel& kernel,
+                                       const BoundEnv& env);
+
+}  // namespace tempest::analysis::statics

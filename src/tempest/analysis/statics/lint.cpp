@@ -1,0 +1,234 @@
+#include "tempest/analysis/statics/lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "tempest/analysis/statics/interval.hpp"
+
+namespace tempest::analysis::statics {
+
+namespace {
+
+using dsl::ir::Expr;
+
+Diagnostic make(Diagnostic::Severity sev, std::string code,
+                std::string message) {
+  Diagnostic d;
+  d.severity = sev;
+  d.code = std::move(code);
+  d.message = std::move(message);
+  return d;
+}
+
+bool is_zero_const(const Expr& e) {
+  return e.kind == Expr::Kind::Const && e.value == 0.0;
+}
+
+struct Linter {
+  const dsl::LoweredKernel& k;
+  const LintOptions& opts;
+  LintReport& report;
+  int radius;
+  std::map<std::string, int> shapes;  ///< canonical text -> occurrences
+  std::map<std::string, int> shape_ops;
+  std::vector<std::string> seen_params;
+  std::vector<int> seen_missing_slices;
+
+  void error(std::string code, std::string message) {
+    report.diagnostics.push_back(
+        make(Diagnostic::Severity::Error, std::move(code),
+             std::move(message)));
+  }
+  void note(std::string code, std::string message) {
+    report.diagnostics.push_back(
+        make(Diagnostic::Severity::Note, std::move(code),
+             std::move(message)));
+  }
+
+  /// The declared read hull for a time slice, or nullptr.
+  [[nodiscard]] const dsl::ir::Access* declared(int dt) const {
+    for (const dsl::ir::Access& a : k.accesses) {
+      if (!a.is_write && a.time == dt) return &a;
+    }
+    return nullptr;
+  }
+
+  void check_load(const Expr& e) {
+    const int reach = std::max({std::abs(e.dx), std::abs(e.dy),
+                                std::abs(e.dz)});
+    if (reach > radius) {
+      error("out-of-halo-read",
+            "load " + expr_str(e) + " reaches " + std::to_string(reach) +
+                " grid points but the declared halo radius is " +
+                std::to_string(radius) +
+                ": executing it reads unallocated halo memory");
+    }
+    if (e.name != k.field) return;  // coefficient fields have no halo hull
+    const dsl::ir::Access* a = declared(e.dt);
+    if (a == nullptr) {
+      if (std::find(seen_missing_slices.begin(), seen_missing_slices.end(),
+                    e.dt) == seen_missing_slices.end()) {
+        seen_missing_slices.push_back(e.dt);
+        error("footprint-mismatch",
+              "load " + expr_str(e) + " reads time slice t" +
+                  (e.dt >= 0 ? "+" : "") + std::to_string(e.dt) +
+                  " which the kernel's declared accesses do not mention; "
+                  "the legality proof covers a different footprint than "
+                  "the one that executes");
+      }
+      return;
+    }
+    const bool inside = a->x.lo <= e.dx && e.dx <= a->x.hi &&
+                        a->y.lo <= e.dy && e.dy <= a->y.hi &&
+                        a->z.lo <= e.dz && e.dz <= a->z.hi;
+    if (!inside) {
+      error("footprint-mismatch",
+            "load " + expr_str(e) + " lies outside the declared hull "
+                "x[" + std::to_string(a->x.lo) + "," +
+                std::to_string(a->x.hi) + "] y[" + std::to_string(a->y.lo) +
+                "," + std::to_string(a->y.hi) + "] z[" +
+                std::to_string(a->z.lo) + "," + std::to_string(a->z.hi) +
+                "] for its time slice");
+    }
+  }
+
+  void check_param(const Expr& e) {
+    if (opts.resolvable.empty()) return;
+    if (std::find(seen_params.begin(), seen_params.end(), e.name) !=
+        seen_params.end()) {
+      return;
+    }
+    seen_params.push_back(e.name);
+    if (std::find(opts.resolvable.begin(), opts.resolvable.end(), e.name) ==
+        opts.resolvable.end()) {
+      std::string have;
+      for (const std::string& r : opts.resolvable) {
+        have += (have.empty() ? "" : ", ") + r;
+      }
+      error("unbound-param",
+            "coefficient grid '" + e.name +
+                "' has no binding; resolvable names are {" + have + "}");
+    }
+  }
+
+  void check_dead(const Expr& e) {
+    if (e.op == '*' && (is_zero_const(*e.a) || is_zero_const(*e.b))) {
+      const Expr& live = is_zero_const(*e.a) ? *e.b : *e.a;
+      note("dead-subexpression",
+           "product " + expr_str(e) + " is always zero; " + expr_str(live) +
+               " is evaluated at every grid point for nothing");
+    } else if ((e.op == '+' || e.op == '-') && is_zero_const(*e.b)) {
+      note("dead-subexpression",
+           expr_str(e) + " adds a constant zero term");
+    } else if (e.op == '+' && is_zero_const(*e.a)) {
+      note("dead-subexpression",
+           expr_str(e) + " adds a constant zero term");
+    }
+  }
+
+  /// Postorder walk; returns the subtree's op count and registers its
+  /// canonical shape for the duplicate statistics.
+  int visit(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::Const: return 0;
+      case Expr::Kind::Param: check_param(e); return 0;
+      case Expr::Kind::Load: check_load(e); return 0;
+      case Expr::Kind::Binary: break;
+    }
+    const int ops = visit(*e.a) + visit(*e.b) + 1;
+    check_dead(e);
+    const std::string shape = expr_str(e);
+    shapes[shape] += 1;
+    shape_ops[shape] = ops;
+    return ops;
+  }
+
+  void finish() {
+    // Count only *maximal* duplicated subtrees: a repeated tree repeats
+    // all of its subtrees too, and reporting those would double-count the
+    // same redundant work.
+    for (const auto& [shape, count] : shapes) {
+      if (count < 2) continue;
+      bool nested = false;
+      for (const auto& [other, ocount] : shapes) {
+        if (ocount >= 2 && other.size() > shape.size() &&
+            other.find(shape) != std::string::npos) {
+          nested = true;
+          break;
+        }
+      }
+      if (nested) continue;
+      ++report.duplicate_subtrees;
+      report.duplicate_ops += (count - 1) * shape_ops[shape];
+    }
+    if (report.duplicate_subtrees > 0) {
+      note("cse-opportunity",
+           std::to_string(report.duplicate_subtrees) +
+               " duplicated subtree shape(s), " +
+               std::to_string(report.duplicate_ops) +
+               " redundant op(s) per grid point a CSE pass could hoist");
+    }
+  }
+};
+
+}  // namespace
+
+bool LintReport::clean() const {
+  return std::none_of(diagnostics.begin(), diagnostics.end(),
+                      [](const Diagnostic& d) {
+                        return d.severity == Diagnostic::Severity::Error;
+                      });
+}
+
+std::string LintReport::str() const {
+  std::ostringstream os;
+  os << "lint: " << diagnostics.size() << " finding(s), "
+     << duplicate_subtrees << " duplicated subtree shape(s) ("
+     << duplicate_ops << " redundant op(s))";
+  for (const Diagnostic& d : diagnostics) os << "\n  " << d.str();
+  return os.str();
+}
+
+LintReport lint_kernel(const dsl::LoweredKernel& kernel,
+                       const LintOptions& options) {
+  LintReport report;
+  const int radius =
+      options.declared_radius >= 0 ? options.declared_radius
+                                   : kernel.radius();
+  Linter lint{kernel, options, report, radius, {}, {}, {}, {}};
+  if (!kernel.update) {
+    lint.error("empty-update", "lowered kernel '" + kernel.name +
+                                   "' carries no update expression");
+    return report;
+  }
+  lint.visit(*kernel.update);
+  // Declared read hulls no load touches: the proof obligations cover more
+  // than the kernel executes — harmless for soundness, but dead weight
+  // that usually indicates a lowering bug.
+  for (const dsl::ir::Access& a : kernel.accesses) {
+    if (a.is_write) continue;
+    bool touched = false;
+    struct Probe {
+      static bool touches(const Expr& e, const std::string& field, int dt) {
+        if (e.kind == Expr::Kind::Load && e.name == field && e.dt == dt) {
+          return true;
+        }
+        return (e.a && touches(*e.a, field, dt)) ||
+               (e.b && touches(*e.b, field, dt));
+      }
+    };
+    touched = Probe::touches(*kernel.update, kernel.field, a.time);
+    if (!touched) {
+      lint.note("dead-access",
+                "declared read of time slice t" +
+                    std::string(a.time >= 0 ? "+" : "") +
+                    std::to_string(a.time) +
+                    " is never loaded by the update tree");
+    }
+  }
+  lint.finish();
+  return report;
+}
+
+}  // namespace tempest::analysis::statics

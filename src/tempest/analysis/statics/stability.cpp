@@ -1,0 +1,116 @@
+#include "tempest/analysis/statics/stability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "tempest/stencil/coefficients.hpp"
+
+namespace tempest::analysis::statics {
+
+namespace {
+
+Diagnostic make(Diagnostic::Severity sev, std::string code,
+                std::string message) {
+  Diagnostic d;
+  d.severity = sev;
+  d.code = std::move(code);
+  d.message = std::move(message);
+  return d;
+}
+
+std::string num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+void judge(StabilityVerdict& v, const std::string& family) {
+  if (v.dt > v.bound) {
+    v.diagnostics.push_back(make(
+        Diagnostic::Severity::Error, "unstable-dt",
+        family + " dt=" + num(v.dt) + " ms exceeds the von Neumann bound " +
+            num(v.bound) + " ms (h=" + num(v.spacing) + ", vp_max=" +
+            num(v.vp_max) + ", space order " +
+            std::to_string(v.space_order) +
+            "): the update amplifies every step and diverges"));
+  } else {
+    v.diagnostics.push_back(make(
+        Diagnostic::Severity::Note, "cfl-headroom",
+        family + " dt=" + num(v.dt) + " ms is " + num(v.dt / v.bound) +
+            " of the von Neumann bound " + num(v.bound) + " ms"));
+  }
+}
+
+}  // namespace
+
+bool StabilityVerdict::stable() const {
+  return std::none_of(diagnostics.begin(), diagnostics.end(),
+                      [](const Diagnostic& d) {
+                        return d.severity == Diagnostic::Severity::Error;
+                      });
+}
+
+std::string StabilityVerdict::str() const {
+  std::ostringstream os;
+  os << "stability: dt=" << dt << " bound=" << bound << " (vp_max=" << vp_max
+     << ", h=" << spacing << ", so=" << space_order << ")";
+  for (const Diagnostic& d : diagnostics) os << "\n  " << d.str();
+  return os.str();
+}
+
+StabilityVerdict check_acoustic_stability(double dt, double spacing,
+                                          int space_order,
+                                          const Interval& vp) {
+  StabilityVerdict v;
+  v.dt = dt;
+  v.spacing = spacing;
+  v.space_order = space_order;
+  if (dt <= 0.0 || spacing <= 0.0 || space_order < 2 ||
+      space_order % 2 != 0) {
+    v.diagnostics.push_back(
+        make(Diagnostic::Severity::Error, "invalid-spec",
+             "stability check needs dt > 0, h > 0 and a positive even "
+             "space order (got dt=" + num(dt) + ", h=" + num(spacing) +
+                 ", so=" + std::to_string(space_order) + ")"));
+    return v;
+  }
+  if (!std::isfinite(vp.hi) || vp.hi <= 0.0 || vp.lo <= 0.0) {
+    v.diagnostics.push_back(
+        make(Diagnostic::Severity::Error, "unbound-velocity",
+             "velocity interval " + vp.str() +
+                 " is not strictly positive and finite; no stability bound "
+                 "can be derived"));
+    return v;
+  }
+  v.vp_max = vp.hi;
+  // dt <= 2h / (vp_max * sqrt(3 * sum|w_k|)) with w_k the 1-D
+  // second-derivative weights at the real space order — the exact
+  // derivation stencil::acoustic_dt applies a 0.9 safety factor to.
+  const double s1 = stencil::central(2, space_order).abs_sum();
+  v.bound = 2.0 * spacing / (vp.hi * std::sqrt(3.0 * s1));
+  judge(v, "acoustic");
+  return v;
+}
+
+StabilityVerdict check_bound(double dt, double bound, double vp_max,
+                             double spacing, int space_order,
+                             const std::string& family) {
+  StabilityVerdict v;
+  v.dt = dt;
+  v.bound = bound;
+  v.vp_max = vp_max;
+  v.spacing = spacing;
+  v.space_order = space_order;
+  if (dt <= 0.0 || bound <= 0.0) {
+    v.diagnostics.push_back(
+        make(Diagnostic::Severity::Error, "invalid-spec",
+             "stability check needs dt > 0 and a positive bound (got dt=" +
+                 num(dt) + ", bound=" + num(bound) + ")"));
+    return v;
+  }
+  judge(v, family);
+  return v;
+}
+
+}  // namespace tempest::analysis::statics

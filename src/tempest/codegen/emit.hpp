@@ -29,6 +29,12 @@ struct KernelSpec {
   /// kernels carry their LoweredKernel name so several generated modules
   /// can coexist in one process.
   std::string kernel = "acoustic";
+  /// Timestep (ms) the compiled kernel will be driven at; 0 selects the
+  /// model's critical dt. The JIT hosts prove this dt stable against the
+  /// static von Neumann bound *before* paying for a compiler invocation —
+  /// a statically diverging spec is a caller bug, not a toolchain failure,
+  /// so it throws instead of taking the interpreter-fallback path.
+  double dt = 0.0;
 
   /// Emitted entry point name.
   [[nodiscard]] std::string symbol() const {

@@ -15,6 +15,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "tempest/analysis/statics/stability.hpp"
+#include "tempest/analysis/statics/verify.hpp"
 #include "tempest/dsl/interpreter.hpp"
 #include "tempest/dsl/kernel.hpp"
 #include "tempest/util/align.hpp"
@@ -267,12 +269,20 @@ analysis::LegalityReport verify_dsl_spec(const dsl::LoweredKernel& lowered,
 JitAcoustic::JitAcoustic(const physics::AcousticModel& model, KernelSpec spec)
     : model_(model),
       spec_(spec),
-      dt_(model.critical_dt()),
+      dt_(spec.dt > 0.0 ? spec.dt : model.critical_dt()),
       source_(emit_acoustic_c(spec)),
       u_(3, model.geom.extents, model.geom.radius()) {
   TEMPEST_REQUIRE_MSG(model.geom.space_order == spec.space_order,
                       "model space order must match the generated kernel");
   analysis::require_legal(verify_kernel_spec(spec));
+  // Statically unstable specs are refused before the compiler runs: like
+  // an illegal schedule, a dt beyond the von Neumann bound is a caller
+  // bug, so StaticVerificationError propagates — no fallback.
+  analysis::statics::require_stable(
+      analysis::statics::check_acoustic_stability(
+          dt_, model.geom.spacing, spec.space_order,
+          analysis::statics::grid_interval(model.vp)),
+      spec.kernel);
   try {
     module_.emplace(source_, spec.symbol());
   } catch (const util::PreconditionError& e) {
@@ -347,17 +357,48 @@ JitDsl::JitDsl(const dsl::Eq& eq, const physics::AcousticModel& model,
                KernelSpec spec, dsl::ParamBindings bindings)
     : model_(model),
       spec_(std::move(spec)),
-      dt_(model.critical_dt()),
+      dt_(spec_.dt > 0.0 ? spec_.dt : model.critical_dt()),
       lowered_(dsl::lower_kernel(eq, spec_.space_order, model.geom.spacing,
                                  dt_, spec_.kernel)),
       bindings_(std::move(bindings)),
       source_(emit_dsl_c(lowered_, spec_)),
       u_(3, model.geom.extents, model.geom.radius()) {
-  TEMPEST_REQUIRE_MSG(model.geom.space_order == spec_.space_order,
+  init();
+}
+
+JitDsl::JitDsl(dsl::LoweredKernel lowered, const physics::AcousticModel& model,
+               KernelSpec spec, dsl::ParamBindings bindings)
+    : model_(model),
+      spec_(std::move(spec)),
+      dt_(spec_.dt > 0.0 ? spec_.dt : model.critical_dt()),
+      lowered_(std::move(lowered)),
+      bindings_(std::move(bindings)),
+      source_(emit_dsl_c(lowered_, spec_)),
+      u_(3, model.geom.extents, model.geom.radius()) {
+  init();
+}
+
+void JitDsl::init() {
+  TEMPEST_REQUIRE_MSG(model_.geom.space_order == spec_.space_order,
                       "model space order must match the generated kernel");
+  TEMPEST_REQUIRE_MSG(lowered_.space_order == spec_.space_order,
+                      "lowered kernel space order must match the spec");
   // Binding errors are caller bugs — surface them before any compile.
   (void)dsl::resolve_params(lowered_, model_, bindings_);
   analysis::require_legal(verify_dsl_spec(lowered_, spec_));
+  // Full statics verdict (intervals, von Neumann proof at the real space
+  // order and dt, IR lint against the model halo) before the compiler is
+  // paid for. Like ScheduleLegalityError, StaticVerificationError
+  // propagates: a statically diverging or halo-breaking kernel is a
+  // caller bug, not a toolchain failure, so no interpreter fallback.
+  analysis::statics::StaticsOptions sopts;
+  sopts.bounds =
+      analysis::statics::model_bounds(model_, bindings_, lowered_.field);
+  sopts.resolvable = analysis::statics::resolvable_names(bindings_);
+  sopts.declared_radius = model_.geom.radius();
+  sopts.dt = dt_;
+  analysis::statics::require_static_ok(
+      analysis::statics::verify_statics(lowered_, sopts));
   try {
     module_.emplace(source_, spec_.symbol());
   } catch (const util::PreconditionError& e) {

@@ -149,6 +149,14 @@ class JitDsl {
   JitDsl(const dsl::Eq& eq, const physics::AcousticModel& model,
          KernelSpec spec, dsl::ParamBindings bindings = {});
 
+  /// Compile an already-lowered kernel tree. Same gates as the Eq
+  /// overload (legality, statics, bindings) — this is the path the statics
+  /// tests use to prove that a *corrupted* tree (e.g. a load beyond the
+  /// declared halo) is refused at compile time, something the Eq overload
+  /// cannot produce because lower_kernel never emits one.
+  JitDsl(dsl::LoweredKernel lowered, const physics::AcousticModel& model,
+         KernelSpec spec, dsl::ParamBindings bindings = {});
+
   /// Propagate: zeroes the buffer, runs ops t in [1, nt) with fused
   /// injection from the decomposed sources.
   void run(const sparse::SparseTimeSeries& src);
@@ -164,6 +172,10 @@ class JitDsl {
   [[nodiscard]] const dsl::LoweredKernel& lowered() const { return lowered_; }
 
  private:
+  /// Shared ctor tail: binding resolution, legality + statics gates,
+  /// compile (with interpreter fallback on toolchain failure only).
+  void init();
+
   const physics::AcousticModel& model_;
   KernelSpec spec_;
   double dt_;

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "tempest/analysis/legality.hpp"
+#include "tempest/analysis/statics/interference.hpp"
 #include "tempest/config.hpp"
 #include "tempest/core/compress.hpp"
 #include "tempest/core/diamond.hpp"
@@ -131,8 +132,17 @@ struct ExecutionOptions {
   /// nest the executor implements, checked against the kernel's *declared*
   /// access summary and the engine's actual skew slope. Catches a kernel
   /// whose declared dependency radius outruns the wave-front skew before a
-  /// single wrong cell is computed. Costs microseconds per run.
+  /// single wrong cell is computed. Costs microseconds per run. Also gates
+  /// the statics tile-interference prover: before a temporally blocked run
+  /// starts, every unordered tile pair of the band DAG is proven to have
+  /// disjoint write/write and write/read footprints (the race-freedom the
+  /// TSan lane observes dynamically, as a pre-run theorem).
   bool verify_schedule = true;
+
+  /// Let a spec whose dt exceeds the static von Neumann bound through the
+  /// stability gates (deliberate divergence experiments). Every other
+  /// statics check still runs.
+  bool allow_unstable = false;
 };
 
 /// A kernel's injection targets for one timestep (e.g. p and q for the
@@ -296,6 +306,32 @@ class ScheduleExecutor {
           TileGraph::derive(k_.access_summary(), descr, /*sources=*/true,
                             /*receivers=*/has_rec, opts_.tiles,
                             /*verify=*/opts_.verify_schedule);
+      if (opts_.verify_schedule) {
+        // Statics race prover over the same band geometry the task
+        // executors below receive (substep units: slope = radius per
+        // substep, band height = S * tile_t substeps). TileGraph::derive
+        // verified the skew legality; this proves the *task DAG* leaves no
+        // unordered tile pair with overlapping write/write or write/read
+        // footprints — including the circular-buffer slot aliasing and the
+        // fused receiver gather's in-rect read.
+        const analysis::AccessSummary summary = k_.access_summary();
+        analysis::statics::TileModel tm;
+        tm.schedule =
+            sched == Schedule::Wavefront
+                ? analysis::ScheduleDescriptor::wavefront(
+                      radius, S * std::max(1, opts_.tiles.tile_t))
+                : analysis::ScheduleDescriptor::diamond(
+                      radius, S * std::max(1, opts_.tiles.tile_t));
+        tm.tile_x = opts_.tiles.tile_x;
+        tm.tile_y = opts_.tiles.tile_y;
+        tm.nx = e.nx;
+        tm.ny = e.ny;
+        tm.radius = radius;
+        tm.time_reads = summary.time_reads;
+        tm.receivers = has_rec;
+        analysis::statics::require_race_free(
+            analysis::statics::prove_race_free(tm));
+      }
       util::Timer pre;
       const core::SourceMasks masks =
           core::build_source_masks(e, src, opts_.interp);

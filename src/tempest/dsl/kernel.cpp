@@ -3,6 +3,8 @@
 #include <optional>
 #include <utility>
 
+#include "tempest/analysis/statics/lint.hpp"
+#include "tempest/analysis/statics/verify.hpp"
 #include "tempest/util/error.hpp"
 
 namespace tempest::dsl {
@@ -140,6 +142,25 @@ DslKernel::DslKernel(const LoweredKernel& lowered,
                       "model geometry");
   TEMPEST_REQUIRE(model.m.stride_x() == sx_ && model.m.stride_y() == sy_);
 
+  // Statics lint gate: a lowered tree whose loads outrun the allocated
+  // halo (or its own declared access hulls) would read unowned memory in
+  // the tape walk below — reject it here, with the offending offsets
+  // named, before any data is touched. resolve_params() covers the
+  // unbound-param case, so the lint runs without a resolvable set.
+  {
+    namespace statics = analysis::statics;
+    statics::LintOptions lopts;
+    lopts.declared_radius = model.geom.radius();
+    const statics::LintReport lint_report =
+        statics::lint_kernel(lowered, lopts);
+    if (!lint_report.clean()) {
+      statics::StaticsReport report;
+      report.kernel = lowered.name;
+      report.lint = lint_report;
+      throw statics::StaticVerificationError(std::move(report));
+    }
+  }
+
   // Resolve coefficient grids: the model's own fields by convention, user
   // bindings for everything else (the sponge scenario binds its own "eta").
   const auto grids = resolve_params(lowered, model, bindings);
@@ -201,6 +222,20 @@ DslPropagator::DslPropagator(const Eq& eq, const physics::AcousticModel& model,
   TEMPEST_REQUIRE(opts_.tiles.valid());
   TEMPEST_REQUIRE_MSG(model.vp.halo() == model.geom.radius(),
                       "model fields must carry halo == stencil radius");
+
+  // Full statics verdict over the freshly lowered kernel, with the
+  // sharpest bounds available: value intervals scanned from the concrete
+  // model (and user-bound) grids, the von Neumann proof at the real space
+  // order and resolved dt, and the IR lint against the model's halo. A
+  // failing spec never reaches the engine.
+  namespace statics = analysis::statics;
+  statics::StaticsOptions sopts;
+  sopts.bounds = statics::model_bounds(model, bindings_, lowered_.field);
+  sopts.resolvable = statics::resolvable_names(bindings_);
+  sopts.declared_radius = model.geom.radius();
+  sopts.dt = dt_;
+  sopts.allow_unstable = opts_.allow_unstable;
+  statics::require_static_ok(statics::verify_statics(lowered_, sopts));
 }
 
 physics::RunStats DslPropagator::run(physics::Schedule sched,

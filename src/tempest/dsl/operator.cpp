@@ -2,8 +2,12 @@
 
 #include <algorithm>
 
+#include "tempest/analysis/statics/stability.hpp"
+#include "tempest/analysis/statics/verify.hpp"
 #include "tempest/dsl/kernel.hpp"
 #include "tempest/dsl/passes.hpp"
+#include "tempest/grid/grid3.hpp"
+#include "tempest/stencil/cfl.hpp"
 #include "tempest/util/error.hpp"
 
 namespace tempest::dsl {
@@ -112,6 +116,37 @@ Operator::Operator(std::vector<Eq> updates,
     analysis::require_legal(verify_stage(1));
     analysis::require_legal(verify_stage(2));
   }
+
+  // Construction-time statics (see analysis/statics/): with declared value
+  // bounds the Generic update is abstractly interpreted before any model
+  // exists — possible-div-by-zero or unbounded growth rejects the Operator
+  // here, not at the first apply(). The lowering uses placeholder spacing /
+  // dt (the interval semantics of the update do not depend on them beyond
+  // the constant weights, and stability is checked separately below).
+  namespace statics = analysis::statics;
+  if (!options_.declared_bounds.empty() && class_ == KernelClass::Generic) {
+    statics::StaticsOptions sopts;
+    sopts.bounds = options_.declared_bounds;
+    sopts.check_stability = false;
+    statics::require_static_ok(statics::verify_statics(
+        lower_kernel(updates_.front(), /*space_order=*/2, /*spacing=*/10.0,
+                     /*dt=*/1.0, "generic"),
+        sopts));
+  }
+  // Static CFL proof at the space-order-2 floor: S1 = sum|w| grows with
+  // the order, so the so=2 bound is the loosest over admissible orders —
+  // a dt it rejects is unstable at *every* order, making the rejection
+  // definitive with no model bound yet. apply()/JIT re-check sharply.
+  if (options_.dt > 0.0 && options_.spacing > 0.0 &&
+      !options_.allow_unstable) {
+    const auto vp = options_.declared_bounds.find("vp");
+    if (vp != options_.declared_bounds.end()) {
+      statics::require_stable(
+          statics::check_acoustic_stability(options_.dt, options_.spacing,
+                                            /*space_order=*/2, vp->second),
+          to_string(class_));
+    }
+  }
 }
 
 analysis::AccessSummary Operator::access_summary(int space_order) const {
@@ -190,10 +225,23 @@ physics::RunStats Operator::apply(const physics::AcousticModel& model,
   if (schedule_descriptor().time_tiled()) {
     analysis::require_legal(verify_stage(2, model.geom.space_order));
   }
+  // Sharp stability re-check against the concrete model: real space order,
+  // velocity interval scanned from the grid interior. The construction-time
+  // check used the loosest (so=2) bound; this one is exact.
+  namespace statics = analysis::statics;
+  if (!options_.allow_unstable) {
+    const double dt = options_.dt > 0.0 ? options_.dt : model.critical_dt();
+    statics::require_stable(
+        statics::check_acoustic_stability(dt, model.geom.spacing,
+                                          model.geom.space_order,
+                                          statics::grid_interval(model.vp)),
+        to_string(class_));
+  }
   physics::PropagatorOptions popts;
   popts.tiles = options_.tiles;
   popts.interp = options_.interp;
   popts.dt = options_.dt;
+  popts.allow_unstable = options_.allow_unstable;
   if (class_ == KernelClass::Generic) {
     DslPropagator prop(updates_.front(), model, popts, options_.bindings,
                        "generic");
@@ -211,10 +259,26 @@ physics::RunStats Operator::apply(const physics::TTIModel& model,
   if (schedule_descriptor().time_tiled()) {
     analysis::require_legal(verify_stage(2, model.geom.space_order));
   }
+  // The TTI hard bound is the acoustic one derated by the anisotropy
+  // factor sqrt(1 + 2 max(eps, delta)) — scanned from the Thomsen grids.
+  namespace statics = analysis::statics;
+  if (!options_.allow_unstable) {
+    const double dt = options_.dt > 0.0 ? options_.dt : model.critical_dt();
+    const double vmax = model.vp_max();
+    const double bound = stencil::tti_dt(
+        model.geom.spacing, vmax, model.geom.space_order,
+        grid::max_abs(model.epsilon), grid::max_abs(model.delta),
+        /*safety=*/1.0);
+    statics::require_stable(
+        statics::check_bound(dt, bound, vmax, model.geom.spacing,
+                             model.geom.space_order, "tti"),
+        to_string(class_));
+  }
   physics::PropagatorOptions popts;
   popts.tiles = options_.tiles;
   popts.interp = options_.interp;
   popts.dt = options_.dt;
+  popts.allow_unstable = options_.allow_unstable;
   physics::TTIPropagator prop(model, popts);
   return prop.run(options_.schedule, src, rec);
 }
@@ -227,10 +291,24 @@ physics::RunStats Operator::apply(const physics::ElasticModel& model,
   if (schedule_descriptor().time_tiled()) {
     analysis::require_legal(verify_stage(2, model.geom.space_order));
   }
+  // First-order velocity–stress bound from the staggered first-derivative
+  // weights (stencil::elastic_dt at safety 1 = the hard limit).
+  namespace statics = analysis::statics;
+  if (!options_.allow_unstable) {
+    const double dt = options_.dt > 0.0 ? options_.dt : model.critical_dt();
+    const double vmax = model.vp_max();
+    const double bound = stencil::elastic_dt(
+        model.geom.spacing, vmax, model.geom.space_order, /*safety=*/1.0);
+    statics::require_stable(
+        statics::check_bound(dt, bound, vmax, model.geom.spacing,
+                             model.geom.space_order, "elastic"),
+        to_string(class_));
+  }
   physics::PropagatorOptions popts;
   popts.tiles = options_.tiles;
   popts.interp = options_.interp;
   popts.dt = options_.dt;
+  popts.allow_unstable = options_.allow_unstable;
   physics::ElasticPropagator prop(model, popts);
   return prop.run(options_.schedule, src, rec);
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "tempest/analysis/legality.hpp"
+#include "tempest/analysis/statics/interval.hpp"
 #include "tempest/dsl/expr.hpp"
 #include "tempest/dsl/ir.hpp"
 #include "tempest/dsl/lower.hpp"
@@ -38,6 +39,23 @@ struct OperatorOptions {
   /// Coefficient grids for Generic-class equations whose parameter names
   /// are not the model's own ("m", "damp", "vp" bind automatically).
   ParamBindings bindings{};
+
+  /// Declared value intervals for fields and coefficient grids, enabling
+  /// the construction-time statics passes before any model data exists:
+  /// the update is abstractly interpreted over these bounds
+  /// (possible-div-by-zero and unbounded growth reject the Operator), and
+  /// when `dt` and `spacing` are set the von Neumann bound is checked at
+  /// the space-order-2 floor — the loosest bound over admissible orders,
+  /// so a construction-time rejection is definitive. Empty skips the
+  /// construction-time passes; apply()/JIT always re-check sharply against
+  /// the concrete model.
+  analysis::statics::BoundEnv declared_bounds{};
+  /// Grid spacing for the construction-time CFL check; 0 = unknown until
+  /// apply() binds a model geometry.
+  double spacing = 0.0;
+  /// Admit a dt beyond the static von Neumann bound (deliberate divergence
+  /// experiments). Every non-stability statics pass still gates.
+  bool allow_unstable = false;
 };
 
 /// The mini-Devito Operator: symbolic equations in, schedules and execution
